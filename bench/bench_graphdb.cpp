@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the embedded graph store, the
+// traversal engine, the Cypher layer and the controllability analysis —
+// the infrastructure costs behind the Table VIII build times and the
+// Table X search times.
+#include <benchmark/benchmark.h>
+
+#include "corpus/components.hpp"
+#include "corpus/noise.hpp"
+#include "cpg/builder.hpp"
+#include "cypher/cypher.hpp"
+#include "finder/finder.hpp"
+#include "graph/serialize.hpp"
+#include "util/rng.hpp"
+
+using namespace tabby;
+
+namespace {
+
+graph::GraphDb random_graph(std::size_t nodes, std::size_t edges, bool with_index) {
+  graph::GraphDb db;
+  util::Rng rng(99);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    db.add_node("Method",
+                {{"NAME", graph::Value{std::string("m") + std::to_string(i % 64)}},
+                 {"ID", graph::Value{static_cast<std::int64_t>(i)}}});
+  }
+  for (std::size_t i = 0; i < edges; ++i) {
+    db.add_edge(rng.next_below(nodes), rng.next_below(nodes), "CALL");
+  }
+  if (with_index) db.create_index("Method", "NAME");
+  return db;
+}
+
+void BM_NodeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::GraphDb db;
+    for (int i = 0; i < state.range(0); ++i) {
+      db.add_node("Method", {{"NAME", graph::Value{std::string("m")}}});
+    }
+    benchmark::DoNotOptimize(db.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NodeInsert)->Arg(1000)->Arg(10000);
+
+void BM_EdgeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::GraphDb db;
+    for (int i = 0; i < 1000; ++i) db.add_node("N");
+    util::Rng rng(7);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      db.add_edge(rng.next_below(1000), rng.next_below(1000), "CALL");
+    }
+    benchmark::DoNotOptimize(db.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EdgeInsert)->Arg(10000);
+
+void BM_IndexedLookup(benchmark::State& state) {
+  graph::GraphDb db = random_graph(20000, 0, true);
+  for (auto _ : state) {
+    auto hits = db.find_nodes("Method", "NAME", graph::Value{std::string("m17")});
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_IndexedLookup);
+
+void BM_LabelScanLookup(benchmark::State& state) {
+  graph::GraphDb db = random_graph(20000, 0, false);
+  for (auto _ : state) {
+    auto hits = db.find_nodes("Method", "NAME", graph::Value{std::string("m17")});
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LabelScanLookup);
+
+void BM_TraversalDepth4(benchmark::State& state) {
+  graph::GraphDb db = random_graph(2000, 8000, false);
+  auto expand = [](const graph::GraphDb& g, const graph::Path& path, const int& s) {
+    std::vector<graph::Step<int>> steps;
+    for (graph::EdgeId e : g.out_edges(path.end())) {
+      steps.push_back(graph::Step<int>{e, g.edge(e).to, s});
+    }
+    return steps;
+  };
+  auto evaluate = [](const graph::GraphDb&, const graph::Path& path, const int&) {
+    return path.length() >= 4 ? graph::Evaluation::ExcludeAndPrune
+                              : graph::Evaluation::ExcludeAndContinue;
+  };
+  for (auto _ : state) {
+    graph::TraversalLimits limits;
+    limits.max_expansions = 200000;
+    graph::Traverser<int> t(db, expand, evaluate, graph::Uniqueness::NodePath, limits);
+    auto results = t.run(0, 0);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_TraversalDepth4);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  graph::GraphDb db = random_graph(5000, 20000, false);
+  for (auto _ : state) {
+    auto bytes = graph::serialize(db);
+    auto loaded = graph::deserialize(bytes);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_CypherVarLengthQuery(benchmark::State& state) {
+  corpus::Component component = corpus::build_component("commons-collections(3.2.1)");
+  cpg::Cpg cpg = cpg::build_cpg(component.link());
+  for (auto _ : state) {
+    auto result = cypher::run_query(
+        cpg.db,
+        "MATCH (m:Method {IS_SOURCE: true})-[:CALL*1..6]->(s:Method {IS_SINK: true}) "
+        "RETURN m.SIGNATURE LIMIT 50");
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_CypherVarLengthQuery);
+
+void BM_CpgBuild(benchmark::State& state) {
+  jar::Archive noise = corpus::make_noise_archive("bench.jar", "bench.pkg",
+                                                  static_cast<int>(state.range(0)), 5);
+  jir::Program program = jar::link({noise});
+  for (auto _ : state) {
+    cpg::Cpg cpg = cpg::build_cpg(program);
+    benchmark::DoNotOptimize(cpg.stats.relationship_edges);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CpgBuild)->Arg(100)->Arg(500);
+
+void BM_GadgetChainSearch(benchmark::State& state) {
+  corpus::Component component = corpus::build_component("commons-collections(3.2.1)");
+  cpg::Cpg cpg = cpg::build_cpg(component.link());
+  for (auto _ : state) {
+    finder::GadgetChainFinder finder(cpg.db);
+    finder::FinderReport report = finder.find_all();
+    benchmark::DoNotOptimize(report.chains.size());
+  }
+}
+BENCHMARK(BM_GadgetChainSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// The URLDNS chain (paper Figure 3/4): builds the HashMap/URL model with the
+// builder API, dumps the relevant CPG neighbourhood, finds the chain via the
+// Trigger_Condition traversal, persists the graph, and re-verifies with the
+// runtime VM.
+//
+// Run:  ./urldns [graph-store-path]
+#include <cstdio>
+
+#include "corpus/jdk.hpp"
+#include "cpg/builder.hpp"
+#include "cpg/schema.hpp"
+#include "finder/finder.hpp"
+#include "graph/serialize.hpp"
+#include "jar/archive.hpp"
+#include "jir/builder.hpp"
+#include "runtime/objectgraph.hpp"
+#include "runtime/vm.hpp"
+
+using namespace tabby;
+
+namespace {
+
+jar::Archive urldns_jar() {
+  jir::ProgramBuilder pb;
+
+  auto url = pb.add_class("java.net.URL");
+  url.serializable();
+  url.field("host", "java.lang.String");
+  url.field("handler", "java.net.URLStreamHandler");
+  url.method("hashCode")
+      .returns("int")
+      .field_load("hd", "@this", "handler")
+      .invoke_virtual("h", "hd", "java.net.URLStreamHandler", "hashCode", {"@this"})
+      .ret("h");
+
+  auto handler = pb.add_class("java.net.URLStreamHandler");
+  handler.method("hashCode")
+      .param("java.net.URL")
+      .returns("int")
+      .invoke_virtual("addr", "@this", "java.net.URLStreamHandler", "getHostAddress", {"@p1"})
+      .const_int("h", 0)
+      .ret("h");
+  handler.method("getHostAddress")
+      .param("java.net.URL")
+      .returns("java.net.InetAddress")
+      .field_load("host", "@p1", "host")
+      .invoke_static("a", "java.net.InetAddress", "getByName", {"host"})
+      .ret("a");
+
+  jar::Archive archive;
+  archive.meta.name = "urldns-gadget";
+  archive.meta.version = "1.0";
+  archive.classes = pb.build().classes();
+  return archive;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Link the gadget jar against the simulated JDK (which provides
+  // java.util.HashMap with its readObject -> hash -> hashCode pivot).
+  jir::Program program = jar::link({corpus::jdk_base_archive(), urldns_jar()});
+
+  cpg::Cpg cpg = cpg::build_cpg(program);
+  std::printf("URLDNS CPG: %zu classes, %zu methods, %zu edges\n", cpg.stats.class_nodes,
+              cpg.stats.method_nodes, cpg.stats.relationship_edges);
+
+  // Show the ALIAS neighbourhood of Object.hashCode (Figure 4's key edge).
+  auto hits = cpg.db.find_nodes(std::string(cpg::kMethodLabel), std::string(cpg::kPropSignature),
+                                graph::Value{std::string("java.lang.Object#hashCode/0")});
+  if (!hits.empty()) {
+    std::printf("\noverrides linked to java.lang.Object#hashCode/0 by ALIAS edges:\n");
+    for (graph::EdgeId eid : cpg.db.in_edges_typed(hits[0], cpg::kAliasEdge)) {
+      const graph::Node& n = cpg.db.node(cpg.db.edge(eid).from);
+      std::printf("  %s\n", n.prop_string(std::string(cpg::kPropSignature)).c_str());
+    }
+  }
+
+  finder::GadgetChainFinder finder(cpg.db);
+  finder::FinderReport report = finder.find_all();
+  std::printf("\n%zu gadget chain(s) found in %.3f s:\n\n", report.chains.size(),
+              report.search_seconds);
+  for (const finder::GadgetChain& chain : report.chains) {
+    std::printf("%s\n", chain.to_string().c_str());
+  }
+
+  // Persist the CPG the way Tabby keeps its Neo4j store around for re-query.
+  const char* path = argc > 1 ? argv[1] : "/tmp/urldns.tgdb";
+  if (graph::save(cpg.db, path).ok()) {
+    std::printf("graph store written to %s (reload with graph::load)\n\n", path);
+  }
+
+  // VM verification: HashMap{key = URL{host, handler}}.
+  runtime::ObjectGraphSpec spec;
+  spec.objects["map"] = runtime::ObjectSpec{"java.util.HashMap", {{"key", runtime::Ref{"url"}}}, {}};
+  spec.objects["url"] = runtime::ObjectSpec{
+      "java.net.URL",
+      {{"host", std::string("x.attacker.example")}, {"handler", runtime::Ref{"h"}}},
+      {}};
+  spec.objects["h"] = runtime::ObjectSpec{"java.net.URLStreamHandler", {}, {}};
+  spec.root = "map";
+
+  jir::Hierarchy hierarchy(program);
+  runtime::Interpreter vm(program, hierarchy);
+  runtime::ExecutionResult result = vm.deserialize(runtime::instantiate(spec));
+  std::printf("VM verification: DNS lookup %s\n",
+              result.attack_succeeded("java.net.InetAddress#getByName/1") ? "TRIGGERED"
+                                                                          : "not triggered");
+  return result.attack_succeeded() ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Algorithm 1 of the paper: the interprocedural, field-sensitive
+// controllability (points-to) analysis. For every method it derives
+//   - the Action summary (how the method transforms the controllability of
+//     its inputs: final parameter states, receiver fields, return value) and
+//   - one Polluted_Position (PP) vector per call site in the body.
+// Summaries are cached ("the Action property also serves as a caching
+// mechanism") and composed across calls with Formulas 2 (calc) and
+// 3 (correct). Recursive cycles bottom out at the identity summary.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/domain.hpp"
+#include "jir/hierarchy.hpp"
+#include "jir/model.hpp"
+
+namespace tabby::analysis {
+
+struct AnalysisOptions {
+  /// Fixpoint bound per method CFG; loops converge in 2-3 rounds in practice.
+  int max_block_iterations = 8;
+  /// When false, bodies of callees are ignored and every call uses the
+  /// identity summary — the imprecise mode the paper attributes to
+  /// GadgetInspector/Serianalyzer ("default to it not changing"). Ablation
+  /// benches flip this.
+  bool interprocedural = true;
+  /// Treat the return value of a bodyless/phantom callee as controllable
+  /// whenever the receiver or any argument is (the permissive default of the
+  /// compared tools). Tabby's default is the conservative `unknown`.
+  bool unknown_return_controllable = false;
+};
+
+/// One call site inside a method body, with its computed PP.
+struct CallSite {
+  std::size_t stmt_index = 0;
+  jir::MethodRef declared;
+  jir::InvokeKind kind = jir::InvokeKind::Virtual;
+  std::optional<jir::MethodId> resolved;  // static resolution target
+  PollutedPosition pp;                    // [0]=receiver, 1..n = arguments
+};
+
+struct MethodSummary {
+  Action action;
+  std::vector<CallSite> call_sites;
+};
+
+class ControllabilityAnalysis {
+ public:
+  ControllabilityAnalysis(const jir::Program& program, const jir::Hierarchy& hierarchy,
+                          AnalysisOptions options = {});
+
+  /// Analysis result for one method; computed on first request, cached after.
+  const MethodSummary& summary(jir::MethodId id);
+
+  const AnalysisOptions& options() const { return options_; }
+  const jir::Program& program() const { return *program_; }
+
+  std::size_t analyzed_count() const { return cache_.size(); }
+  std::size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  MethodSummary compute(jir::MethodId id);
+
+  const jir::Program* program_;
+  const jir::Hierarchy* hierarchy_;
+  AnalysisOptions options_;
+  std::unordered_map<jir::MethodId, MethodSummary, jir::MethodIdHash> cache_;
+  std::unordered_set<jir::MethodId, jir::MethodIdHash> in_progress_;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace tabby::analysis

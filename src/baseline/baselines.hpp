@@ -1,0 +1,54 @@
+// Re-implementations of the two compared tools' decision procedures, with
+// the defects §IV-F of the paper identifies:
+//
+// GadgetInspector-like:
+//   - forward taint search from deserialization sources,
+//   - polymorphism resolved through superclass chains only (interface
+//     dispatch is invisible),
+//   - intraprocedural taint with permissive call defaults ("default to it
+//     not changing (still controllable)"),
+//   - visited-method skipping across the whole search (shared middles lose
+//     all but one chain).
+//
+// Serianalyzer-like:
+//   - backward reachability from sinks on the *unpruned* call graph,
+//   - no argument-controllability (Trigger_Condition) checking,
+//   - superclass-only polymorphism,
+//   - a search budget whose exhaustion reproduces the paper's "X"
+//     (process-not-terminated) cells.
+#pragma once
+
+#include <string>
+
+#include "finder/finder.hpp"
+#include "jir/model.hpp"
+
+namespace tabby::baseline {
+
+struct BaselineReport {
+  std::vector<finder::GadgetChain> chains;
+  bool exploded = false;   // budget exhausted (Serianalyzer "X")
+  double seconds = 0.0;    // analysis + search wall time
+};
+
+struct GadgetInspectorOptions {
+  int max_depth = 12;
+};
+
+BaselineReport run_gadget_inspector(const jir::Program& program,
+                                    const GadgetInspectorOptions& options = {});
+
+struct SerianalyzerOptions {
+  int max_depth = 12;
+  std::size_t max_results = 4096;
+  /// Expansion budget before the run is declared non-terminating.
+  std::size_t max_expansions = 400'000;
+  /// The paper filters Serianalyzer output to chains mentioning the analysed
+  /// component's package (its raw output is "often in the hundreds").
+  std::string package_filter;
+};
+
+BaselineReport run_serianalyzer(const jir::Program& program,
+                                const SerianalyzerOptions& options = {});
+
+}  // namespace tabby::baseline

@@ -1,0 +1,262 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "corpus/components.hpp"
+#include "corpus/jdk.hpp"
+#include "corpus/scenes.hpp"
+#include "cpg/builder.hpp"
+#include "cypher/cypher.hpp"
+#include "finder/finder.hpp"
+#include "finder/payload.hpp"
+#include "graph/serialize.hpp"
+#include "jar/archive.hpp"
+#include "util/strings.hpp"
+
+namespace tabby::cli {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string store;
+  std::string out_dir;
+  int depth = 12;
+  bool verify = false;
+  bool with_jdk = true;
+  std::string error;
+};
+
+Args parse_args(const std::vector<std::string>& raw) {
+  Args args;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& a = raw[i];
+    auto take_value = [&](std::string& into) {
+      if (i + 1 >= raw.size()) {
+        args.error = "missing value for " + a;
+        return false;
+      }
+      into = raw[++i];
+      return true;
+    };
+    if (a == "--store") {
+      if (!take_value(args.store)) return args;
+    } else if (a == "--out") {
+      if (!take_value(args.out_dir)) return args;
+    } else if (a == "--depth") {
+      std::string v;
+      if (!take_value(v)) return args;
+      args.depth = std::atoi(v.c_str());
+      if (args.depth <= 0) args.error = "bad --depth value: " + v;
+    } else if (a == "--verify") {
+      args.verify = true;
+    } else if (a == "--no-jdk") {
+      args.with_jdk = false;
+    } else if (util::starts_with(a, "--")) {
+      args.error = "unknown flag: " + a;
+      return args;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int usage(std::ostream& err) {
+  err << "usage:\n"
+         "  tabby list\n"
+         "  tabby gen <component-or-scene> --out DIR\n"
+         "  tabby analyze JAR... [--store FILE] [--no-jdk]\n"
+         "  tabby find JAR... [--depth N] [--verify] [--no-jdk]\n"
+         "  tabby query JAR... \"MATCH ... RETURN ...\" [--no-jdk]\n"
+         "  tabby query --store FILE \"MATCH ... RETURN ...\"\n";
+  return 2;
+}
+
+/// Load .tjar paths and link, optionally prefixing the simulated JDK.
+bool load_program(const std::vector<std::string>& paths, bool with_jdk, jir::Program& program,
+                  std::ostream& err) {
+  std::vector<jar::Archive> classpath;
+  if (with_jdk) classpath.push_back(corpus::jdk_base_archive());
+  for (const std::string& path : paths) {
+    auto archive = jar::read_archive_file(path);
+    if (!archive.ok()) {
+      err << "error: " << path << ": " << archive.error().to_string() << "\n";
+      return false;
+    }
+    classpath.push_back(std::move(archive.value()));
+  }
+  program = jar::link(classpath);
+  return true;
+}
+
+int cmd_list(std::ostream& out) {
+  out << "components (Table IX):\n";
+  for (const std::string& name : corpus::component_names()) out << "  " << name << "\n";
+  out << "scenes (Table X):\n";
+  for (const std::string& name : corpus::scene_names()) out << "  " << name << "\n";
+  return 0;
+}
+
+int cmd_gen(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2 || args.out_dir.empty()) {
+    err << "usage: tabby gen <component-or-scene> --out DIR\n";
+    return 2;
+  }
+  const std::string& name = args.positional[1];
+  std::error_code ec;
+  fs::create_directories(args.out_dir, ec);
+
+  std::vector<jar::Archive> archives;
+  const auto& components = corpus::component_names();
+  const auto& scenes = corpus::scene_names();
+  if (std::find(components.begin(), components.end(), name) != components.end()) {
+    corpus::Component component = corpus::build_component(name);
+    archives.push_back(corpus::jdk_base_archive());
+    archives.push_back(std::move(component.jar));
+  } else if (std::find(scenes.begin(), scenes.end(), name) != scenes.end()) {
+    archives = corpus::build_scene(name).jars;
+  } else {
+    err << "error: unknown component or scene: " << name << "\n";
+    return 1;
+  }
+
+  for (const jar::Archive& archive : archives) {
+    std::string file = archive.meta.name;
+    for (char& c : file) {
+      if (c == '/' || c == ' ' || c == '(' || c == ')') c = '_';
+    }
+    if (!util::ends_with(file, ".tjar")) file += ".tjar";
+    fs::path path = fs::path(args.out_dir) / file;
+    auto status = jar::write_archive_file(archive, path);
+    if (!status.ok()) {
+      err << "error: " << status.error().to_string() << "\n";
+      return 1;
+    }
+    out << "wrote " << path.string() << " (" << archive.classes.size() << " classes)\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 2) {
+    err << "usage: tabby analyze JAR... [--store FILE]\n";
+    return 2;
+  }
+  jir::Program program;
+  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk, program,
+                    err)) {
+    return 1;
+  }
+  cpg::Cpg cpg = cpg::build_cpg(program);
+  out << "classes:  " << cpg.stats.class_nodes << "\n"
+      << "methods:  " << cpg.stats.method_nodes << "\n"
+      << "edges:    " << cpg.stats.relationship_edges << " (" << cpg.stats.call_edges << " CALL, "
+      << cpg.stats.alias_edges << " ALIAS)\n"
+      << "sources:  " << cpg.stats.source_methods << "\n"
+      << "sinks:    " << cpg.stats.sink_methods << "\n"
+      << "pruned:   " << cpg.stats.pruned_call_sites << " uncontrollable call sites\n"
+      << "build:    " << util::format_double(cpg.stats.build_seconds, 3) << " s\n";
+  if (!args.store.empty()) {
+    auto status = graph::save(cpg.db, args.store);
+    if (!status.ok()) {
+      err << "error: " << status.error().to_string() << "\n";
+      return 1;
+    }
+    out << "graph store written to " << args.store << "\n";
+  }
+  return 0;
+}
+
+int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 2) {
+    err << "usage: tabby find JAR... [--depth N] [--verify]\n";
+    return 2;
+  }
+  jir::Program program;
+  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk, program,
+                    err)) {
+    return 1;
+  }
+  cpg::Cpg cpg = cpg::build_cpg(program);
+  finder::FinderOptions options;
+  options.max_depth = args.depth;
+  finder::GadgetChainFinder finder(cpg.db, options);
+  finder::FinderReport report = finder.find_all();
+
+  out << report.chains.size() << " gadget chain(s), "
+      << util::format_double(report.search_seconds, 3) << " s search\n\n";
+  std::size_t confirmed = 0;
+  for (const finder::GadgetChain& chain : report.chains) {
+    out << chain.to_string();
+    if (args.verify) {
+      finder::AutoVerifyResult verdict = finder::auto_verify(program, cpg.db, chain);
+      out << "  auto-verify: " << (verdict.effective ? "EFFECTIVE" : "refuted") << "\n";
+      confirmed += verdict.effective ? 1 : 0;
+    }
+    out << "\n";
+  }
+  if (args.verify) {
+    out << confirmed << "/" << report.chains.size() << " chains confirmed effective\n";
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 2) {
+    err << "usage: tabby query (JAR...|--store FILE) \"MATCH ...\"\n";
+    return 2;
+  }
+  std::string query_text = args.positional.back();
+  graph::GraphDb db;
+  if (!args.store.empty()) {
+    auto loaded = graph::load(args.store);
+    if (!loaded.ok()) {
+      err << "error: " << loaded.error().to_string() << "\n";
+      return 1;
+    }
+    db = std::move(loaded.value());
+  } else {
+    if (args.positional.size() < 3) {
+      err << "usage: tabby query JAR... \"MATCH ...\"\n";
+      return 2;
+    }
+    jir::Program program;
+    if (!load_program({args.positional.begin() + 1, args.positional.end() - 1}, args.with_jdk,
+                      program, err)) {
+      return 1;
+    }
+    db = cpg::build_cpg(program).db;
+  }
+  auto result = cypher::run_query(db, query_text);
+  if (!result.ok()) {
+    err << "query error: " << result.error().to_string() << "\n";
+    return 1;
+  }
+  out << result.value().to_string(db) << "(" << result.value().rows.size() << " row(s))\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  Args parsed = parse_args(args);
+  if (!parsed.error.empty()) {
+    err << "error: " << parsed.error << "\n";
+    return 2;
+  }
+  if (parsed.positional.empty()) return usage(err);
+  const std::string& command = parsed.positional[0];
+  if (command == "list") return cmd_list(out);
+  if (command == "gen") return cmd_gen(parsed, out, err);
+  if (command == "analyze") return cmd_analyze(parsed, out, err);
+  if (command == "find") return cmd_find(parsed, out, err);
+  if (command == "query") return cmd_query(parsed, out, err);
+  err << "error: unknown command: " << command << "\n";
+  return usage(err);
+}
+
+}  // namespace tabby::cli

@@ -1,0 +1,21 @@
+// The `tabby` command-line tool. Subcommands:
+//
+//   tabby list                               built-in corpus components/scenes
+//   tabby gen <name> --out DIR               write a corpus model as .tjar files
+//   tabby analyze JAR... [--store FILE]      link archives, build the CPG, print stats
+//   tabby find JAR... [--depth N] [--verify] find gadget chains (+ §V-C auto-verify)
+//   tabby query (JAR...|--store FILE) QUERY  run a Cypher query over the CPG
+//
+// The entry point is a plain function so the test suite can drive it.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tabby::cli {
+
+/// Runs the CLI. `args` excludes argv[0]. Returns the process exit code.
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace tabby::cli

@@ -1,0 +1,8 @@
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tabby::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,167 @@
+#include "corpus/components.hpp"
+
+#include <stdexcept>
+
+#include "corpus/jdk.hpp"
+#include "corpus/noise.hpp"
+#include "corpus/planter.hpp"
+
+namespace tabby::corpus {
+
+namespace {
+
+struct ComponentSpec {
+  const char* name;
+  const char* pkg;
+  int known_plain = 0;         // GI-visible known chains (disjoint helpers)
+  int known_plain_shared = 0;  // plain knowns sharing one helper (GI keeps 1)
+  int known_iface = 0;         // interface-hop knowns (GI/SL-blind)
+  int known_refl = 0;          // reflection-gated (nobody finds)
+  int unknown_plain = 0;
+  int unknown_iface = 0;
+  int guarded = 0;             // everyone-visible-to-Tabby fakes
+  int wipe = 0;                // GI/SL-visible fakes Tabby rejects
+  int web = 0;                 // SL-only const-web volume
+  bool sl_explodes = false;
+  int noise = 120;
+};
+
+// Counts derived from Table IX (see DESIGN.md): "known" splits sum to the
+// "Known in dataset" column; guarded = TB Fake; wipe ≈ GI Fake; web sized
+// toward the SL Result column.
+const ComponentSpec kSpecs[] = {
+    {"AspectJWeaver", "org.aspectj.weaver", 0, 0, 1, 0, 0, 0, 0, 8, 19, false, 110},
+    {"BeanShell1", "bsh", 0, 0, 1, 0, 0, 0, 2, 2, 0, false, 90},
+    {"C3P0", "com.mchange.v2.c3p0", 0, 0, 1, 0, 0, 3, 2, 2, 0, false, 130},
+    {"Click1", "org.apache.click", 1, 0, 0, 0, 0, 0, 0, 3, 53, false, 100},
+    {"Clojure", "clojure.lang", 1, 0, 0, 0, 0, 0, 1, 8, 0, true, 140},
+    {"CommonsBeanutils1", "org.apache.commons.beanutils", 0, 0, 1, 0, 0, 0, 0, 2, 48, false, 95},
+    {"commons-collections(3.2.1)", "org.apache.commons.collections", 0, 0, 4, 1, 1, 8, 4, 3, 66,
+     false, 160},
+    {"commons-collections(4.0.0)", "org.apache.commons.collections4", 0, 0, 1, 1, 1, 11, 5, 3, 30,
+     false, 150},
+    {"FileUpload1", "org.apache.commons.fileupload", 0, 2, 0, 0, 0, 0, 0, 2, 2, false, 70},
+    {"Groovy1", "org.codehaus.groovy.runtime", 0, 0, 0, 1, 0, 0, 2, 4, 131, false, 140},
+    {"Hibernate", "org.hibernate", 0, 0, 2, 0, 0, 2, 0, 2, 53, false, 170},
+    {"JBossInterceptors1", "org.jboss.interceptor", 0, 0, 1, 0, 0, 0, 2, 2, 3, false, 85},
+    {"JSON1", "net.sf.json", 0, 0, 0, 1, 0, 0, 0, 4, 0, false, 80},
+    {"JavaassistWeld1", "org.jboss.weld", 0, 0, 1, 0, 0, 0, 2, 2, 0, false, 85},
+    {"Jython1", "org.python.core", 0, 0, 0, 1, 0, 0, 2, 42, 0, true, 150},
+    {"MozillaRhino", "org.mozilla.javascript", 0, 0, 1, 1, 0, 0, 0, 3, 90, false, 130},
+    {"Myface", "org.apache.myfaces", 0, 0, 1, 0, 0, 0, 0, 2, 0, false, 75},
+    {"Rome", "com.rometools.rome", 0, 0, 1, 0, 0, 1, 0, 2, 16, false, 90},
+    {"Spring", "org.springframework.core", 0, 0, 0, 2, 0, 0, 2, 2, 2, false, 120},
+    {"Vaadin1", "com.vaadin", 1, 0, 0, 0, 0, 0, 0, 5, 13, false, 100},
+    {"Wicket1", "org.apache.wicket", 0, 2, 0, 0, 0, 0, 0, 2, 1, false, 95},
+    {"commons-configration", "org.apache.commons.configuration", 0, 0, 0, 1, 0, 0, 0, 2, 0, false,
+     80},
+    {"spring-beans", "org.springframework.beans", 0, 0, 1, 1, 0, 0, 1, 2, 0, false, 110},
+    {"spring-aop", "org.springframework.aop", 0, 0, 1, 1, 0, 0, 1, 6, 0, false, 110},
+    {"XBean", "org.apache.xbean", 0, 0, 1, 0, 0, 0, 0, 2, 0, false, 70},
+    {"Resin", "com.caucho", 0, 0, 0, 1, 0, 0, 0, 2, 0, false, 85},
+};
+
+std::uint64_t seed_of(const ComponentSpec& spec) {
+  // FNV-1a over the name: deterministic and name-stable.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* p = spec.name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+SinkFlavor pick_flavor(util::Rng& rng) {
+  return kAllSinkFlavors[rng.next_below(std::size(kAllSinkFlavors))];
+}
+
+Component build_from_spec(const ComponentSpec& spec) {
+  jir::ProgramBuilder pb;
+  Planter planter(pb, spec.pkg, seed_of(spec));
+  util::Rng& rng = planter.rng();
+
+  Component component;
+  component.name = spec.name;
+  component.sl_explodes = spec.sl_explodes;
+
+  for (int i = 0; i < spec.known_plain; ++i) {
+    RealChainOptions options;
+    options.sink = pick_flavor(rng);
+    component.truths.push_back(planter.plant_real_chain(options));
+  }
+  if (spec.known_plain_shared > 0) {
+    SinkFlavor flavor = pick_flavor(rng);
+    std::string helper = planter.make_plain_helper(flavor);
+    for (int i = 0; i < spec.known_plain_shared; ++i) {
+      RealChainOptions options;
+      options.sink = flavor;
+      options.shared_helper = helper;
+      component.truths.push_back(planter.plant_real_chain(options));
+    }
+  }
+  for (int i = 0; i < spec.known_iface; ++i) {
+    RealChainOptions options;
+    options.iface = true;
+    options.sink = pick_flavor(rng);
+    component.truths.push_back(planter.plant_real_chain(options));
+  }
+  for (int i = 0; i < spec.known_refl; ++i) {
+    component.truths.push_back(planter.plant_reflection_chain(pick_flavor(rng)));
+  }
+  for (int i = 0; i < spec.unknown_plain; ++i) {
+    RealChainOptions options;
+    options.known = false;
+    options.sink = pick_flavor(rng);
+    component.truths.push_back(planter.plant_real_chain(options));
+  }
+  for (int i = 0; i < spec.unknown_iface; ++i) {
+    RealChainOptions options;
+    options.known = false;
+    options.iface = true;
+    options.sink = pick_flavor(rng);
+    component.truths.push_back(planter.plant_real_chain(options));
+  }
+  for (int i = 0; i < spec.guarded; ++i) {
+    component.fakes.push_back(planter.plant_guarded_fake(pick_flavor(rng)));
+  }
+  for (int i = 0; i < spec.wipe; ++i) {
+    component.fakes.push_back(planter.plant_wipe_fake());
+  }
+  if (spec.web > 0) {
+    for (FakeStructure& fake : planter.plant_const_web(spec.web)) {
+      component.fakes.push_back(std::move(fake));
+    }
+  }
+  if (spec.sl_explodes) planter.plant_explosive_web(/*hub_count=*/36, /*fan_out=*/6);
+
+  add_noise_classes(pb, std::string(spec.pkg) + ".internal", spec.noise, seed_of(spec) ^ 0x5EED);
+
+  component.jar.meta.name = spec.name;
+  component.jar.meta.version = "sim";
+  component.jar.classes = pb.build().classes();
+  return component;
+}
+
+}  // namespace
+
+jir::Program Component::link() const {
+  return jar::link({jdk_base_archive(), jar});
+}
+
+const std::vector<std::string>& component_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const ComponentSpec& spec : kSpecs) out.emplace_back(spec.name);
+    return out;
+  }();
+  return names;
+}
+
+Component build_component(const std::string& name) {
+  for (const ComponentSpec& spec : kSpecs) {
+    if (name == spec.name) return build_from_spec(spec);
+  }
+  throw std::invalid_argument("unknown component: " + name);
+}
+
+}  // namespace tabby::corpus

@@ -1,0 +1,44 @@
+// The 26 Table IX component models (the ysoserial/marshalsec third-party
+// dependency set). Every component is generated deterministically: planted
+// ground-truth chains (known-in-dataset, unknown, reflection-gated) and
+// planted fake structures (guarded / wipe / const-web), plus noise bulk.
+// The per-structure counts are chosen so a faithful Tabby implementation
+// reproduces the paper's TB columns exactly, and the baselines land close
+// to the GI/SL columns (see DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/groundtruth.hpp"
+#include "jar/archive.hpp"
+#include "jir/model.hpp"
+
+namespace tabby::corpus {
+
+struct Component {
+  std::string name;  // Table IX row label
+  jar::Archive jar;
+  std::vector<GroundTruthChain> truths;
+  std::vector<FakeStructure> fakes;
+  /// The paper marks Serianalyzer "X" (non-terminating) on this component;
+  /// the corpus plants the dense const maze that causes it.
+  bool sl_explodes = false;
+
+  std::size_t known_in_dataset() const {
+    std::size_t n = 0;
+    for (const auto& t : truths) n += t.known_in_dataset ? 1 : 0;
+    return n;
+  }
+
+  /// jdk base + component jar, classpath-linked.
+  jir::Program link() const;
+};
+
+/// Table IX row labels, in table order.
+const std::vector<std::string>& component_names();
+
+/// Builds one component model. Throws std::invalid_argument on unknown name.
+Component build_component(const std::string& name);
+
+}  // namespace tabby::corpus

@@ -1,0 +1,43 @@
+// Ground-truth records for the synthetic corpus. Every *real* planted chain
+// carries an attack recipe the runtime VM can execute (the automated
+// equivalent of the paper's hand-written PoCs); every *fake* structure
+// carries the best attempt an attacker could make, which the VM refutes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/objectgraph.hpp"
+
+namespace tabby::corpus {
+
+/// A real gadget chain planted in a component.
+struct GroundTruthChain {
+  std::string id;
+  std::string source_signature;  // "owner#readObject/1"
+  std::string sink_signature;    // "java.lang.Runtime#exec/1"
+  /// Signatures that must additionally appear in a matching report (empty =
+  /// source+sink matching suffices).
+  std::vector<std::string> witnesses;
+  /// Listed in ysoserial/marshalsec — the paper's "Known in dataset".
+  bool known_in_dataset = true;
+  /// Gated behind reflection/dynamic proxy: no static tool can find it
+  /// (§V-B), and the recipe is empty. Counts toward every tool's FNR.
+  bool requires_reflection = false;
+  runtime::ObjectGraphSpec recipe;
+};
+
+/// A planted non-chain: static structure that some tool reports but that can
+/// never execute to an attack.
+struct FakeStructure {
+  std::string id;
+  /// What defeats it: "guard" (runtime condition), "wipe" (interprocedural
+  /// sanitisation), "const" (uncontrollable data).
+  std::string defeat;
+  std::string source_signature;
+  std::string sink_signature;
+  /// The attacker's best attempt; the VM must show no satisfied sink hit.
+  runtime::ObjectGraphSpec attempt_recipe;
+};
+
+}  // namespace tabby::corpus

@@ -1,0 +1,113 @@
+#include "corpus/jdk.hpp"
+
+#include "jir/builder.hpp"
+
+namespace tabby::corpus {
+
+jar::Archive jdk_base_archive() {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+
+  // --- Execution sinks -----------------------------------------------------
+  auto runtime = pb.add_class("java.lang.Runtime");
+  runtime.method("getRuntime").set_static().returns("java.lang.Runtime")
+      .new_object("r", "java.lang.Runtime").ret("r");
+  runtime.method("exec").param("java.lang.String").returns("java.lang.Process").set_native();
+
+  auto process_builder = pb.add_class("java.lang.ProcessBuilder");
+  process_builder.field("command", "java.lang.String[]");
+  process_builder.method("start").returns("java.lang.Process").set_native();
+
+  // --- Reflection ------------------------------------------------------------
+  auto method_cls = pb.add_class("java.lang.reflect.Method");
+  method_cls.serializable();
+  method_cls.method("invoke")
+      .param("java.lang.Object")
+      .param("java.lang.Object[]")
+      .returns("java.lang.Object")
+      .set_native();
+
+  auto class_loader = pb.add_class("java.lang.ClassLoader");
+  class_loader.method("loadClass").param("java.lang.String").returns("java.lang.Class")
+      .set_native();
+
+  // --- JNDI ------------------------------------------------------------------
+  auto context = pb.add_interface("javax.naming.Context");
+  context.method("lookup").param("java.lang.String").returns("java.lang.Object").set_abstract();
+  auto initial_context = pb.add_class("javax.naming.InitialContext");
+  initial_context.implements("javax.naming.Context");
+  initial_context.method("lookup").param("java.lang.String").returns("java.lang.Object")
+      .set_native();
+
+  // --- Files -----------------------------------------------------------------
+  auto files = pb.add_class("java.nio.file.Files");
+  files.method("newOutputStream").set_static().param("java.lang.Object")
+      .returns("java.io.OutputStream").set_native();
+  auto file = pb.add_class("java.io.File");
+  file.serializable();
+  file.method("delete").returns("boolean").set_native();
+
+  // --- XML -------------------------------------------------------------------
+  auto doc_builder = pb.add_class("javax.xml.parsers.DocumentBuilder");
+  doc_builder.method("parse").param("java.lang.String").returns("org.w3c.dom.Document")
+      .set_native();
+
+  // --- SQL -------------------------------------------------------------------
+  auto data_source = pb.add_interface("javax.sql.DataSource");
+  data_source.method("getConnection").returns("java.sql.Connection").set_abstract();
+
+  // --- Network ---------------------------------------------------------------
+  auto inet = pb.add_class("java.net.InetAddress");
+  inet.serializable();
+  inet.method("getByName").set_static().param("java.lang.String")
+      .returns("java.net.InetAddress").set_native();
+
+  // --- Deserialization plumbing ------------------------------------------------
+  auto ois = pb.add_class("java.io.ObjectInputStream");
+  ois.method("readObject").returns("java.lang.Object").set_native();
+  ois.method("defaultReadObject").returns("void").set_native();
+
+  auto comparator = pb.add_interface("java.util.Comparator");
+  comparator.method("compare")
+      .param("java.lang.Object")
+      .param("java.lang.Object")
+      .returns("int")
+      .set_abstract();
+
+  // HashMap: the classic hashCode pivot (URLDNS-style chains hang off this).
+  auto hashmap = pb.add_class("java.util.HashMap");
+  hashmap.serializable();
+  hashmap.field("key", "java.lang.Object");
+  hashmap.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("k", "@this", "key")
+      .invoke_virtual("h", "@this", "java.util.HashMap", "hash", {"k"})
+      .ret();
+  hashmap.method("hash")
+      .param("java.lang.Object")
+      .returns("int")
+      .invoke_virtual("h", "@p1", "java.lang.Object", "hashCode", {})
+      .ret("h");
+
+  jar::Archive archive;
+  archive.meta.name = "jdk-base";
+  archive.meta.version = "8u242-sim";
+  archive.classes = pb.build().classes();
+  return archive;
+}
+
+std::string sink_signature(SinkFlavor flavor) {
+  switch (flavor) {
+    case SinkFlavor::Exec: return "java.lang.Runtime#exec/1";
+    case SinkFlavor::Invoke: return "java.lang.reflect.Method#invoke/2";
+    case SinkFlavor::JndiLookup: return "javax.naming.Context#lookup/1";
+    case SinkFlavor::FileWrite: return "java.nio.file.Files#newOutputStream/1";
+    case SinkFlavor::XmlParse: return "javax.xml.parsers.DocumentBuilder#parse/1";
+    case SinkFlavor::SqlConnection: return "javax.sql.DataSource#getConnection/0";
+    case SinkFlavor::Dns: return "java.net.InetAddress#getByName/1";
+  }
+  return "";
+}
+
+}  // namespace tabby::corpus

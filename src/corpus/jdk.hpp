@@ -1,0 +1,33 @@
+// The shared "JDK" base archive every synthetic component links against:
+// java.lang core types plus the sink-bearing classes of Table VII
+// (Runtime, reflect.Method, naming.Context, Files, DocumentBuilder, ...).
+// This plays the role of rt.jar on the paper's analysis classpath.
+#pragma once
+
+#include "jar/archive.hpp"
+
+namespace tabby::corpus {
+
+/// Deterministic: same archive every call.
+jar::Archive jdk_base_archive();
+
+/// Identifier of a sink flavour used by the corpus planters.
+enum class SinkFlavor {
+  Exec,           // java.lang.Runtime#exec/1            TC [1]
+  Invoke,         // java.lang.reflect.Method#invoke/2   TC [0,1]
+  JndiLookup,     // javax.naming.Context#lookup/1       TC [1]
+  FileWrite,      // java.nio.file.Files#newOutputStream TC [1]
+  XmlParse,       // javax.xml.parsers.DocumentBuilder#parse TC [1]
+  SqlConnection,  // javax.sql.DataSource#getConnection  TC [0]
+  Dns,            // java.net.InetAddress#getByName/1    TC [1]
+};
+
+inline constexpr SinkFlavor kAllSinkFlavors[] = {
+    SinkFlavor::Exec,       SinkFlavor::Invoke,        SinkFlavor::JndiLookup,
+    SinkFlavor::FileWrite,  SinkFlavor::XmlParse,      SinkFlavor::SqlConnection,
+    SinkFlavor::Dns};
+
+/// "owner#name/nargs" of the flavour's sink method.
+std::string sink_signature(SinkFlavor flavor);
+
+}  // namespace tabby::corpus

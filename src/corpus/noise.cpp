@@ -1,0 +1,144 @@
+#include "corpus/noise.hpp"
+
+namespace tabby::corpus {
+
+namespace {
+
+struct NoiseMethodRef {
+  std::string owner;
+  std::string name;  // static, 1 String parameter, returns Object
+};
+
+}  // namespace
+
+void add_noise_classes(jir::ProgramBuilder& pb, const std::string& pkg, int class_count,
+                       std::uint64_t seed, const NoiseProfile& profile) {
+  util::Rng rng(seed);
+  std::vector<std::string> class_names;
+  class_names.reserve(static_cast<std::size_t>(class_count));
+  for (int i = 0; i < class_count; ++i) {
+    class_names.push_back(pkg + ".N" + rng.identifier(6) + std::to_string(i));
+  }
+
+  // A few interfaces for hierarchy variety.
+  int iface_count = std::max(1, class_count / 20);
+  std::vector<std::string> iface_names;
+  for (int i = 0; i < iface_count; ++i) {
+    std::string name = pkg + ".I" + rng.identifier(5) + std::to_string(i);
+    auto iface = pb.add_interface(name);
+    iface.method("visit").param("java.lang.Object").returns("java.lang.Object").set_abstract();
+    iface_names.push_back(std::move(name));
+  }
+
+  // Callable method pool. Noise methods are static with one String param so
+  // call arguments stay controllable: the edges survive pruning, matching
+  // real code where most calls pass live data.
+  std::vector<NoiseMethodRef> pool;
+
+  for (int i = 0; i < class_count; ++i) {
+    const std::string& name = class_names[static_cast<std::size_t>(i)];
+    auto cls = pb.add_class(name);
+    // Shallow inheritance chains among noise classes.
+    if (i > 0 && rng.chance(30, 100)) {
+      cls.extends(class_names[rng.next_below(static_cast<std::uint64_t>(i))]);
+    }
+    if (rng.chance(static_cast<std::uint64_t>(profile.interface_percent), 100)) {
+      cls.implements(rng.pick(iface_names));
+    }
+    bool serializable = rng.chance(static_cast<std::uint64_t>(profile.serializable_percent), 100);
+    if (serializable) cls.serializable();
+
+    cls.field("state", "java.lang.String");
+    cls.field("cache", "java.lang.Object", /*is_static=*/true);
+
+    std::vector<std::string> own_methods;
+    for (int m = 0; m < profile.methods_per_class; ++m) {
+      std::string method_name = "m" + rng.identifier(4) + std::to_string(m);
+      auto method = cls.method(method_name)
+                        .set_static()
+                        .param("java.lang.String")
+                        .returns("java.lang.Object");
+      std::string last = "@p1";
+      for (int s = 0; s < profile.stmts_per_method; ++s) {
+        std::string v = "v" + std::to_string(s);
+        switch (rng.next_below(6)) {
+          case 0:
+            method.static_load(v, name, "cache");
+            last = v;
+            break;
+          case 1:
+            method.static_store(name, "cache", last);
+            break;
+          case 2:
+            method.assign(v, last);
+            last = v;
+            break;
+          case 3:
+            method.const_str(v, rng.identifier(8));
+            break;
+          case 4:
+            if (!pool.empty()) {
+              const NoiseMethodRef& callee = pool[rng.next_below(pool.size())];
+              method.invoke_static(v, callee.owner, callee.name, {"@p1"});
+              last = v;
+            } else {
+              method.nop();
+            }
+            break;
+          default:
+            method.cast(v, "java.lang.Object", last);
+            last = v;
+            break;
+        }
+      }
+      method.ret(last);
+      own_methods.push_back(method_name);
+    }
+    // A bounded subset joins the global pool (bounded fan-in).
+    for (std::string& m : own_methods) {
+      if (rng.chance(40, 100)) pool.push_back(NoiseMethodRef{name, m});
+    }
+
+    if (serializable) {
+      auto ro = cls.method("readObject").param("java.io.ObjectInputStream").returns("void");
+      if (!own_methods.empty()) {
+        ro.field_load("s", "@this", "state");
+        ro.invoke_static("r", name, own_methods[0], {"s"});
+      }
+      ro.ret();
+    }
+  }
+}
+
+jar::Archive make_noise_archive(const std::string& name, const std::string& pkg, int class_count,
+                                std::uint64_t seed, const NoiseProfile& profile) {
+  jir::ProgramBuilder pb;
+  add_noise_classes(pb, pkg, class_count, seed, profile);
+  jar::Archive archive;
+  archive.meta.name = name;
+  archive.meta.version = "1.0";
+  archive.classes = pb.build().classes();
+  return archive;
+}
+
+std::vector<jar::Archive> make_scaled_corpus(std::size_t target_bytes, std::uint64_t seed,
+                                             std::size_t* actual_bytes) {
+  util::Rng rng(seed);
+  std::vector<jar::Archive> jars;
+  std::size_t total = 0;
+  int index = 0;
+  while (total < target_bytes) {
+    // Jar sizes vary like real dependency trees: 30-400 classes.
+    int classes = static_cast<int>(rng.next_in(30, 400));
+    std::string name = "noise-" + std::to_string(index) + ".jar";
+    std::string pkg = "lib" + std::to_string(index) + "." + rng.identifier(5);
+    jar::Archive archive = make_noise_archive(name, pkg, classes, rng.next_u64());
+    total += jar::write_archive(archive).size();
+    jars.push_back(std::move(archive));
+    ++index;
+  }
+  if (actual_bytes != nullptr) *actual_bytes = total;
+  return jars;
+}
+
+}  // namespace tabby::corpus

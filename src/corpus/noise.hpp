@@ -1,0 +1,41 @@
+// Seeded generator of "boring library code": classes with hierarchies,
+// fields, and call webs that never touch a sink. Used to give components
+// realistic bulk and to drive the Table VIII scaling experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jar/archive.hpp"
+#include "jir/builder.hpp"
+#include "util/rng.hpp"
+
+namespace tabby::corpus {
+
+struct NoiseProfile {
+  int methods_per_class = 6;
+  int stmts_per_method = 8;
+  /// Fraction (percent) of classes made serializable with a readObject.
+  int serializable_percent = 20;
+  /// Fraction (percent) of classes that implement a generated interface.
+  int interface_percent = 25;
+};
+
+/// Adds `class_count` noise classes under `pkg` to the builder. Classes call
+/// only other noise classes (never sinks), so they add graph bulk without
+/// disturbing ground truth.
+void add_noise_classes(jir::ProgramBuilder& pb, const std::string& pkg, int class_count,
+                       std::uint64_t seed, const NoiseProfile& profile = {});
+
+/// A standalone noise archive (jar) of roughly `class_count` classes.
+jar::Archive make_noise_archive(const std::string& name, const std::string& pkg, int class_count,
+                                std::uint64_t seed, const NoiseProfile& profile = {});
+
+/// A classpath of noise jars totalling approximately `target_bytes` of
+/// serialized TJAR data (the Table VIII "code amount"). Returns the jars;
+/// `actual_bytes` receives the realised total.
+std::vector<jar::Archive> make_scaled_corpus(std::size_t target_bytes, std::uint64_t seed,
+                                             std::size_t* actual_bytes = nullptr);
+
+}  // namespace tabby::corpus

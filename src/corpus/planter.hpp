@@ -1,0 +1,66 @@
+// The Planter synthesises gadget-chain structures inside a component
+// package. Each structure is namespaced by a counter so structures never
+// share classes unless explicitly requested (shared middles reproduce the
+// GadgetInspector visited-node loss of §IV-F).
+//
+// Structure kinds and which tool sees them:
+//
+//   kind        Tabby  GI   SL   VM-effective   mechanism
+//   real/plain   yes   yes  yes  yes            concrete-class dispatch only
+//   real/iface   yes   no   no   yes            interface-alias hop
+//   reflection   no    no   no   (in concept)   statically invisible call
+//   guarded      yes   no   no   NO             infeasible runtime guard (iface-gated)
+//   wipe         no    yes  yes  NO             interprocedural sanitiser
+//   const web    no    no   yes  NO             uncontrollable data, SL volume
+//   explosive    no    no   X    NO             dense const maze: SL budget death
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corpus/groundtruth.hpp"
+#include "corpus/jdk.hpp"
+#include "jir/builder.hpp"
+#include "util/rng.hpp"
+
+namespace tabby::corpus {
+
+struct RealChainOptions {
+  bool iface = false;           // interface-alias hop (GI/SL-blind)
+  bool known = true;            // listed in the ysoserial/marshalsec dataset
+  SinkFlavor sink = SinkFlavor::Exec;
+  std::string shared_helper;    // reuse this helper class (plain chains only)
+};
+
+class Planter {
+ public:
+  Planter(jir::ProgramBuilder& pb, std::string pkg, std::uint64_t seed);
+
+  /// Creates the helper class of a plain chain and returns its name, for use
+  /// as RealChainOptions::shared_helper across several gadget classes.
+  std::string make_plain_helper(SinkFlavor sink);
+
+  GroundTruthChain plant_real_chain(const RealChainOptions& options);
+  GroundTruthChain plant_reflection_chain(SinkFlavor sink);
+  FakeStructure plant_guarded_fake(SinkFlavor sink);
+  FakeStructure plant_wipe_fake();
+  std::vector<FakeStructure> plant_const_web(int source_count);
+  /// Dense uncontrollable call maze: Tabby prunes it entirely, the
+  /// Serianalyzer baseline's backward search explodes in it.
+  void plant_explosive_web(int hub_count, int fan_out);
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  std::string fresh(const std::string& stem) {
+    return pkg_ + "." + stem + std::to_string(counter_++);
+  }
+
+  jir::ProgramBuilder* pb_;
+  std::string pkg_;
+  util::Rng rng_;
+  int counter_ = 0;
+  std::string web_hub_;  // lazily created shared hub for const webs
+};
+
+}  // namespace tabby::corpus

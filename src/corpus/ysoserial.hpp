@@ -1,0 +1,37 @@
+// Faithful (structurally, not bytecode-level) models of real ysoserial
+// gadget chains, with the authentic class and method names: the payloads the
+// paper's RQ2 dataset is built from. Each model ships the attack recipe, so
+// the chains are both findable by the static pipeline and executable in the
+// runtime VM.
+//
+// Simplifications are noted per model in ysoserial.cpp; the main global one:
+// InvokerTransformer's reflective call is modelled as a direct
+// java.lang.reflect.Method#invoke sink (reflection itself is out of scope,
+// exactly as in the paper §V-B), and ChainedTransformer's loop is unrolled
+// to its two-element form (JIR has no arithmetic).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/groundtruth.hpp"
+#include "jar/archive.hpp"
+
+namespace tabby::corpus {
+
+struct YsoserialModel {
+  std::string name;
+  jar::Archive jar;           // link against jdk_base_archive()
+  GroundTruthChain truth;     // the chain + executable recipe
+  /// The method-call stack the finder is expected to report, source-first
+  /// (includes ALIAS hops through declared supertypes).
+  std::vector<std::string> expected_chain;
+};
+
+/// {"URLDNS", "CommonsCollections5", "CommonsCollections6",
+///  "CommonsBeanutils1", "C3P0", "ROME"}
+const std::vector<std::string>& ysoserial_names();
+
+YsoserialModel build_ysoserial(const std::string& name);
+
+}  // namespace tabby::corpus

@@ -1,0 +1,263 @@
+#include "cpg/builder.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cpg/schema.hpp"
+#include "util/timer.hpp"
+
+namespace tabby::cpg {
+
+namespace {
+
+using graph::NodeId;
+using graph::PropertyMap;
+using graph::Value;
+
+class Builder {
+ public:
+  Builder(const jir::Program& program, const CpgOptions& options)
+      : program_(program), hierarchy_(program), options_(options) {}
+
+  Cpg run() {
+    util::Stopwatch watch;
+    build_org();
+    build_pcg();
+    if (options_.build_alias_edges) build_mag();
+    if (options_.create_indexes) create_indexes();
+
+    Cpg result;
+    collect_stats();
+    stats_.build_seconds = watch.elapsed_seconds();
+    result.stats = stats_;
+    result.db = std::move(db_);
+    return result;
+  }
+
+ private:
+  // --- ORG: class/method nodes, EXTEND/INTERFACE/HAS --------------------
+
+  void build_org() {
+    for (const jir::ClassDecl& cls : program_.classes()) {
+      NodeId cn = class_node(cls.name);
+      for (std::size_t mi = 0; mi < cls.methods.size(); ++mi) {
+        jir::MethodId id{*program_.class_index(cls.name), static_cast<std::uint32_t>(mi)};
+        NodeId mn = method_node_for(id);
+        db_.add_edge(cn, mn, std::string(kHasEdge));
+      }
+    }
+    // Hierarchy edges once every class node exists (phantoms created lazily).
+    for (const jir::ClassDecl& cls : program_.classes()) {
+      NodeId cn = class_nodes_.at(cls.name);
+      if (!cls.super.empty()) {
+        db_.add_edge(cn, class_node(cls.super), std::string(kExtendEdge));
+      }
+      for (const std::string& iface : cls.interfaces) {
+        db_.add_edge(cn, class_node(iface), std::string(kInterfaceEdge));
+      }
+    }
+  }
+
+  NodeId class_node(const std::string& name) {
+    auto it = class_nodes_.find(name);
+    if (it != class_nodes_.end()) return it->second;
+
+    const jir::ClassDecl* decl = program_.find_class(name);
+    PropertyMap props;
+    props[std::string(kPropName)] = name;
+    props[std::string(kPropPhantom)] = decl == nullptr;
+    if (!options_.jar_name.empty()) props[std::string(kPropJar)] = options_.jar_name;
+    if (decl != nullptr) {
+      props[std::string(kPropInterface)] = decl->is_interface;
+      props[std::string(kPropAbstractClass)] = decl->mods.is_abstract;
+      props[std::string(kPropSerializable)] = hierarchy_.is_serializable(name);
+      props[std::string(kPropSuper)] = decl->super;
+    }
+    NodeId id = db_.add_node(std::string(kClassLabel), std::move(props));
+    class_nodes_.emplace(name, id);
+    return id;
+  }
+
+  NodeId method_node_for(jir::MethodId id) {
+    auto it = method_nodes_.find(id);
+    if (it != method_nodes_.end()) return it->second;
+
+    const jir::ClassDecl& cls = program_.class_of(id);
+    const jir::Method& m = program_.method(id);
+    NodeId node = make_method_node(cls.name, m.name, m.nargs(), /*phantom=*/false,
+                                   m.mods.is_static, m.mods.is_abstract,
+                                   m.has_body() && hierarchy_.is_serializable(cls.name));
+    method_nodes_.emplace(id, node);
+    return node;
+  }
+
+  /// Phantom method node for calls into classes (or overloads) the program
+  /// does not contain. Keyed by signature.
+  NodeId phantom_method_node(const std::string& owner, const std::string& name, int nargs) {
+    std::string sig = method_signature(owner, name, nargs);
+    auto it = phantom_methods_.find(sig);
+    if (it != phantom_methods_.end()) return it->second;
+    NodeId node = make_method_node(owner, name, nargs, /*phantom=*/true, /*is_static=*/false,
+                                   /*is_abstract=*/true, /*source_eligible=*/false);
+    db_.add_edge(class_node(owner), node, std::string(kHasEdge));
+    phantom_methods_.emplace(std::move(sig), node);
+    return node;
+  }
+
+  NodeId make_method_node(const std::string& owner, const std::string& name, int nargs,
+                          bool phantom, bool is_static, bool is_abstract, bool source_eligible) {
+    PropertyMap props;
+    props[std::string(kPropName)] = name;
+    props[std::string(kPropClassName)] = owner;
+    props[std::string(kPropSignature)] = method_signature(owner, name, nargs);
+    props[std::string(kPropParamCount)] = static_cast<std::int64_t>(nargs);
+    props[std::string(kPropStatic)] = is_static;
+    props[std::string(kPropAbstract)] = is_abstract;
+    props[std::string(kPropPhantom)] = phantom;
+
+    bool is_source = source_eligible && options_.sources.is_source_name(name);
+    props[std::string(kPropIsSource)] = is_source;
+
+    const SinkSpec* sink = options_.sinks.match(owner, name);
+    props[std::string(kPropIsSink)] = sink != nullptr;
+    if (sink != nullptr) {
+      props[std::string(kPropSinkType)] = sink->type;
+      std::vector<std::int64_t> tc(sink->trigger.begin(), sink->trigger.end());
+      props[std::string(kPropTriggerCondition)] = std::move(tc);
+    }
+    return db_.add_node(std::string(kMethodLabel), std::move(props));
+  }
+
+  // --- PCG: CALL edges with Polluted_Position ---------------------------
+
+  void build_pcg() {
+    analysis::ControllabilityAnalysis analysis(program_, hierarchy_, options_.analysis);
+    for (jir::MethodId id : program_.all_methods()) {
+      const jir::Method& m = program_.method(id);
+      if (!m.has_body()) continue;
+      const analysis::MethodSummary& summary = analysis.summary(id);
+
+      NodeId from = method_nodes_.at(id);
+      db_.set_node_prop(from, std::string(kPropAction),
+                        Value{summary.action.to_strings()});
+
+      for (const analysis::CallSite& site : summary.call_sites) {
+        if (options_.prune_uncontrollable_calls && analysis::all_uncontrollable(site.pp)) {
+          ++stats_.pruned_call_sites;
+          continue;
+        }
+        NodeId to = site.resolved
+                        ? method_node_for(*site.resolved)
+                        : phantom_method_node(site.declared.owner, site.declared.name,
+                                              site.declared.nargs);
+        add_call_edge(from, to, site);
+      }
+    }
+  }
+
+  void add_call_edge(NodeId from, NodeId to, const analysis::CallSite& site) {
+    // Merge repeated calls of the same callee into one edge with the
+    // position-wise most controllable PP.
+    if (auto existing = db_.find_edge(from, to, kCallEdge)) {
+      const Value* prop = db_.edge(*existing).prop(std::string(kPropPollutedPosition));
+      if (const auto* old_pp = std::get_if<std::vector<std::int64_t>>(prop)) {
+        std::vector<std::int64_t> merged = *old_pp;
+        merged.resize(std::max(merged.size(), site.pp.size()), analysis::kUncontrollable);
+        for (std::size_t i = 0; i < site.pp.size(); ++i) {
+          merged[i] = std::min(merged[i], site.pp[i]);
+        }
+        db_.set_edge_prop(*existing, std::string(kPropPollutedPosition), Value{std::move(merged)});
+      }
+      return;
+    }
+    PropertyMap props;
+    props[std::string(kPropPollutedPosition)] =
+        std::vector<std::int64_t>(site.pp.begin(), site.pp.end());
+    props[std::string(kPropStmtIndex)] = static_cast<std::int64_t>(site.stmt_index);
+    props[std::string(kPropInvokeKind)] = std::string(jir::to_string(site.kind));
+    db_.add_edge(from, to, std::string(kCallEdge), std::move(props));
+  }
+
+  // --- MAG: ALIAS edges (Formula 1, generalised to nearest declaration) --
+
+  void build_mag() {
+    for (jir::MethodId id : program_.all_methods()) {
+      const jir::ClassDecl& cls = program_.class_of(id);
+      const jir::Method& m = program_.method(id);
+      if (m.name == "<init>" || m.name == "<clinit>") continue;  // constructors never alias
+      NodeId from = method_nodes_.at(id);
+
+      // BFS up the supertype lattice; link to the nearest declaration on
+      // each path and stop exploring past it (transitive aliasing is then a
+      // chain of ALIAS edges).
+      auto supertypes_of = [this](const std::string& name) {
+        if (!options_.alias_superclass_only) return hierarchy_.direct_supertypes(name);
+        const jir::ClassDecl* decl = program_.find_class(name);
+        std::vector<std::string> out;
+        if (decl != nullptr && !decl->super.empty()) out.push_back(decl->super);
+        return out;
+      };
+
+      std::deque<std::string> work;
+      std::unordered_set<std::string> seen{cls.name};
+      for (const std::string& super : supertypes_of(cls.name)) work.push_back(super);
+      while (!work.empty()) {
+        std::string current = std::move(work.front());
+        work.pop_front();
+        if (!seen.insert(current).second) continue;
+        if (auto target = program_.find_method(current, m.name, m.nargs())) {
+          NodeId to = method_node_for(*target);
+          if (!db_.find_edge(from, to, kAliasEdge)) {
+            db_.add_edge(from, to, std::string(kAliasEdge));
+          }
+          continue;  // nearest declaration on this path found
+        }
+        for (const std::string& super : supertypes_of(current)) {
+          work.push_back(super);
+        }
+      }
+    }
+  }
+
+  void create_indexes() {
+    db_.create_index(std::string(kMethodLabel), std::string(kPropName));
+    db_.create_index(std::string(kMethodLabel), std::string(kPropClassName));
+    db_.create_index(std::string(kMethodLabel), std::string(kPropSignature));
+    db_.create_index(std::string(kMethodLabel), std::string(kPropIsSink));
+    db_.create_index(std::string(kMethodLabel), std::string(kPropIsSource));
+    db_.create_index(std::string(kClassLabel), std::string(kPropName));
+  }
+
+  void collect_stats() {
+    graph::GraphStats gs = db_.stats();
+    stats_.class_nodes = gs.nodes_by_label[std::string(kClassLabel)];
+    stats_.method_nodes = gs.nodes_by_label[std::string(kMethodLabel)];
+    stats_.relationship_edges = gs.edge_count;
+    stats_.call_edges = gs.edges_by_type[std::string(kCallEdge)];
+    stats_.alias_edges = gs.edges_by_type[std::string(kAliasEdge)];
+    db_.for_each_node([this](const graph::Node& n) {
+      if (n.label != kMethodLabel) return;
+      if (n.prop_bool(std::string(kPropIsSource))) ++stats_.source_methods;
+      if (n.prop_bool(std::string(kPropIsSink))) ++stats_.sink_methods;
+    });
+  }
+
+  const jir::Program& program_;
+  jir::Hierarchy hierarchy_;
+  const CpgOptions& options_;
+  graph::GraphDb db_;
+  CpgStats stats_;
+
+  std::unordered_map<std::string, NodeId> class_nodes_;
+  std::unordered_map<jir::MethodId, NodeId, jir::MethodIdHash> method_nodes_;
+  std::unordered_map<std::string, NodeId> phantom_methods_;
+};
+
+}  // namespace
+
+Cpg build_cpg(const jir::Program& program, const CpgOptions& options) {
+  return Builder(program, options).run();
+}
+
+}  // namespace tabby::cpg

@@ -1,0 +1,84 @@
+#include "cpg/export.hpp"
+
+#include <fstream>
+
+#include "cpg/schema.hpp"
+
+namespace tabby::cpg {
+
+namespace {
+
+/// RFC-4180-ish escaping: quote when the cell contains comma/quote/newline.
+std::string csv_escape(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string prop_cell(const graph::Node& node, std::string_view key) {
+  const graph::Value* v = node.prop(std::string(key));
+  if (v == nullptr || graph::is_null(*v)) return "";
+  if (const auto* s = std::get_if<std::string>(v)) return csv_escape(*s);
+  return csv_escape(graph::to_string(*v));
+}
+
+}  // namespace
+
+util::Result<CsvExportStats> export_csv(const graph::GraphDb& db,
+                                        const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  std::ofstream classes(dir / "CLASSES.csv");
+  std::ofstream methods(dir / "METHODS.csv");
+  std::ofstream rels(dir / "RELATIONSHIPS.csv");
+  if (!classes || !methods || !rels) {
+    return util::Error{"cannot open CSV files in " + dir.string()};
+  }
+
+  classes << "id:ID,:LABEL,NAME,IS_INTERFACE,IS_SERIALIZABLE,IS_ABSTRACT,IS_PHANTOM,SUPER,JAR\n";
+  methods << "id:ID,:LABEL,NAME,CLASSNAME,SIGNATURE,PARAM_COUNT,IS_STATIC,IS_ABSTRACT,"
+             "IS_SOURCE,IS_SINK,SINK_TYPE,TRIGGER_CONDITION\n";
+  rels << ":START_ID,:END_ID,:TYPE,POLLUTED_POSITION\n";
+
+  CsvExportStats stats;
+  db.for_each_node([&](const graph::Node& node) {
+    if (node.label == kClassLabel) {
+      classes << node.id << ',' << node.label << ',' << prop_cell(node, kPropName) << ','
+              << prop_cell(node, kPropInterface) << ',' << prop_cell(node, kPropSerializable)
+              << ',' << prop_cell(node, kPropAbstractClass) << ','
+              << prop_cell(node, kPropPhantom) << ',' << prop_cell(node, kPropSuper) << ','
+              << prop_cell(node, kPropJar) << '\n';
+      ++stats.class_rows;
+    } else if (node.label == kMethodLabel) {
+      methods << node.id << ',' << node.label << ',' << prop_cell(node, kPropName) << ','
+              << prop_cell(node, kPropClassName) << ',' << prop_cell(node, kPropSignature) << ','
+              << prop_cell(node, kPropParamCount) << ',' << prop_cell(node, kPropStatic) << ','
+              << prop_cell(node, kPropAbstract) << ',' << prop_cell(node, kPropIsSource) << ','
+              << prop_cell(node, kPropIsSink) << ',' << prop_cell(node, kPropSinkType) << ','
+              << prop_cell(node, kPropTriggerCondition) << '\n';
+      ++stats.method_rows;
+    }
+  });
+  db.for_each_edge([&](const graph::Edge& edge) {
+    std::string pp;
+    if (const graph::Value* v = edge.prop(std::string(kPropPollutedPosition))) {
+      pp = csv_escape(graph::to_string(*v));
+    }
+    rels << edge.from << ',' << edge.to << ',' << edge.type << ',' << pp << '\n';
+    ++stats.relationship_rows;
+  });
+
+  if (!classes.good() || !methods.good() || !rels.good()) {
+    return util::Error{"write failure while exporting CSVs to " + dir.string()};
+  }
+  return stats;
+}
+
+}  // namespace tabby::cpg

@@ -1,0 +1,652 @@
+#include "cypher/cypher.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace tabby::cypher {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::GraphDb;
+using graph::NodeId;
+using graph::Value;
+using util::Error;
+using util::Result;
+
+// --- AST ---------------------------------------------------------------------
+
+struct NodePattern {
+  std::string var;
+  std::string label;
+  std::vector<std::pair<std::string, Value>> props;
+};
+
+struct RelPattern {
+  std::string var;
+  std::string type;          // empty = any
+  int direction = 1;         // +1 ->, -1 <-, 0 either
+  int min_len = 1;
+  int max_len = 1;
+};
+
+inline constexpr int kUnboundedHops = 32;
+
+struct Pattern {
+  std::string path_var;  // "p" in MATCH p = (...)
+  std::vector<NodePattern> nodes;
+  std::vector<RelPattern> rels;
+};
+
+enum class CmpKind { Eq, Ne, Lt, Gt, Le, Ge, Contains, StartsWith, EndsWith };
+
+struct Condition {
+  std::string var;
+  std::string key;
+  CmpKind op = CmpKind::Eq;
+  Value literal;
+};
+
+struct ReturnItem {
+  std::string var;
+  std::string key;  // empty: the binding itself
+};
+
+struct Query {
+  Pattern pattern;
+  std::vector<Condition> where;
+  std::vector<ReturnItem> items;
+  std::size_t limit = SIZE_MAX;
+};
+
+// --- Lexer ---------------------------------------------------------------------
+
+enum class TokKind { Word, Int, Str, Sym, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t int_value = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> lex() {
+    std::vector<Token> out;
+    while (true) {
+      while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                       text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(Token{TokKind::Word, std::string(text_.substr(start, pos_ - start)), 0,
+                            start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) && numeric_context(out))) {
+        std::size_t start = pos_;
+        if (c == '-') ++pos_;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+        std::string digits(text_.substr(start, pos_ - start));
+        out.push_back(Token{TokKind::Int, digits, std::strtoll(digits.c_str(), nullptr, 10),
+                            start});
+      } else if (c == '"' || c == '\'') {
+        char quote = c;
+        std::size_t start = ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          char ch = text_[pos_++];
+          if (ch == '\\' && pos_ < text_.size()) ch = text_[pos_++];
+          value.push_back(ch);
+        }
+        if (pos_ >= text_.size()) return Error{"unterminated string", start};
+        ++pos_;
+        out.push_back(Token{TokKind::Str, std::move(value), 0, start});
+      } else {
+        static constexpr std::string_view kTwoChar[] = {"->", "<-", "<>", "<=", ">=", ".."};
+        bool matched = false;
+        for (std::string_view two : kTwoChar) {
+          if (text_.substr(pos_, 2) == two) {
+            out.push_back(Token{TokKind::Sym, std::string(two), 0, pos_});
+            pos_ += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          out.push_back(Token{TokKind::Sym, std::string(1, c), 0, pos_});
+          ++pos_;
+        }
+      }
+    }
+    out.push_back(Token{TokKind::End, "", 0, text_.size()});
+    return out;
+  }
+
+ private:
+  /// A '-' starts a negative number only after '=' ':' ',' '(' comparison
+  /// symbols — otherwise it is a relationship dash.
+  bool numeric_context(const std::vector<Token>& out) const {
+    if (out.empty()) return false;
+    const Token& prev = out.back();
+    if (prev.kind != TokKind::Sym) return false;
+    return prev.text == "=" || prev.text == ":" || prev.text == "," || prev.text == "(" ||
+           prev.text == "<" || prev.text == ">" || prev.text == "<=" || prev.text == ">=" ||
+           prev.text == "<>";
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool word_is(const Token& tok, std::string_view keyword) {
+  if (tok.kind != TokKind::Word || tok.text.size() != keyword.size()) return false;
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(tok.text[i])) != keyword[i]) return false;
+  }
+  return true;
+}
+
+// --- Parser ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> parse() {
+    Query query;
+    if (!match_keyword("MATCH")) return err("expected MATCH");
+    auto pattern = parse_pattern();
+    if (!pattern.ok()) return pattern.error();
+    query.pattern = std::move(pattern.value());
+
+    if (match_keyword("WHERE")) {
+      do {
+        auto condition = parse_condition();
+        if (!condition.ok()) return condition.error();
+        query.where.push_back(std::move(condition.value()));
+      } while (match_keyword("AND"));
+    }
+
+    if (!match_keyword("RETURN")) return err("expected RETURN");
+    do {
+      auto item = parse_return_item();
+      if (!item.ok()) return item.error();
+      query.items.push_back(std::move(item.value()));
+    } while (match_sym(","));
+
+    if (match_keyword("LIMIT")) {
+      if (peek().kind != TokKind::Int) return err("expected LIMIT count");
+      query.limit = static_cast<std::size_t>(advance().int_value);
+    }
+    if (peek().kind != TokKind::End) return err("trailing input after query");
+    return query;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  Error err(std::string message) const { return Error{std::move(message), peek().pos}; }
+
+  bool match_sym(std::string_view sym) {
+    if (peek().kind == TokKind::Sym && peek().text == sym) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool match_keyword(std::string_view keyword) {
+    if (word_is(peek(), keyword)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_literal() {
+    if (peek().kind == TokKind::Int) return Value{advance().int_value};
+    if (peek().kind == TokKind::Str) return Value{advance().text};
+    if (match_keyword("TRUE")) return Value{true};
+    if (match_keyword("FALSE")) return Value{false};
+    if (match_keyword("NULL")) return Value{};
+    return err("expected literal");
+  }
+
+  Result<NodePattern> parse_node() {
+    NodePattern node;
+    if (!match_sym("(")) return err("expected '('");
+    if (peek().kind == TokKind::Word && !word_is(peek(), "WHERE")) node.var = advance().text;
+    if (match_sym(":")) {
+      if (peek().kind != TokKind::Word) return err("expected node label");
+      node.label = advance().text;
+    }
+    if (match_sym("{")) {
+      do {
+        if (peek().kind != TokKind::Word) return err("expected property key");
+        std::string key = advance().text;
+        if (!match_sym(":")) return err("expected ':' in property map");
+        auto value = parse_literal();
+        if (!value.ok()) return value.error();
+        node.props.emplace_back(std::move(key), std::move(value.value()));
+      } while (match_sym(","));
+      if (!match_sym("}")) return err("expected '}'");
+    }
+    if (!match_sym(")")) return err("expected ')'");
+    return node;
+  }
+
+  Result<RelPattern> parse_rel() {
+    RelPattern rel;
+    bool from_left = false;
+    if (match_sym("<-")) {
+      rel.direction = -1;
+      from_left = true;
+    } else if (!match_sym("-")) {
+      return err("expected relationship");
+    }
+    if (match_sym("[")) {
+      if (peek().kind == TokKind::Word) rel.var = advance().text;
+      if (match_sym(":")) {
+        if (peek().kind != TokKind::Word) return err("expected relationship type");
+        rel.type = advance().text;
+      }
+      if (match_sym("*")) {
+        rel.min_len = 1;
+        rel.max_len = kUnboundedHops;
+        if (peek().kind == TokKind::Int) {
+          rel.min_len = static_cast<int>(advance().int_value);
+          rel.max_len = rel.min_len;
+        }
+        if (match_sym("..")) {
+          rel.max_len = kUnboundedHops;
+          if (peek().kind == TokKind::Int) rel.max_len = static_cast<int>(advance().int_value);
+        }
+      }
+      if (!match_sym("]")) return err("expected ']'");
+    }
+    if (match_sym("->")) {
+      if (from_left) return err("relationship cannot point both ways");
+      rel.direction = 1;
+    } else if (match_sym("-")) {
+      if (!from_left) rel.direction = 0;
+    } else {
+      return err("expected '->' or '-'");
+    }
+    if (rel.min_len < 0 || rel.max_len < rel.min_len) return err("bad hop range");
+    return rel;
+  }
+
+  Result<Pattern> parse_pattern() {
+    Pattern pattern;
+    // Optional "p =" path binding.
+    if (peek().kind == TokKind::Word && peek(1).kind == TokKind::Sym && peek(1).text == "=") {
+      pattern.path_var = advance().text;
+      advance();  // '='
+    }
+    auto first = parse_node();
+    if (!first.ok()) return first.error();
+    pattern.nodes.push_back(std::move(first.value()));
+    while (peek().kind == TokKind::Sym && (peek().text == "-" || peek().text == "<-")) {
+      auto rel = parse_rel();
+      if (!rel.ok()) return rel.error();
+      auto node = parse_node();
+      if (!node.ok()) return node.error();
+      pattern.rels.push_back(std::move(rel.value()));
+      pattern.nodes.push_back(std::move(node.value()));
+    }
+    return pattern;
+  }
+
+  Result<Condition> parse_condition() {
+    Condition condition;
+    if (peek().kind != TokKind::Word) return err("expected variable in WHERE");
+    condition.var = advance().text;
+    if (!match_sym(".")) return err("expected '.' after variable");
+    if (peek().kind != TokKind::Word) return err("expected property key");
+    condition.key = advance().text;
+
+    if (match_sym("=")) {
+      condition.op = CmpKind::Eq;
+    } else if (match_sym("<>")) {
+      condition.op = CmpKind::Ne;
+    } else if (match_sym("<=")) {
+      condition.op = CmpKind::Le;
+    } else if (match_sym(">=")) {
+      condition.op = CmpKind::Ge;
+    } else if (match_sym("<")) {
+      condition.op = CmpKind::Lt;
+    } else if (match_sym(">")) {
+      condition.op = CmpKind::Gt;
+    } else if (match_keyword("CONTAINS")) {
+      condition.op = CmpKind::Contains;
+    } else if (match_keyword("STARTS")) {
+      if (!match_keyword("WITH")) return err("expected WITH after STARTS");
+      condition.op = CmpKind::StartsWith;
+    } else if (match_keyword("ENDS")) {
+      if (!match_keyword("WITH")) return err("expected WITH after ENDS");
+      condition.op = CmpKind::EndsWith;
+    } else {
+      return err("expected comparison operator");
+    }
+    auto literal = parse_literal();
+    if (!literal.ok()) return literal.error();
+    condition.literal = std::move(literal.value());
+    return condition;
+  }
+
+  Result<ReturnItem> parse_return_item() {
+    ReturnItem item;
+    if (peek().kind != TokKind::Word) return err("expected RETURN item");
+    item.var = advance().text;
+    if (match_sym(".")) {
+      if (peek().kind != TokKind::Word) return err("expected property key");
+      item.key = advance().text;
+    }
+    return item;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// --- Executor ----------------------------------------------------------------
+
+bool node_satisfies(const GraphDb& db, NodeId id, const NodePattern& pattern) {
+  const graph::Node& node = db.node(id);
+  if (!pattern.label.empty() && node.label != pattern.label) return false;
+  for (const auto& [key, value] : pattern.props) {
+    const Value* actual = node.prop(key);
+    if (actual == nullptr || !graph::value_equals(*actual, value)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> candidate_nodes(const GraphDb& db, const NodePattern& pattern) {
+  if (!pattern.label.empty() && !pattern.props.empty()) {
+    std::vector<NodeId> hits = db.find_nodes(pattern.label, pattern.props[0].first,
+                                             pattern.props[0].second);
+    std::vector<NodeId> out;
+    for (NodeId id : hits) {
+      if (node_satisfies(db, id, pattern)) out.push_back(id);
+    }
+    return out;
+  }
+  std::vector<NodeId> out;
+  if (!pattern.label.empty()) {
+    for (NodeId id : db.nodes_with_label(pattern.label)) {
+      if (node_satisfies(db, id, pattern)) out.push_back(id);
+    }
+    return out;
+  }
+  db.for_each_node([&](const graph::Node& node) {
+    if (node_satisfies(db, node.id, pattern)) out.push_back(node.id);
+  });
+  return out;
+}
+
+bool compare_values(const Value& lhs, CmpKind op, const Value& rhs) {
+  const auto* ls = std::get_if<std::string>(&lhs);
+  const auto* rs = std::get_if<std::string>(&rhs);
+  switch (op) {
+    case CmpKind::Eq:
+      return graph::value_equals(lhs, rhs);
+    case CmpKind::Ne:
+      return !graph::value_equals(lhs, rhs);
+    case CmpKind::Contains:
+      return ls != nullptr && rs != nullptr && util::contains(*ls, *rs);
+    case CmpKind::StartsWith:
+      return ls != nullptr && rs != nullptr && util::starts_with(*ls, *rs);
+    case CmpKind::EndsWith:
+      return ls != nullptr && rs != nullptr && util::ends_with(*ls, *rs);
+    default:
+      break;
+  }
+  const auto* li = std::get_if<std::int64_t>(&lhs);
+  const auto* ri = std::get_if<std::int64_t>(&rhs);
+  if (li != nullptr && ri != nullptr) {
+    switch (op) {
+      case CmpKind::Lt: return *li < *ri;
+      case CmpKind::Gt: return *li > *ri;
+      case CmpKind::Le: return *li <= *ri;
+      case CmpKind::Ge: return *li >= *ri;
+      default: return false;
+    }
+  }
+  if (ls != nullptr && rs != nullptr) {
+    int c = ls->compare(*rs);
+    switch (op) {
+      case CmpKind::Lt: return c < 0;
+      case CmpKind::Gt: return c > 0;
+      case CmpKind::Le: return c <= 0;
+      case CmpKind::Ge: return c >= 0;
+      default: return false;
+    }
+  }
+  return false;
+}
+
+class Executor {
+ public:
+  Executor(const GraphDb& db, const Query& query) : db_(db), query_(query) {}
+
+  QueryResult run() {
+    QueryResult result;
+    for (const ReturnItem& item : query_.items) {
+      result.columns.push_back(item.key.empty() ? item.var : item.var + "." + item.key);
+    }
+    for (NodeId start : candidate_nodes(db_, query_.pattern.nodes[0])) {
+      graph::Path path;
+      path.nodes.push_back(start);
+      extend(0, path, result);
+      if (result.rows.size() >= query_.limit) break;
+    }
+    return result;
+  }
+
+ private:
+  /// Recursively match relationship `rel_index` onwards; `path` covers node
+  /// patterns [0, rel_index].
+  void extend(std::size_t rel_index, graph::Path& path, QueryResult& result) {
+    if (result.rows.size() >= query_.limit) return;
+    if (rel_index == query_.pattern.rels.size()) {
+      emit(path, result);
+      return;
+    }
+    const RelPattern& rel = query_.pattern.rels[rel_index];
+    const NodePattern& target = query_.pattern.nodes[rel_index + 1];
+    expand_hops(rel, target, path, path.end(), 0, rel_index, result);
+  }
+
+  void expand_hops(const RelPattern& rel, const NodePattern& target, graph::Path& path,
+                   NodeId frontier, int hops, std::size_t rel_index, QueryResult& result) {
+    if (result.rows.size() >= query_.limit) return;
+    if (hops >= rel.min_len && node_satisfies(db_, frontier, target)) {
+      extend(rel_index + 1, path, result);
+    }
+    if (hops >= rel.max_len) return;
+
+    auto try_edge = [&](EdgeId eid, NodeId next) {
+      if (std::find(path.edges.begin(), path.edges.end(), eid) != path.edges.end()) return;
+      path.edges.push_back(eid);
+      path.nodes.push_back(next);
+      expand_hops(rel, target, path, next, hops + 1, rel_index, result);
+      path.edges.pop_back();
+      path.nodes.pop_back();
+    };
+
+    if (rel.direction >= 0) {
+      for (EdgeId eid : db_.out_edges(frontier)) {
+        const Edge& e = db_.edge(eid);
+        if (!rel.type.empty() && e.type != rel.type) continue;
+        try_edge(eid, e.to);
+      }
+    }
+    if (rel.direction <= 0) {
+      for (EdgeId eid : db_.in_edges(frontier)) {
+        const Edge& e = db_.edge(eid);
+        if (!rel.type.empty() && e.type != rel.type) continue;
+        try_edge(eid, e.from);
+      }
+    }
+  }
+
+  /// Bind pattern variables to concrete path positions. Variable-length
+  /// segments make node-pattern positions non-trivial: recompute by walking
+  /// the rels and counting realised hops. Simpler and robust: re-derive the
+  /// binding map during emission by matching pattern hops against the path.
+  void emit(const graph::Path& path, QueryResult& result) {
+    // Anchored node positions: nodes[0] is path.nodes[0]; each subsequent
+    // anchored node is located after the realised hops of its segment. We
+    // recover segment lengths by re-walking: since expand_hops only calls
+    // extend() when the target matches, the path is consistent; we track
+    // anchor positions in a side array built during matching instead.
+    //
+    // To avoid threading state, re-match greedily: anchors are the only
+    // positions where the next rel segment starts. We reconstruct them from
+    // the stored lengths in anchors_ (maintained by extend/emit callers).
+    //
+    // Implementation note: anchors are simply the frontier positions at each
+    // extend() call; capture them here from path length bookkeeping.
+    std::map<std::string, Binding> bindings;
+    // nodes[0] anchor is always position 0; for the remaining anchors we use
+    // the positions recorded in anchor_stack_.
+    bindings_from_path(path, bindings);
+
+    if (!query_.pattern.path_var.empty()) {
+      bindings[query_.pattern.path_var] = Binding::of_path(path);
+    }
+    for (const Condition& condition : query_.where) {
+      auto it = bindings.find(condition.var);
+      if (it == bindings.end() || it->second.kind != Binding::Kind::Node) return;
+      const Value* actual = db_.node(it->second.node).prop(condition.key);
+      if (actual == nullptr || !compare_values(*actual, condition.op, condition.literal)) return;
+    }
+    std::vector<Binding> row;
+    for (const ReturnItem& item : query_.items) {
+      auto it = bindings.find(item.var);
+      if (it == bindings.end()) {
+        row.push_back(Binding::of_scalar(Value{}));
+        continue;
+      }
+      if (item.key.empty()) {
+        row.push_back(it->second);
+      } else if (it->second.kind == Binding::Kind::Node) {
+        const Value* v = db_.node(it->second.node).prop(item.key);
+        row.push_back(Binding::of_scalar(v == nullptr ? Value{} : *v));
+      } else {
+        row.push_back(Binding::of_scalar(Value{}));
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  /// First and last pattern nodes always anchor the path ends; intermediate
+  /// anchored vars of fixed-length segments are resolved positionally. For
+  /// variable-length middles, intermediate vars bind to the segment end
+  /// (matching Cypher, where inner var-length nodes are not addressable).
+  void bindings_from_path(const graph::Path& path, std::map<std::string, Binding>& bindings) {
+    const auto& nodes = query_.pattern.nodes;
+    const auto& rels = query_.pattern.rels;
+    if (!nodes.front().var.empty()) {
+      bindings[nodes.front().var] = Binding::of_node(path.nodes.front());
+    }
+    if (nodes.size() == 1) return;
+    // Walk forward assigning anchors: fixed-length segments advance exactly;
+    // a variable-length segment consumes "the rest minus what later fixed
+    // segments need" greedily. With at most one variable-length segment per
+    // query (the common case for gadget hunting) this is exact.
+    std::size_t fixed_after = 0;
+    std::size_t var_segments = 0;
+    for (const RelPattern& rel : rels) {
+      if (rel.min_len == rel.max_len) {
+        fixed_after += static_cast<std::size_t>(rel.min_len);
+      } else {
+        ++var_segments;
+      }
+    }
+    std::size_t total_hops = path.edges.size();
+    std::size_t variable_budget = total_hops - std::min(total_hops, fixed_after);
+    std::size_t position = 0;
+    for (std::size_t i = 0; i < rels.size(); ++i) {
+      std::size_t hops = rels[i].min_len == rels[i].max_len
+                             ? static_cast<std::size_t>(rels[i].min_len)
+                             : (var_segments == 1 ? variable_budget : 0);
+      position += hops;
+      if (position >= path.nodes.size()) position = path.nodes.size() - 1;
+      if (!nodes[i + 1].var.empty()) {
+        bindings[nodes[i + 1].var] = Binding::of_node(path.nodes[position]);
+      }
+    }
+    // The final pattern node always anchors the path end.
+    if (!nodes.back().var.empty()) {
+      bindings[nodes.back().var] = Binding::of_node(path.nodes.back());
+    }
+  }
+
+  const GraphDb& db_;
+  const Query& query_;
+};
+
+std::string render_node(const GraphDb& db, NodeId id) {
+  const graph::Node& node = db.node(id);
+  std::string best = node.prop_string("SIGNATURE");
+  if (best.empty()) best = node.prop_string("NAME");
+  if (best.empty()) best = "#" + std::to_string(id);
+  return "(" + node.label + " " + best + ")";
+}
+
+}  // namespace
+
+std::string QueryResult::to_string(const GraphDb& db) const {
+  std::string out = util::join(columns, " | ") + "\n";
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    for (const Binding& binding : row) {
+      switch (binding.kind) {
+        case Binding::Kind::Node:
+          cells.push_back(render_node(db, binding.node));
+          break;
+        case Binding::Kind::Relationship:
+          cells.push_back("[" + db.edge(binding.edge).type + "]");
+          break;
+        case Binding::Kind::Path: {
+          std::string text;
+          for (std::size_t i = 0; i < binding.path.nodes.size(); ++i) {
+            if (i != 0) text += " -> ";
+            text += render_node(db, binding.path.nodes[i]);
+          }
+          cells.push_back(std::move(text));
+          break;
+        }
+        case Binding::Kind::Scalar:
+          cells.push_back(graph::to_string(binding.scalar));
+          break;
+      }
+    }
+    out += util::join(cells, " | ") + "\n";
+  }
+  return out;
+}
+
+util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query_text) {
+  auto tokens = Lexer(query_text).lex();
+  if (!tokens.ok()) return tokens.error();
+  auto query = Parser(std::move(tokens.value())).parse();
+  if (!query.ok()) return query.error();
+  return Executor(db, query.value()).run();
+}
+
+}  // namespace tabby::cypher

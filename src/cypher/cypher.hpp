@@ -1,0 +1,67 @@
+// A Cypher-subset query language over the embedded graph store — the
+// interface the paper's users get from Neo4j ("researchers can re-use the
+// graph database query syntax for vulnerability identification", §II-B).
+//
+// Supported surface:
+//   MATCH [p =] (a:Label {KEY: literal})-[r:TYPE*min..max]->(b:Label) ...
+//   WHERE a.KEY = literal AND b.KEY <> literal AND a.KEY CONTAINS "text" ...
+//   RETURN a, b.KEY, p [LIMIT n]
+//
+// Relationship patterns support both directions (-[..]->, <-[..]-, -[..]-),
+// optional types, and variable-length ranges (*, *n, *n..m, *..m). Node
+// inline property maps use index-accelerated lookup when possible.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/traversal.hpp"
+#include "util/result.hpp"
+
+namespace tabby::cypher {
+
+/// One result cell: a node, a relationship, a whole path, or a scalar
+/// property value.
+struct Binding {
+  enum class Kind { Node, Relationship, Path, Scalar };
+  Kind kind = Kind::Scalar;
+  graph::NodeId node = graph::kNoNode;
+  graph::EdgeId edge = graph::kNoEdge;
+  graph::Path path;
+  graph::Value scalar;
+
+  static Binding of_node(graph::NodeId id) {
+    Binding b;
+    b.kind = Kind::Node;
+    b.node = id;
+    return b;
+  }
+  static Binding of_path(graph::Path p) {
+    Binding b;
+    b.kind = Kind::Path;
+    b.path = std::move(p);
+    return b;
+  }
+  static Binding of_scalar(graph::Value v) {
+    Binding b;
+    b.kind = Kind::Scalar;
+    b.scalar = std::move(v);
+    return b;
+  }
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Binding>> rows;
+
+  /// Human-readable rendering (nodes print their NAME/SIGNATURE property).
+  std::string to_string(const graph::GraphDb& db) const;
+};
+
+/// Parses and executes a query. Malformed queries report Error with a
+/// byte offset; execution itself cannot fail.
+util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query);
+
+}  // namespace tabby::cypher

@@ -1,0 +1,105 @@
+// The experiment harness: runs a tool on a linked program, matches reported
+// chains against the corpus ground truth (Known / Unknown / Fake), computes
+// FPR and FNR exactly as Formulas 5 and 6 define them, and verifies ground
+// truth with the runtime VM (the automated PoC step).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/components.hpp"
+#include "corpus/scenes.hpp"
+#include "finder/finder.hpp"
+
+namespace tabby::evalkit {
+
+enum class Tool { Tabby, GadgetInspector, Serianalyzer };
+
+std::string_view tool_name(Tool tool);
+
+struct ToolRun {
+  std::vector<finder::GadgetChain> chains;
+  bool exploded = false;  // Serianalyzer "X"
+  double seconds = 0.0;
+};
+
+/// Runs the named tool end to end (CPG construction + search) on a linked
+/// program. `package_filter` is applied to Serianalyzer output only, the way
+/// the paper filters its raw chains.
+ToolRun run_tool(Tool tool, const jir::Program& program,
+                 const std::string& package_filter = "");
+
+struct Classification {
+  std::size_t result = 0;
+  std::size_t fake = 0;
+  std::size_t known = 0;
+  std::size_t unknown = 0;
+};
+
+/// Matches reported chains to ground truth by source + sink signature (and
+/// witnesses, when a truth lists them). Each truth counts at most once;
+/// unmatched reports are Fake.
+Classification classify(const std::vector<finder::GadgetChain>& chains,
+                        const std::vector<corpus::GroundTruthChain>& truths);
+
+/// Formula 5: fake / result * 100. Result 0 => 0 when nothing was expected,
+/// else 100 (the paper's convention for empty-output rows with misses).
+double fpr_percent(const Classification& c);
+
+/// Formula 6: (known_in_dataset - known_found) / known_in_dataset * 100.
+double fnr_percent(const Classification& c, std::size_t known_in_dataset);
+
+// --- Table IX ---------------------------------------------------------------
+
+struct ComparisonRow {
+  std::string component;
+  std::size_t known_in_dataset = 0;
+  struct PerTool {
+    std::size_t result = 0, fake = 0, known = 0, unknown = 0;
+    double fpr = 0.0, fnr = 0.0, seconds = 0.0;
+    bool exploded = false;
+  };
+  PerTool gi, tb, sl;
+};
+
+/// Runs all three tools on one component model.
+ComparisonRow evaluate_component(const corpus::Component& component);
+
+// --- Table X ----------------------------------------------------------------
+
+struct SceneRow {
+  std::string scene;
+  std::string version;
+  std::size_t jar_count = 0;
+  double code_mb = 0.0;
+  std::size_t result = 0;
+  std::size_t effective = 0;
+  double fpr = 0.0;
+  double search_seconds = 0.0;
+};
+
+SceneRow evaluate_scene(const corpus::Scene& scene);
+
+// --- Ground-truth self-check --------------------------------------------------
+
+struct VerificationOutcome {
+  std::size_t truths_checked = 0;
+  std::size_t truths_effective = 0;   // must equal checked
+  std::size_t fakes_checked = 0;
+  std::size_t fakes_refuted = 0;      // must equal checked
+  std::vector<std::string> failures;  // human-readable discrepancies
+
+  bool all_good() const {
+    return failures.empty() && truths_effective == truths_checked &&
+           fakes_refuted == fakes_checked;
+  }
+};
+
+/// Executes every recipe in the VM: real chains must fire their sink with a
+/// satisfied trigger; fake attempts must not. Reflection-gated truths are
+/// skipped (no recipe by definition).
+VerificationOutcome verify_ground_truth(const jir::Program& program,
+                                        const std::vector<corpus::GroundTruthChain>& truths,
+                                        const std::vector<corpus::FakeStructure>& fakes);
+
+}  // namespace tabby::evalkit

@@ -1,0 +1,196 @@
+#include "finder/finder.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/domain.hpp"
+#include "cpg/schema.hpp"
+#include "util/timer.hpp"
+
+namespace tabby::finder {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::GraphDb;
+using graph::NodeId;
+using graph::Path;
+
+/// The per-branch traversal state: the current Trigger_Condition, i.e. the
+/// set of positions (0 = receiver, i = param i) of the *frontier* method
+/// that must be attacker-controllable.
+struct TcState {
+  std::vector<std::int64_t> positions;  // sorted, unique
+};
+
+/// Formula 4: TC_next = { PP[x] | x in TC }. Fails (nullopt) when any
+/// required position is uncontrollable.
+std::optional<TcState> traverse_tc(const TcState& tc, const std::vector<std::int64_t>& pp) {
+  TcState next;
+  for (std::int64_t x : tc.positions) {
+    if (x < 0 || x >= static_cast<std::int64_t>(pp.size())) return std::nullopt;
+    std::int64_t w = pp[static_cast<std::size_t>(x)];
+    if (!analysis::is_controllable(w)) return std::nullopt;
+    next.positions.push_back(w);
+  }
+  std::sort(next.positions.begin(), next.positions.end());
+  next.positions.erase(std::unique(next.positions.begin(), next.positions.end()),
+                       next.positions.end());
+  return next;
+}
+
+const std::vector<std::int64_t>* edge_pp(const Edge& e) {
+  const graph::Value* v = e.prop(std::string(cpg::kPropPollutedPosition));
+  return v != nullptr ? std::get_if<std::vector<std::int64_t>>(v) : nullptr;
+}
+
+}  // namespace
+
+std::string GadgetChain::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < signatures.size(); ++i) {
+    if (i == 0) {
+      out += "(source)";
+    } else if (i + 1 == signatures.size()) {
+      out += "(sink)  ";
+    } else {
+      out += "        ";
+    }
+    out += signatures[i] + "\n";
+  }
+  return out;
+}
+
+std::string GadgetChain::key() const {
+  std::string out;
+  for (const std::string& s : signatures) {
+    out += s;
+    out += '\n';
+  }
+  return out;
+}
+
+GadgetChainFinder::GadgetChainFinder(const graph::GraphDb& cpg, FinderOptions options)
+    : db_(&cpg), options_(options) {}
+
+FinderReport GadgetChainFinder::find_all() {
+  util::Stopwatch watch;
+  FinderReport report;
+  std::unordered_set<std::string> seen;
+
+  std::vector<NodeId> sinks =
+      db_->find_nodes(std::string(cpg::kMethodLabel), std::string(cpg::kPropIsSink),
+                      graph::Value{true});
+  std::sort(sinks.begin(), sinks.end());
+  report.sinks_considered = sinks.size();
+
+  for (NodeId sink : sinks) {
+    for (GadgetChain& chain : find_from_sink(sink)) {
+      if (seen.insert(chain.key()).second) report.chains.push_back(std::move(chain));
+    }
+    report.expansions += last_expansions_;
+    report.budget_exhausted = report.budget_exhausted || last_exhausted_;
+  }
+  report.search_seconds = watch.elapsed_seconds();
+  return report;
+}
+
+std::vector<GadgetChain> GadgetChainFinder::find_from_sink(graph::NodeId sink) {
+  return find_from_sink(sink, [](const graph::Node& n) {
+    return n.prop_bool(std::string(cpg::kPropIsSource));
+  });
+}
+
+std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
+    graph::NodeId sink, const std::function<bool(const graph::Node&)>& is_source) {
+  const graph::Node& sink_node = db_->node(sink);
+  std::string sink_type = sink_node.prop_string(std::string(cpg::kPropSinkType));
+
+  // Initial TC from the sink node annotation; default {0}.
+  TcState initial;
+  if (const graph::Value* tc = sink_node.prop(std::string(cpg::kPropTriggerCondition))) {
+    if (const auto* xs = std::get_if<std::vector<std::int64_t>>(tc)) initial.positions = *xs;
+  }
+  if (initial.positions.empty()) initial.positions = {0};
+
+  // Algorithm 2: expand backwards over incoming CALL edges (to callers) and
+  // forwards over outgoing ALIAS edges (to the overridden declaration whose
+  // call sites dispatch here).
+  auto expand = [this](const GraphDb& db, const Path& path,
+                       const TcState& tc) -> std::vector<graph::Step<TcState>> {
+    std::vector<graph::Step<TcState>> steps;
+    NodeId frontier = path.end();
+
+    for (EdgeId eid : db.in_edges(frontier)) {
+      const Edge& e = db.edge(eid);
+      if (e.type != cpg::kCallEdge) continue;
+      if (options_.check_trigger_conditions) {
+        const std::vector<std::int64_t>* pp = edge_pp(e);
+        if (pp == nullptr) continue;
+        std::optional<TcState> next = traverse_tc(tc, *pp);
+        if (!next) continue;  // uncontrollable along this call: reject edge
+        steps.push_back(graph::Step<TcState>{eid, e.from, std::move(*next)});
+      } else {
+        steps.push_back(graph::Step<TcState>{eid, e.from, tc});
+      }
+    }
+    if (options_.use_alias_edges) {
+      // Forward only (override -> overridden declaration): callers invoke
+      // the declared supertype method, so walking up the alias chain exposes
+      // their CALL edges. Walking ALIAS edges in reverse would fabricate
+      // dispatches between sibling overrides and is deliberately excluded.
+      for (EdgeId eid : db.out_edges(frontier)) {
+        const Edge& e = db.edge(eid);
+        if (e.type != cpg::kAliasEdge) continue;
+        steps.push_back(graph::Step<TcState>{eid, e.to, tc});  // TC passes unchanged
+      }
+      if (options_.alias_bidirectional) {
+        for (EdgeId eid : db.in_edges(frontier)) {
+          const Edge& e = db.edge(eid);
+          if (e.type != cpg::kAliasEdge) continue;
+          steps.push_back(graph::Step<TcState>{eid, e.from, tc});
+        }
+      }
+    }
+    return steps;
+  };
+
+  // Algorithm 3: include when the frontier is a source; prune at max depth.
+  auto evaluate = [this, &is_source](const GraphDb& db, const Path& path,
+                                     const TcState&) -> graph::Evaluation {
+    if (path.length() > 0 && is_source(db.node(path.end()))) {
+      return graph::Evaluation::IncludeAndPrune;
+    }
+    if (static_cast<int>(path.length()) >= options_.max_depth) {
+      return graph::Evaluation::ExcludeAndPrune;
+    }
+    return graph::Evaluation::ExcludeAndContinue;
+  };
+
+  graph::TraversalLimits limits;
+  limits.max_results = options_.max_results_per_sink;
+  limits.max_expansions = options_.max_expansions;
+
+  graph::Traverser<TcState> traverser(*db_, expand, evaluate, graph::Uniqueness::NodePath,
+                                      limits);
+  std::vector<graph::TraversalResult<TcState>> paths = traverser.run(sink, std::move(initial));
+  last_expansions_ = traverser.expansions();
+  last_exhausted_ = traverser.exhausted_budget();
+
+  std::vector<GadgetChain> chains;
+  chains.reserve(paths.size());
+  for (const auto& result : paths) {
+    GadgetChain chain;
+    chain.sink_type = sink_type;
+    // Paths run sink -> source; chains are reported source-first.
+    chain.nodes.assign(result.path.nodes.rbegin(), result.path.nodes.rend());
+    for (NodeId n : chain.nodes) {
+      chain.signatures.push_back(db_->node(n).prop_string(std::string(cpg::kPropSignature)));
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace tabby::finder

@@ -1,0 +1,219 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tabby::graph {
+
+NodeId GraphDb::add_node(std::string label, PropertyMap props) {
+  NodeId id = nodes_.size();
+  Node n;
+  n.id = id;
+  n.label = std::move(label);
+  n.props = std::move(props);
+  nodes_.push_back(std::move(n));
+  out_.emplace_back();
+  in_.emplace_back();
+  by_label_[nodes_.back().label].push_back(id);
+  ++live_nodes_;
+  index_insert(nodes_.back());
+  return id;
+}
+
+EdgeId GraphDb::add_edge(NodeId from, NodeId to, std::string type, PropertyMap props) {
+  if (!node_alive(from) || !node_alive(to)) {
+    throw std::out_of_range("add_edge: endpoint does not exist");
+  }
+  EdgeId id = edges_.size();
+  Edge e;
+  e.id = id;
+  e.from = from;
+  e.to = to;
+  e.type = std::move(type);
+  e.props = std::move(props);
+  edges_.push_back(std::move(e));
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  ++live_edges_;
+  return id;
+}
+
+void GraphDb::set_node_prop(NodeId id, const std::string& key, Value value) {
+  if (!node_alive(id)) throw std::out_of_range("set_node_prop: no such node");
+  Node& n = nodes_[id];
+  index_erase_key(n, key);
+  n.props[key] = std::move(value);
+  // Re-insert just this key into its index, if one exists.
+  auto it = indexes_.find(index_name(n.label, key));
+  if (it != indexes_.end()) {
+    std::string vk = index_key(n.props[key]);
+    if (!vk.empty()) it->second[vk].push_back(id);
+  }
+}
+
+void GraphDb::set_edge_prop(EdgeId id, const std::string& key, Value value) {
+  if (!edge_alive(id)) throw std::out_of_range("set_edge_prop: no such edge");
+  edges_[id].props[key] = std::move(value);
+}
+
+void GraphDb::remove_edge(EdgeId id) {
+  if (!edge_alive(id)) return;
+  Edge& e = edges_[id];
+  e.alive = false;
+  auto unlink = [id](std::vector<EdgeId>& v) {
+    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  };
+  unlink(out_[e.from]);
+  unlink(in_[e.to]);
+  --live_edges_;
+}
+
+void GraphDb::remove_node(NodeId id) {
+  if (!node_alive(id)) return;
+  // Copy: remove_edge mutates the adjacency lists we are iterating.
+  std::vector<EdgeId> incident = out_[id];
+  incident.insert(incident.end(), in_[id].begin(), in_[id].end());
+  for (EdgeId e : incident) remove_edge(e);
+  Node& n = nodes_[id];
+  for (const auto& [key, value] : n.props) index_erase_key(n, key);
+  auto& bucket = by_label_[n.label];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  n.alive = false;
+  --live_nodes_;
+}
+
+const Node& GraphDb::node(NodeId id) const {
+  if (!node_alive(id)) throw std::out_of_range("node: no such node");
+  return nodes_[id];
+}
+
+const Edge& GraphDb::edge(EdgeId id) const {
+  if (!edge_alive(id)) throw std::out_of_range("edge: no such edge");
+  return edges_[id];
+}
+
+const std::vector<EdgeId>& GraphDb::out_edges(NodeId id) const {
+  if (!node_alive(id)) throw std::out_of_range("out_edges: no such node");
+  return out_[id];
+}
+
+const std::vector<EdgeId>& GraphDb::in_edges(NodeId id) const {
+  if (!node_alive(id)) throw std::out_of_range("in_edges: no such node");
+  return in_[id];
+}
+
+std::vector<EdgeId> GraphDb::out_edges_typed(NodeId id, std::string_view type) const {
+  std::vector<EdgeId> result;
+  for (EdgeId e : out_edges(id)) {
+    if (edges_[e].type == type) result.push_back(e);
+  }
+  return result;
+}
+
+std::vector<EdgeId> GraphDb::in_edges_typed(NodeId id, std::string_view type) const {
+  std::vector<EdgeId> result;
+  for (EdgeId e : in_edges(id)) {
+    if (edges_[e].type == type) result.push_back(e);
+  }
+  return result;
+}
+
+std::optional<EdgeId> GraphDb::find_edge(NodeId from, NodeId to, std::string_view type) const {
+  for (EdgeId e : out_edges(from)) {
+    if (edges_[e].to == to && edges_[e].type == type) return e;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> GraphDb::nodes_with_label(std::string_view label) const {
+  auto it = by_label_.find(std::string(label));
+  if (it == by_label_.end()) return {};
+  return it->second;
+}
+
+void GraphDb::for_each_node(const std::function<void(const Node&)>& fn) const {
+  for (const Node& n : nodes_) {
+    if (n.alive) fn(n);
+  }
+}
+
+void GraphDb::for_each_edge(const std::function<void(const Edge&)>& fn) const {
+  for (const Edge& e : edges_) {
+    if (e.alive) fn(e);
+  }
+}
+
+void GraphDb::create_index(const std::string& label, const std::string& key) {
+  std::string name = index_name(label, key);
+  if (indexes_.count(name) != 0) return;
+  auto& index = indexes_[name];
+  for (NodeId id : nodes_with_label(label)) {
+    const Value* v = nodes_[id].prop(key);
+    if (v == nullptr) continue;
+    std::string vk = index_key(*v);
+    if (!vk.empty()) index[vk].push_back(id);
+  }
+}
+
+bool GraphDb::has_index(const std::string& label, const std::string& key) const {
+  return indexes_.count(index_name(label, key)) != 0;
+}
+
+std::vector<NodeId> GraphDb::find_nodes(const std::string& label, const std::string& key,
+                                        const Value& value) const {
+  auto it = indexes_.find(index_name(label, key));
+  if (it != indexes_.end()) {
+    std::string vk = index_key(value);
+    auto hit = it->second.find(vk);
+    if (hit == it->second.end()) return {};
+    // Filter tombstones lazily (removed nodes may linger in the bucket).
+    std::vector<NodeId> result;
+    for (NodeId id : hit->second) {
+      if (node_alive(id) && value_equals(*nodes_[id].prop(key), value)) result.push_back(id);
+    }
+    return result;
+  }
+  // Fallback: label scan.
+  std::vector<NodeId> result;
+  for (NodeId id : nodes_with_label(label)) {
+    if (!node_alive(id)) continue;
+    const Value* v = nodes_[id].prop(key);
+    if (v != nullptr && value_equals(*v, value)) result.push_back(id);
+  }
+  return result;
+}
+
+GraphStats GraphDb::stats() const {
+  GraphStats s;
+  s.node_count = live_nodes_;
+  s.edge_count = live_edges_;
+  for (const Node& n : nodes_) {
+    if (n.alive) ++s.nodes_by_label[n.label];
+  }
+  for (const Edge& e : edges_) {
+    if (e.alive) ++s.edges_by_type[e.type];
+  }
+  return s;
+}
+
+void GraphDb::index_insert(const Node& n) {
+  for (const auto& [key, value] : n.props) {
+    auto it = indexes_.find(index_name(n.label, key));
+    if (it == indexes_.end()) continue;
+    std::string vk = index_key(value);
+    if (!vk.empty()) it->second[vk].push_back(n.id);
+  }
+}
+
+void GraphDb::index_erase_key(const Node& n, const std::string& key) {
+  auto it = indexes_.find(index_name(n.label, key));
+  if (it == indexes_.end()) return;
+  const Value* v = n.prop(key);
+  if (v == nullptr) return;
+  auto bucket = it->second.find(index_key(*v));
+  if (bucket == it->second.end()) return;
+  auto& ids = bucket->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), n.id), ids.end());
+}
+
+}  // namespace tabby::graph

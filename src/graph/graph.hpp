@@ -1,0 +1,156 @@
+// Embedded property-graph store: the repository's Neo4j substitute.
+// Supports labeled nodes, typed directed edges, arbitrary properties,
+// label scans, (label, property) equality indexes, edge removal (the PCG
+// pruning operation), and binary persistence. Single-threaded by design —
+// the pipeline builds one graph per analysis run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/value.hpp"
+
+namespace tabby::graph {
+
+using NodeId = std::uint64_t;
+using EdgeId = std::uint64_t;
+inline constexpr NodeId kNoNode = UINT64_MAX;
+inline constexpr EdgeId kNoEdge = UINT64_MAX;
+
+struct Node {
+  NodeId id = kNoNode;
+  std::string label;
+  PropertyMap props;
+  bool alive = true;
+
+  const Value* prop(const std::string& key) const {
+    auto it = props.find(key);
+    return it == props.end() ? nullptr : &it->second;
+  }
+  std::string prop_string(const std::string& key) const {
+    const Value* v = prop(key);
+    const std::string* s = v != nullptr ? std::get_if<std::string>(v) : nullptr;
+    return s != nullptr ? *s : std::string{};
+  }
+  std::int64_t prop_int(const std::string& key, std::int64_t fallback = 0) const {
+    const Value* v = prop(key);
+    const std::int64_t* i = v != nullptr ? std::get_if<std::int64_t>(v) : nullptr;
+    return i != nullptr ? *i : fallback;
+  }
+  bool prop_bool(const std::string& key) const {
+    const Value* v = prop(key);
+    const bool* b = v != nullptr ? std::get_if<bool>(v) : nullptr;
+    return b != nullptr && *b;
+  }
+};
+
+struct Edge {
+  EdgeId id = kNoEdge;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::string type;
+  PropertyMap props;
+  bool alive = true;
+
+  const Value* prop(const std::string& key) const {
+    auto it = props.find(key);
+    return it == props.end() ? nullptr : &it->second;
+  }
+};
+
+struct GraphStats {
+  std::size_t node_count = 0;
+  std::size_t edge_count = 0;
+  std::unordered_map<std::string, std::size_t> nodes_by_label;
+  std::unordered_map<std::string, std::size_t> edges_by_type;
+};
+
+class GraphDb {
+ public:
+  GraphDb() = default;
+
+  // Non-copyable (graphs are large); movable.
+  GraphDb(const GraphDb&) = delete;
+  GraphDb& operator=(const GraphDb&) = delete;
+  GraphDb(GraphDb&&) = default;
+  GraphDb& operator=(GraphDb&&) = default;
+
+  // --- Mutation -------------------------------------------------------------
+
+  NodeId add_node(std::string label, PropertyMap props = {});
+  EdgeId add_edge(NodeId from, NodeId to, std::string type, PropertyMap props = {});
+
+  /// Set/overwrite a node property, keeping indexes in sync.
+  void set_node_prop(NodeId id, const std::string& key, Value value);
+  void set_edge_prop(EdgeId id, const std::string& key, Value value);
+
+  /// Tombstone an edge and unlink it from adjacency (used by PCG pruning).
+  void remove_edge(EdgeId id);
+  /// Tombstone a node and all incident edges.
+  void remove_node(NodeId id);
+
+  // --- Access ---------------------------------------------------------------
+
+  bool node_alive(NodeId id) const { return id < nodes_.size() && nodes_[id].alive; }
+  bool edge_alive(EdgeId id) const { return id < edges_.size() && edges_[id].alive; }
+
+  /// Precondition: id refers to a live element (checked, throws out_of_range).
+  const Node& node(NodeId id) const;
+  const Edge& edge(EdgeId id) const;
+
+  const std::vector<EdgeId>& out_edges(NodeId id) const;
+  const std::vector<EdgeId>& in_edges(NodeId id) const;
+
+  /// Out/in edges with a given type, filtered on the fly.
+  std::vector<EdgeId> out_edges_typed(NodeId id, std::string_view type) const;
+  std::vector<EdgeId> in_edges_typed(NodeId id, std::string_view type) const;
+
+  /// First edge from -> to with the given type, if any.
+  std::optional<EdgeId> find_edge(NodeId from, NodeId to, std::string_view type) const;
+
+  std::size_t node_count() const { return live_nodes_; }
+  std::size_t edge_count() const { return live_edges_; }
+  std::size_t node_capacity() const { return nodes_.size(); }
+  std::size_t edge_capacity() const { return edges_.size(); }
+
+  std::vector<NodeId> nodes_with_label(std::string_view label) const;
+  void for_each_node(const std::function<void(const Node&)>& fn) const;
+  void for_each_edge(const std::function<void(const Edge&)>& fn) const;
+
+  // --- Indexing -------------------------------------------------------------
+
+  /// Create an equality index on (label, property). Existing nodes are
+  /// back-filled; future mutations keep it current. Idempotent.
+  void create_index(const std::string& label, const std::string& key);
+  bool has_index(const std::string& label, const std::string& key) const;
+
+  /// Index-accelerated equality lookup; falls back to a label scan when no
+  /// index exists.
+  std::vector<NodeId> find_nodes(const std::string& label, const std::string& key,
+                                 const Value& value) const;
+
+  GraphStats stats() const;
+
+ private:
+  std::string index_name(const std::string& label, const std::string& key) const {
+    return label + "" + key;
+  }
+  void index_insert(const Node& n);
+  void index_erase_key(const Node& n, const std::string& key);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::unordered_map<std::string, std::vector<NodeId>> by_label_;
+  // (label \x01 key) -> value index-key -> node ids
+  std::unordered_map<std::string, std::unordered_map<std::string, std::vector<NodeId>>> indexes_;
+  std::size_t live_nodes_ = 0;
+  std::size_t live_edges_ = 0;
+};
+
+}  // namespace tabby::graph

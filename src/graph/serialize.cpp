@@ -1,0 +1,229 @@
+#include "graph/serialize.hpp"
+
+#include <fstream>
+
+#include "util/bytes.hpp"
+
+namespace tabby::graph {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Error;
+using util::Result;
+
+constexpr std::uint32_t kMagic = 0x54474442;  // "TGDB"
+constexpr std::uint16_t kVersion = 1;
+
+void write_value(ByteWriter& out, const Value& v) {
+  struct Visitor {
+    ByteWriter& out;
+    void operator()(std::monostate) { out.u8(0); }
+    void operator()(bool b) {
+      out.u8(1);
+      out.u8(b ? 1 : 0);
+    }
+    void operator()(std::int64_t i) {
+      out.u8(2);
+      out.svarint(i);
+    }
+    void operator()(double d) {
+      out.u8(3);
+      std::uint64_t bits;
+      static_assert(sizeof bits == sizeof d);
+      __builtin_memcpy(&bits, &d, sizeof bits);
+      out.uvarint(bits);
+    }
+    void operator()(const std::string& s) {
+      out.u8(4);
+      out.bytes(s);
+    }
+    void operator()(const std::vector<std::int64_t>& xs) {
+      out.u8(5);
+      out.uvarint(xs.size());
+      for (std::int64_t x : xs) out.svarint(x);
+    }
+    void operator()(const std::vector<std::string>& xs) {
+      out.u8(6);
+      out.uvarint(xs.size());
+      for (const std::string& x : xs) out.bytes(x);
+    }
+  };
+  std::visit(Visitor{out}, v);
+}
+
+Result<Value> read_value(ByteReader& in) {
+  auto tag = in.u8();
+  if (!tag.ok()) return tag.error();
+  switch (tag.value()) {
+    case 0:
+      return Value{std::monostate{}};
+    case 1: {
+      auto b = in.u8();
+      if (!b.ok()) return b.error();
+      return Value{b.value() != 0};
+    }
+    case 2: {
+      auto i = in.svarint();
+      if (!i.ok()) return i.error();
+      return Value{i.value()};
+    }
+    case 3: {
+      auto bits = in.uvarint();
+      if (!bits.ok()) return bits.error();
+      double d;
+      std::uint64_t raw = bits.value();
+      __builtin_memcpy(&d, &raw, sizeof d);
+      return Value{d};
+    }
+    case 4: {
+      auto s = in.bytes();
+      if (!s.ok()) return s.error();
+      return Value{std::move(s.value())};
+    }
+    case 5: {
+      auto n = in.count("int list");
+      if (!n.ok()) return n.error();
+      std::vector<std::int64_t> xs;
+      xs.reserve(n.value());
+      for (std::size_t i = 0; i < n.value(); ++i) {
+        auto x = in.svarint();
+        if (!x.ok()) return x.error();
+        xs.push_back(x.value());
+      }
+      return Value{std::move(xs)};
+    }
+    case 6: {
+      auto n = in.count("string list");
+      if (!n.ok()) return n.error();
+      std::vector<std::string> xs;
+      xs.reserve(n.value());
+      for (std::size_t i = 0; i < n.value(); ++i) {
+        auto x = in.bytes();
+        if (!x.ok()) return x.error();
+        xs.push_back(std::move(x.value()));
+      }
+      return Value{std::move(xs)};
+    }
+    default:
+      return Error{"bad value tag", in.position()};
+  }
+}
+
+void write_props(ByteWriter& out, const PropertyMap& props) {
+  out.uvarint(props.size());
+  for (const auto& [key, value] : props) {
+    out.bytes(key);
+    write_value(out, value);
+  }
+}
+
+Result<PropertyMap> read_props(ByteReader& in) {
+  auto n = in.count("property");
+  if (!n.ok()) return n.error();
+  PropertyMap props;
+  for (std::size_t i = 0; i < n.value(); ++i) {
+    auto key = in.bytes();
+    if (!key.ok()) return key.error();
+    auto value = read_value(in);
+    if (!value.ok()) return value.error();
+    props.emplace(std::move(key.value()), std::move(value.value()));
+  }
+  return props;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize(const GraphDb& db) {
+  ByteWriter out;
+  out.u32(kMagic);
+  out.u16(kVersion);
+
+  // Live elements only; ids are re-assigned densely on load. Build the
+  // old-id -> new-id mapping while emitting nodes.
+  std::vector<const Node*> nodes;
+  db.for_each_node([&](const Node& n) { nodes.push_back(&n); });
+  std::vector<const Edge*> edges;
+  db.for_each_edge([&](const Edge& e) { edges.push_back(&e); });
+
+  std::unordered_map<NodeId, std::uint64_t> remap;
+  remap.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) remap[nodes[i]->id] = i;
+
+  out.uvarint(nodes.size());
+  for (const Node* n : nodes) {
+    out.bytes(n->label);
+    write_props(out, n->props);
+  }
+  out.uvarint(edges.size());
+  for (const Edge* e : edges) {
+    out.uvarint(remap.at(e->from));
+    out.uvarint(remap.at(e->to));
+    out.bytes(e->type);
+    write_props(out, e->props);
+  }
+  return out.take();
+}
+
+util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
+  ByteReader in(data);
+  auto magic = in.u32();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kMagic) return Error{"bad graph store magic", 0};
+  auto version = in.u16();
+  if (!version.ok()) return version.error();
+  if (version.value() != kVersion) return Error{"unsupported graph store version", 4};
+
+  GraphDb db;
+  auto node_count = in.count("node");
+  if (!node_count.ok()) return node_count.error();
+  for (std::size_t i = 0; i < node_count.value(); ++i) {
+    auto label = in.bytes();
+    if (!label.ok()) return label.error();
+    auto props = read_props(in);
+    if (!props.ok()) return props.error();
+    db.add_node(std::move(label.value()), std::move(props.value()));
+  }
+  auto edge_count = in.count("edge");
+  if (!edge_count.ok()) return edge_count.error();
+  for (std::size_t i = 0; i < edge_count.value(); ++i) {
+    auto from = in.uvarint();
+    if (!from.ok()) return from.error();
+    auto to = in.uvarint();
+    if (!to.ok()) return to.error();
+    if (from.value() >= db.node_count() || to.value() >= db.node_count()) {
+      return Error{"edge endpoint out of range", in.position()};
+    }
+    auto type = in.bytes();
+    if (!type.ok()) return type.error();
+    auto props = read_props(in);
+    if (!props.ok()) return props.error();
+    db.add_edge(from.value(), to.value(), std::move(type.value()), std::move(props.value()));
+  }
+  if (!in.at_end()) return Error{"trailing bytes after graph store", in.position()};
+  return db;
+}
+
+util::Status save(const GraphDb& db, const std::filesystem::path& path) {
+  std::vector<std::byte> bytes = serialize(db);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error{"cannot open for write: " + path.string()};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Error{"write failed: " + path.string()};
+  return util::Status::ok_status();
+}
+
+util::Result<GraphDb> load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Error{"cannot open for read: " + path.string()};
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return Error{"read failed: " + path.string()};
+  return deserialize(bytes);
+}
+
+}  // namespace tabby::graph

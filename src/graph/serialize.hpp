@@ -1,0 +1,21 @@
+// Binary persistence for GraphDb snapshots — the stand-in for Neo4j's store
+// files. Lets a CPG built once be re-queried across runs (the paper's
+// "researchers can re-use the graph database query syntax").
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/result.hpp"
+
+namespace tabby::graph {
+
+std::vector<std::byte> serialize(const GraphDb& db);
+util::Result<GraphDb> deserialize(std::span<const std::byte> data);
+
+util::Status save(const GraphDb& db, const std::filesystem::path& path);
+util::Result<GraphDb> load(const std::filesystem::path& path);
+
+}  // namespace tabby::graph

@@ -1,0 +1,166 @@
+// Path-traversal framework modeled on the Neo4j Traversal API that
+// tabby-path-finder plugs into: a pluggable Expander produces the next
+// steps (optionally rewriting a per-branch state — Tabby threads the
+// Trigger_Condition through here), and an Evaluator decides inclusion and
+// pruning (Algorithm 3). The engine is an explicit-stack DFS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tabby::graph {
+
+/// An alternating node/edge path. nodes.size() == edges.size() + 1.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  NodeId start() const { return nodes.front(); }
+  NodeId end() const { return nodes.back(); }
+  std::size_t length() const { return edges.size(); }  // Neo4j semantics: edge count
+
+  bool contains_node(NodeId id) const {
+    for (NodeId n : nodes) {
+      if (n == id) return true;
+    }
+    return false;
+  }
+
+  Path extended(EdgeId via, NodeId to) const {
+    Path next = *this;
+    next.edges.push_back(via);
+    next.nodes.push_back(to);
+    return next;
+  }
+};
+
+enum class Evaluation : std::uint8_t {
+  IncludeAndContinue,
+  IncludeAndPrune,
+  ExcludeAndContinue,
+  ExcludeAndPrune,
+};
+
+inline bool includes(Evaluation e) {
+  return e == Evaluation::IncludeAndContinue || e == Evaluation::IncludeAndPrune;
+}
+inline bool continues(Evaluation e) {
+  return e == Evaluation::IncludeAndContinue || e == Evaluation::ExcludeAndContinue;
+}
+
+/// How the engine prevents revisits. NodePath is Neo4j's NODE_PATH (no node
+/// twice within one path); NodeGlobal skips any node ever visited in the
+/// whole traversal — the GadgetInspector behaviour the paper criticises in
+/// §IV-F ("skips nodes that have already been traversed ... may also lead to
+/// the loss of potential chains").
+enum class Uniqueness : std::uint8_t { None, NodePath, NodeGlobal };
+
+/// One expansion step: follow `edge` to `next`, carrying `state`.
+template <typename State>
+struct Step {
+  EdgeId edge = kNoEdge;
+  NodeId next = kNoNode;
+  State state{};
+};
+
+template <typename State>
+struct TraversalResult {
+  Path path;
+  State state{};
+};
+
+/// Limits guarding against path explosion; `expansions` bounds total steps
+/// taken (the Serianalyzer baseline exhausts this to reproduce the paper's
+/// non-terminating "X" cells).
+struct TraversalLimits {
+  std::size_t max_results = SIZE_MAX;
+  std::size_t max_expansions = SIZE_MAX;
+};
+
+template <typename State>
+class Traverser {
+ public:
+  using ExpandFn =
+      std::function<std::vector<Step<State>>(const GraphDb&, const Path&, const State&)>;
+  using EvalFn = std::function<Evaluation(const GraphDb&, const Path&, const State&)>;
+
+  Traverser(const GraphDb& db, ExpandFn expand, EvalFn evaluate,
+            Uniqueness uniqueness = Uniqueness::NodePath, TraversalLimits limits = {})
+      : db_(db), expand_(std::move(expand)), evaluate_(std::move(evaluate)),
+        uniqueness_(uniqueness), limits_(limits) {}
+
+  /// Runs a DFS from `start` with initial per-branch `state`. Returns every
+  /// included path, in DFS discovery order.
+  std::vector<TraversalResult<State>> run(NodeId start, State initial) {
+    std::vector<TraversalResult<State>> results;
+    exhausted_budget_ = false;
+    expansions_ = 0;
+
+    struct Frame {
+      Path path;
+      State state;
+    };
+    std::vector<Frame> stack;
+    Frame root;
+    root.path.nodes.push_back(start);
+    root.state = std::move(initial);
+    stack.push_back(std::move(root));
+
+    std::vector<bool> visited_global(db_.node_capacity(), false);
+
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+
+      if (uniqueness_ == Uniqueness::NodeGlobal) {
+        NodeId end = frame.path.end();
+        if (frame.path.length() > 0 && visited_global[end]) continue;
+        visited_global[end] = true;
+      }
+
+      Evaluation verdict = evaluate_(db_, frame.path, frame.state);
+      if (includes(verdict)) {
+        results.push_back(TraversalResult<State>{frame.path, frame.state});
+        if (results.size() >= limits_.max_results) return results;
+      }
+      if (!continues(verdict)) continue;
+
+      if (++expansions_ > limits_.max_expansions) {
+        exhausted_budget_ = true;
+        return results;
+      }
+
+      std::vector<Step<State>> steps = expand_(db_, frame.path, frame.state);
+      // Push in reverse so the first step is explored first (stable DFS).
+      for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+        if (uniqueness_ == Uniqueness::NodePath && frame.path.contains_node(it->next)) continue;
+        if (uniqueness_ == Uniqueness::NodeGlobal && visited_global[it->next]) continue;
+        Frame child;
+        child.path = frame.path.extended(it->edge, it->next);
+        child.state = std::move(it->state);
+        stack.push_back(std::move(child));
+      }
+    }
+    return results;
+  }
+
+  /// True when the last run() stopped early on max_expansions.
+  bool exhausted_budget() const { return exhausted_budget_; }
+
+  /// Expansion steps taken by the last run().
+  std::size_t expansions() const { return expansions_; }
+
+ private:
+  const GraphDb& db_;
+  ExpandFn expand_;
+  EvalFn evaluate_;
+  Uniqueness uniqueness_;
+  TraversalLimits limits_;
+  bool exhausted_budget_ = false;
+  std::size_t expansions_ = 0;
+};
+
+}  // namespace tabby::graph

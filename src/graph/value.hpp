@@ -1,0 +1,31 @@
+// Property values for the embedded graph store. Mirrors the Neo4j property
+// model far enough for Tabby's schema: scalars plus homogeneous lists (the
+// Polluted_Position array lives on CALL edges as an int list).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tabby::graph {
+
+using Value = std::variant<std::monostate, bool, std::int64_t, double, std::string,
+                           std::vector<std::int64_t>, std::vector<std::string>>;
+
+/// Ordered map so graph dumps and serialized form are deterministic.
+using PropertyMap = std::map<std::string, Value>;
+
+inline bool is_null(const Value& v) { return std::holds_alternative<std::monostate>(v); }
+
+std::string to_string(const Value& v);
+
+/// Loose scalar equality used by index lookups and Cypher `=`: exact variant
+/// match except bool/int which compare numerically.
+bool value_equals(const Value& a, const Value& b);
+
+/// Stable text key for indexing; lists are not indexable and yield "".
+std::string index_key(const Value& v);
+
+}  // namespace tabby::graph

@@ -1,0 +1,216 @@
+#include "jir/builder.hpp"
+
+namespace tabby::jir {
+
+MethodBuilder& MethodBuilder::param(std::string_view type) {
+  method().params.push_back(parse_type(type));
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::returns(std::string_view type) {
+  method().ret = parse_type(type);
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::set_static() {
+  method().mods.is_static = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::set_abstract() {
+  method().mods.is_abstract = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::set_native() {
+  method().mods.is_native = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::stmt(Stmt s) {
+  method().body.push_back(std::move(s));
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::assign(std::string target, std::string source) {
+  return stmt(AssignStmt{std::move(target), std::move(source)});
+}
+MethodBuilder& MethodBuilder::const_null(std::string target) {
+  return stmt(ConstStmt{std::move(target), Const::null()});
+}
+MethodBuilder& MethodBuilder::const_int(std::string target, std::int64_t value) {
+  return stmt(ConstStmt{std::move(target), Const::of(value)});
+}
+MethodBuilder& MethodBuilder::const_str(std::string target, std::string value) {
+  return stmt(ConstStmt{std::move(target), Const::of(std::move(value))});
+}
+MethodBuilder& MethodBuilder::new_object(std::string target, std::string_view type) {
+  return stmt(NewStmt{std::move(target), parse_type(type)});
+}
+MethodBuilder& MethodBuilder::field_store(std::string base, std::string field,
+                                          std::string source) {
+  return stmt(FieldStoreStmt{std::move(base), std::move(field), std::move(source)});
+}
+MethodBuilder& MethodBuilder::field_load(std::string target, std::string base,
+                                         std::string field) {
+  return stmt(FieldLoadStmt{std::move(target), std::move(base), std::move(field)});
+}
+MethodBuilder& MethodBuilder::static_store(std::string owner, std::string field,
+                                           std::string source) {
+  return stmt(StaticStoreStmt{std::move(owner), std::move(field), std::move(source)});
+}
+MethodBuilder& MethodBuilder::static_load(std::string target, std::string owner,
+                                          std::string field) {
+  return stmt(StaticLoadStmt{std::move(target), std::move(owner), std::move(field)});
+}
+MethodBuilder& MethodBuilder::array_store(std::string base, std::string index,
+                                          std::string source) {
+  return stmt(ArrayStoreStmt{std::move(base), std::move(index), std::move(source)});
+}
+MethodBuilder& MethodBuilder::array_load(std::string target, std::string base,
+                                         std::string index) {
+  return stmt(ArrayLoadStmt{std::move(target), std::move(base), std::move(index)});
+}
+MethodBuilder& MethodBuilder::cast(std::string target, std::string_view type,
+                                   std::string source) {
+  return stmt(CastStmt{std::move(target), parse_type(type), std::move(source)});
+}
+MethodBuilder& MethodBuilder::ret(std::string value) { return stmt(ReturnStmt{std::move(value)}); }
+
+MethodBuilder& MethodBuilder::invoke_virtual(std::string target, std::string base,
+                                             std::string owner, std::string name,
+                                             std::vector<std::string> args) {
+  int n = static_cast<int>(args.size());
+  return stmt(InvokeStmt{std::move(target), InvokeKind::Virtual,
+                         MethodRef{std::move(owner), std::move(name), n}, std::move(base),
+                         std::move(args)});
+}
+MethodBuilder& MethodBuilder::invoke_interface(std::string target, std::string base,
+                                               std::string owner, std::string name,
+                                               std::vector<std::string> args) {
+  int n = static_cast<int>(args.size());
+  return stmt(InvokeStmt{std::move(target), InvokeKind::Interface,
+                         MethodRef{std::move(owner), std::move(name), n}, std::move(base),
+                         std::move(args)});
+}
+MethodBuilder& MethodBuilder::invoke_special(std::string target, std::string base,
+                                             std::string owner, std::string name,
+                                             std::vector<std::string> args) {
+  int n = static_cast<int>(args.size());
+  return stmt(InvokeStmt{std::move(target), InvokeKind::Special,
+                         MethodRef{std::move(owner), std::move(name), n}, std::move(base),
+                         std::move(args)});
+}
+MethodBuilder& MethodBuilder::invoke_static(std::string target, std::string owner,
+                                            std::string name, std::vector<std::string> args) {
+  int n = static_cast<int>(args.size());
+  return stmt(InvokeStmt{std::move(target), InvokeKind::Static,
+                         MethodRef{std::move(owner), std::move(name), n}, std::string{},
+                         std::move(args)});
+}
+
+MethodBuilder& MethodBuilder::if_cmp(std::string lhs, CmpOp op, std::string rhs,
+                                     std::string label) {
+  return stmt(IfStmt{std::move(lhs), op, std::move(rhs), std::move(label)});
+}
+MethodBuilder& MethodBuilder::jump(std::string label) { return stmt(GotoStmt{std::move(label)}); }
+MethodBuilder& MethodBuilder::mark(std::string label) { return stmt(LabelStmt{std::move(label)}); }
+MethodBuilder& MethodBuilder::throw_value(std::string value) {
+  return stmt(ThrowStmt{std::move(value)});
+}
+MethodBuilder& MethodBuilder::nop() { return stmt(NopStmt{}); }
+
+ClassBuilder& ClassBuilder::extends(std::string_view super) {
+  cls_->super = std::string(super);
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::implements(std::string_view iface) {
+  cls_->interfaces.emplace_back(iface);
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::serializable() { return implements(kSerializableInterface); }
+
+ClassBuilder& ClassBuilder::set_abstract() {
+  cls_->mods.is_abstract = true;
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::field(std::string name, std::string_view type, bool is_static) {
+  Field f{std::move(name), parse_type(type), Modifiers{}};
+  f.mods.is_static = is_static;
+  cls_->fields.push_back(std::move(f));
+  return *this;
+}
+
+MethodBuilder ClassBuilder::method(std::string name) {
+  Method m;
+  m.name = std::move(name);
+  cls_->methods.push_back(std::move(m));
+  return MethodBuilder(cls_, cls_->methods.size() - 1);
+}
+
+ClassBuilder ProgramBuilder::add_class(std::string name) {
+  ClassDecl cls;
+  cls.name = std::move(name);
+  if (cls.name != kObjectClass) cls.super = std::string(kObjectClass);
+  classes_.push_back(std::move(cls));
+  return ClassBuilder(&classes_.back());
+}
+
+ClassBuilder ProgramBuilder::add_interface(std::string name) {
+  ClassDecl cls;
+  cls.name = std::move(name);
+  cls.is_interface = true;
+  cls.mods.is_abstract = true;
+  classes_.push_back(std::move(cls));
+  return ClassBuilder(&classes_.back());
+}
+
+bool ProgramBuilder::has_class(std::string_view name) const {
+  for (const ClassDecl& c : classes_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+ProgramBuilder& ProgramBuilder::with_core_classes() {
+  if (!has_class(kObjectClass)) {
+    auto object = add_class(std::string(kObjectClass));
+    // Overridable roots every Java gadget chain pivots on. Bodies are empty:
+    // the interesting behaviour lives in overrides connected via ALIAS edges.
+    object.method("toString").returns(std::string(kStringClass)).ret("@this");
+    object.method("hashCode").returns("int").const_int("h", 0).ret("h");
+    object.method("equals").param(std::string(kObjectClass)).returns("boolean").const_int("r", 0).ret("r");
+    object.method("finalize").returns("void").ret();
+    object.method("getClass").returns("java.lang.Class").const_null("c").ret("c");
+  }
+  if (!has_class(kSerializableInterface)) add_interface(std::string(kSerializableInterface));
+  if (!has_class(kExternalizableInterface)) {
+    add_interface(std::string(kExternalizableInterface))
+        .implements(kSerializableInterface);
+  }
+  if (!has_class(kStringClass)) {
+    auto string_cls = add_class(std::string(kStringClass));
+    string_cls.serializable();
+    string_cls.method("toString").returns(std::string(kStringClass)).ret("@this");
+    string_cls.method("hashCode").returns("int").const_int("h", 0).ret("h");
+    string_cls.method("length").returns("int").const_int("n", 0).ret("n");
+  }
+  if (!has_class("java.lang.Class")) add_class("java.lang.Class").serializable();
+  if (!has_class("java.lang.Comparable")) {
+    auto cmp = add_interface("java.lang.Comparable");
+    cmp.method("compareTo").param(std::string(kObjectClass)).returns("int").set_abstract();
+  }
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  Program program;
+  for (ClassDecl& cls : classes_) program.add_class(std::move(cls));
+  classes_.clear();
+  return program;
+}
+
+}  // namespace tabby::jir

@@ -1,0 +1,104 @@
+// Fluent construction API for JIR programs. The synthetic corpus (models of
+// commons-collections, URLDNS, the Spring scene, ...) is written against this
+// builder, so it favours terseness: most call sites are one line per Jimple
+// statement.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "jir/model.hpp"
+
+namespace tabby::jir {
+
+class ClassBuilder;
+
+class MethodBuilder {
+ public:
+  MethodBuilder(ClassDecl* cls, std::size_t index) : cls_(cls), index_(index) {}
+
+  MethodBuilder& param(std::string_view type);
+  MethodBuilder& returns(std::string_view type);
+  MethodBuilder& set_static();
+  MethodBuilder& set_abstract();
+  MethodBuilder& set_native();
+
+  // Statement emission, one helper per Table IV form.
+  MethodBuilder& assign(std::string target, std::string source);
+  MethodBuilder& const_null(std::string target);
+  MethodBuilder& const_int(std::string target, std::int64_t value);
+  MethodBuilder& const_str(std::string target, std::string value);
+  MethodBuilder& new_object(std::string target, std::string_view type);
+  MethodBuilder& field_store(std::string base, std::string field, std::string source);
+  MethodBuilder& field_load(std::string target, std::string base, std::string field);
+  MethodBuilder& static_store(std::string owner, std::string field, std::string source);
+  MethodBuilder& static_load(std::string target, std::string owner, std::string field);
+  MethodBuilder& array_store(std::string base, std::string index, std::string source);
+  MethodBuilder& array_load(std::string target, std::string base, std::string index);
+  MethodBuilder& cast(std::string target, std::string_view type, std::string source);
+  MethodBuilder& ret(std::string value = "");
+
+  MethodBuilder& invoke_virtual(std::string target, std::string base, std::string owner,
+                                std::string name, std::vector<std::string> args);
+  MethodBuilder& invoke_interface(std::string target, std::string base, std::string owner,
+                                  std::string name, std::vector<std::string> args);
+  MethodBuilder& invoke_special(std::string target, std::string base, std::string owner,
+                                std::string name, std::vector<std::string> args);
+  MethodBuilder& invoke_static(std::string target, std::string owner, std::string name,
+                               std::vector<std::string> args);
+
+  MethodBuilder& if_cmp(std::string lhs, CmpOp op, std::string rhs, std::string label);
+  MethodBuilder& jump(std::string label);
+  MethodBuilder& mark(std::string label);
+  MethodBuilder& throw_value(std::string value);
+  MethodBuilder& nop();
+
+  MethodBuilder& stmt(Stmt s);
+
+  Method& method() { return cls_->methods[index_]; }
+
+ private:
+  ClassDecl* cls_;
+  std::size_t index_;
+};
+
+class ClassBuilder {
+ public:
+  explicit ClassBuilder(ClassDecl* cls) : cls_(cls) {}
+
+  ClassBuilder& extends(std::string_view super);
+  ClassBuilder& implements(std::string_view iface);
+  ClassBuilder& serializable();  // shorthand for implements(java.io.Serializable)
+  ClassBuilder& set_abstract();
+  ClassBuilder& field(std::string name, std::string_view type, bool is_static = false);
+
+  /// Adds a method with no parameters; chain .param() to add them.
+  MethodBuilder method(std::string name);
+
+  const std::string& name() const { return cls_->name; }
+
+ private:
+  ClassDecl* cls_;
+};
+
+/// Accumulates classes and produces an immutable Program.
+class ProgramBuilder {
+ public:
+  ClassBuilder add_class(std::string name);
+  ClassBuilder add_interface(std::string name);
+
+  /// Ensures the JDK core types every corpus depends on exist
+  /// (java.lang.Object with its overridable methods, Serializable, String...).
+  ProgramBuilder& with_core_classes();
+
+  bool has_class(std::string_view name) const;
+
+  /// Moves all accumulated classes into a Program. The builder is left empty.
+  Program build();
+
+ private:
+  std::deque<ClassDecl> classes_;
+};
+
+}  // namespace tabby::jir

@@ -1,0 +1,110 @@
+#include "jir/hierarchy.hpp"
+
+#include <deque>
+
+namespace tabby::jir {
+
+Hierarchy::Hierarchy(const Program& program) : program_(&program) {
+  for (const ClassDecl& cls : program.classes()) {
+    if (!cls.super.empty()) subtypes_[cls.super].push_back(cls.name);
+    for (const std::string& iface : cls.interfaces) subtypes_[iface].push_back(cls.name);
+  }
+}
+
+std::vector<std::string> Hierarchy::direct_supertypes(std::string_view cls) const {
+  const ClassDecl* decl = program_->find_class(cls);
+  if (decl == nullptr) return {};
+  std::vector<std::string> out;
+  if (!decl->super.empty()) out.push_back(decl->super);
+  out.insert(out.end(), decl->interfaces.begin(), decl->interfaces.end());
+  return out;
+}
+
+std::vector<std::string> Hierarchy::all_supertypes(std::string_view cls) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen{std::string(cls)};
+  std::deque<std::string> work{std::string(cls)};
+  while (!work.empty()) {
+    std::string current = std::move(work.front());
+    work.pop_front();
+    for (std::string& super : direct_supertypes(current)) {
+      if (seen.insert(super).second) {
+        out.push_back(super);
+        work.push_back(std::move(super));
+      }
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& Hierarchy::direct_subtypes(std::string_view cls) const {
+  auto it = subtypes_.find(std::string(cls));
+  if (it == subtypes_.end()) return empty_;
+  return it->second;
+}
+
+std::vector<std::string> Hierarchy::all_subtypes(std::string_view cls) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen{std::string(cls)};
+  std::deque<std::string> work{std::string(cls)};
+  while (!work.empty()) {
+    std::string current = std::move(work.front());
+    work.pop_front();
+    for (const std::string& sub : direct_subtypes(current)) {
+      if (seen.insert(sub).second) {
+        out.push_back(sub);
+        work.push_back(sub);
+      }
+    }
+  }
+  return out;
+}
+
+bool Hierarchy::is_subtype_of(std::string_view sub, std::string_view super) const {
+  if (sub == super) return true;
+  if (super == kObjectClass) return true;  // every reference type
+  for (const std::string& s : all_supertypes(sub)) {
+    if (s == super) return true;
+  }
+  return false;
+}
+
+bool Hierarchy::is_serializable(std::string_view cls) const {
+  if (cls == kSerializableInterface || cls == kExternalizableInterface) return true;
+  for (const std::string& s : all_supertypes(cls)) {
+    if (s == kSerializableInterface || s == kExternalizableInterface) return true;
+  }
+  return false;
+}
+
+std::optional<MethodId> Hierarchy::dispatch(std::string_view receiver_class, std::string_view name,
+                                            int nargs) const {
+  // Walk the superclass chain first (instance method override semantics),
+  // then fall back to full resolution including interfaces (default-method
+  // style fallback keeps synthetic corpora simple).
+  std::string current{receiver_class};
+  while (!current.empty()) {
+    if (auto id = program_->find_method(current, name, nargs)) {
+      if (program_->method(*id).has_body() || program_->class_of(*id).is_interface) return id;
+    }
+    const ClassDecl* decl = program_->find_class(current);
+    if (decl == nullptr) break;
+    current = decl->super;
+  }
+  return program_->resolve_method(receiver_class, name, nargs);
+}
+
+std::vector<std::string> Hierarchy::concrete_implementations(std::string_view cls) const {
+  std::vector<std::string> out;
+  auto consider = [&](std::string_view name) {
+    const ClassDecl* decl = program_->find_class(name);
+    if (decl != nullptr && !decl->is_interface && !decl->mods.is_abstract) {
+      out.emplace_back(name);
+    }
+  };
+  consider(cls);
+  for (const std::string& sub : all_subtypes(cls)) consider(sub);
+  return out;
+}
+
+}  // namespace tabby::jir

@@ -1,0 +1,98 @@
+#include "jir/model.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace tabby::jir {
+
+const Method* ClassDecl::find_method(std::string_view method_name, int nargs) const {
+  for (const Method& m : methods) {
+    if (m.name == method_name && m.nargs() == nargs) return &m;
+  }
+  return nullptr;
+}
+
+const Field* ClassDecl::find_field(std::string_view field_name) const {
+  for (const Field& f : fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+std::uint32_t Program::add_class(ClassDecl cls) {
+  auto [it, inserted] = by_name_.emplace(cls.name, static_cast<std::uint32_t>(classes_.size()));
+  if (!inserted) throw std::invalid_argument("duplicate class: " + cls.name);
+  classes_.push_back(std::move(cls));
+  return it->second;
+}
+
+std::size_t Program::method_count() const {
+  std::size_t n = 0;
+  for (const ClassDecl& c : classes_) n += c.methods.size();
+  return n;
+}
+
+const ClassDecl* Program::find_class(std::string_view name) const {
+  auto idx = class_index(name);
+  if (!idx) return nullptr;
+  return &classes_[*idx];
+}
+
+std::optional<std::uint32_t> Program::class_index(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MethodId> Program::find_method(std::string_view owner, std::string_view name,
+                                             int nargs) const {
+  auto ci = class_index(owner);
+  if (!ci) return std::nullopt;
+  const ClassDecl& cls = classes_[*ci];
+  for (std::uint32_t mi = 0; mi < cls.methods.size(); ++mi) {
+    const Method& m = cls.methods[mi];
+    if (m.name == name && m.nargs() == nargs) return MethodId{*ci, mi};
+  }
+  return std::nullopt;
+}
+
+std::optional<MethodId> Program::resolve_method(std::string_view owner, std::string_view name,
+                                                int nargs) const {
+  // Breadth-first over the supertype lattice: class chain first, then
+  // interfaces, matching JVM resolution closely enough for dispatch.
+  std::deque<std::string> work{std::string(owner)};
+  std::vector<std::string> seen;
+  while (!work.empty()) {
+    std::string current = std::move(work.front());
+    work.pop_front();
+    bool already = false;
+    for (const std::string& s : seen) {
+      if (s == current) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    seen.push_back(current);
+
+    if (auto id = find_method(current, name, nargs)) return id;
+    const ClassDecl* cls = find_class(current);
+    if (cls == nullptr) continue;
+    if (!cls->super.empty()) work.push_back(cls->super);
+    for (const std::string& iface : cls->interfaces) work.push_back(iface);
+  }
+  return std::nullopt;
+}
+
+std::vector<MethodId> Program::all_methods() const {
+  std::vector<MethodId> out;
+  out.reserve(method_count());
+  for (std::uint32_t ci = 0; ci < classes_.size(); ++ci) {
+    for (std::uint32_t mi = 0; mi < classes_[ci].methods.size(); ++mi) {
+      out.push_back(MethodId{ci, mi});
+    }
+  }
+  return out;
+}
+
+}  // namespace tabby::jir

@@ -1,0 +1,586 @@
+#include "jir/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tabby::jir {
+
+namespace {
+
+using util::Error;
+using util::Result;
+
+enum class TokKind { Word, Int, Str, Sym, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;       // word text / symbol text
+  std::int64_t int_value = 0;
+  std::size_t line = 0;
+};
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$' || c == '@';
+}
+
+/// Hand-rolled lexer. Dots are folded into words only when surrounded by word
+/// characters, so "a.f = b" lexes as ["a.f", "=", "b"] while "b.<X#m/0>"
+/// lexes as ["b", ".", "<", ...].
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> lex() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space_and_comments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (is_word_char(c)) {
+        out.push_back(lex_word());
+      } else if (c == '"') {
+        auto tok = lex_string();
+        if (!tok.ok()) return tok.error();
+        out.push_back(std::move(tok.value()));
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        out.push_back(lex_word());  // negative integer literal
+      } else {
+        out.push_back(lex_symbol());
+      }
+    }
+    out.push_back(Token{TokKind::End, "", 0, line_});
+    return out;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_word() {
+    std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;  // sign of a negative literal
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (is_word_char(c)) {
+        ++pos_;
+      } else if (c == '.' && pos_ + 1 < text_.size() && is_word_char(text_[pos_ + 1]) &&
+                 pos_ > start && is_word_char(text_[pos_ - 1])) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    // Pure (possibly negative) integer literals become Int tokens.
+    bool numeric = !word.empty();
+    for (std::size_t i = (word[0] == '-' ? 1 : 0); i < word.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(word[i]))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (word == "-") numeric = false;
+    if (numeric) {
+      return Token{TokKind::Int, word, std::strtoll(word.c_str(), nullptr, 10), line_};
+    }
+    return Token{TokKind::Word, std::move(word), 0, line_};
+  }
+
+  Result<Token> lex_string() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      if (c == '\n') ++line_;
+      value.push_back(c);
+    }
+    if (pos_ >= text_.size()) return Error{"unterminated string literal", line_};
+    ++pos_;  // closing quote
+    return Token{TokKind::Str, std::move(value), 0, line_};
+  }
+
+  Token lex_symbol() {
+    // Two-character comparison operators first.
+    static constexpr std::string_view kTwoChar[] = {"==", "!=", "<=", ">="};
+    for (std::string_view two : kTwoChar) {
+      if (text_.substr(pos_, 2) == two) {
+        pos_ += 2;
+        return Token{TokKind::Sym, std::string(two), 0, line_};
+      }
+    }
+    char c = text_[pos_++];
+    return Token{TokKind::Sym, std::string(1, c), 0, line_};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> parse_program() {
+    Program program;
+    while (!at_end()) {
+      auto cls = parse_class();
+      if (!cls.ok()) return cls.error();
+      try {
+        program.add_class(std::move(cls.value()));
+      } catch (const std::invalid_argument& e) {
+        return Error{e.what(), line()};
+      }
+    }
+    return program;
+  }
+
+  Result<Stmt> parse_single_stmt() {
+    auto s = parse_stmt();
+    if (!s.ok()) return s.error();
+    if (peek().kind == TokKind::Sym && peek().text == ";") advance();
+    if (!at_end()) return Error{"trailing tokens after statement", line()};
+    return s;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool at_end() const { return peek().kind == TokKind::End; }
+  std::size_t line() const { return peek().line; }
+
+  bool match_sym(std::string_view sym) {
+    if (peek().kind == TokKind::Sym && peek().text == sym) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool match_word(std::string_view word) {
+    if (peek().kind == TokKind::Word && peek().text == word) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> expect_word(std::string_view what) {
+    if (peek().kind != TokKind::Word) {
+      return Error{"expected " + std::string(what) + ", got '" + peek().text + "'", line()};
+    }
+    return advance().text;
+  }
+
+  /// A method name: a plain word, or the JVM special forms "<init>" /
+  /// "<clinit>" which lex as three tokens.
+  Result<std::string> expect_method_name(std::string_view what) {
+    if (peek().kind == TokKind::Sym && peek().text == "<" && peek(1).kind == TokKind::Word &&
+        peek(2).kind == TokKind::Sym && peek(2).text == ">") {
+      advance();
+      std::string name = "<" + advance().text + ">";
+      advance();
+      return name;
+    }
+    return expect_word(what);
+  }
+
+  util::Status expect_sym(std::string_view sym) {
+    if (!match_sym(sym)) {
+      return Error{"expected '" + std::string(sym) + "', got '" + peek().text + "'", line()};
+    }
+    return util::Status::ok_status();
+  }
+
+  Result<Type> parse_type_tokens() {
+    auto name = expect_word("type name");
+    if (!name.ok()) return name.error();
+    int dims = 0;
+    while (peek().kind == TokKind::Sym && peek().text == "[" && peek(1).kind == TokKind::Sym &&
+           peek(1).text == "]") {
+      advance();
+      advance();
+      ++dims;
+    }
+    return Type{std::move(name.value()), dims};
+  }
+
+  Result<Modifiers> parse_modifiers(bool& is_interface_kw, bool& saw_decl_kw) {
+    Modifiers mods;
+    is_interface_kw = false;
+    saw_decl_kw = false;
+    while (peek().kind == TokKind::Word) {
+      const std::string& w = peek().text;
+      if (w == "public") {
+        mods.is_public = true;
+      } else if (w == "private" || w == "protected") {
+        mods.is_public = false;
+      } else if (w == "static") {
+        mods.is_static = true;
+      } else if (w == "abstract") {
+        mods.is_abstract = true;
+      } else if (w == "final") {
+        mods.is_final = true;
+      } else if (w == "native") {
+        mods.is_native = true;
+      } else {
+        break;
+      }
+      advance();
+    }
+    return mods;
+  }
+
+  Result<ClassDecl> parse_class() {
+    bool unused_a = false, unused_b = false;
+    auto mods = parse_modifiers(unused_a, unused_b);
+    if (!mods.ok()) return mods.error();
+
+    ClassDecl cls;
+    cls.mods = mods.value();
+    if (match_word("interface")) {
+      cls.is_interface = true;
+      cls.mods.is_abstract = true;
+    } else if (!match_word("class")) {
+      return Error{"expected 'class' or 'interface', got '" + peek().text + "'", line()};
+    }
+
+    auto name = expect_word("class name");
+    if (!name.ok()) return name.error();
+    cls.name = std::move(name.value());
+
+    if (match_word("extends")) {
+      if (cls.is_interface) {
+        // Interfaces may extend several interfaces.
+        do {
+          auto super = expect_word("interface name");
+          if (!super.ok()) return super.error();
+          cls.interfaces.push_back(std::move(super.value()));
+        } while (match_sym(","));
+      } else {
+        auto super = expect_word("superclass name");
+        if (!super.ok()) return super.error();
+        cls.super = std::move(super.value());
+      }
+    } else if (!cls.is_interface && cls.name != kObjectClass) {
+      cls.super = std::string(kObjectClass);
+    }
+    if (match_word("implements")) {
+      do {
+        auto iface = expect_word("interface name");
+        if (!iface.ok()) return iface.error();
+        cls.interfaces.push_back(std::move(iface.value()));
+      } while (match_sym(","));
+    }
+
+    if (auto s = expect_sym("{"); !s.ok()) return s.error();
+    while (!match_sym("}")) {
+      if (at_end()) return Error{"unterminated class body for " + cls.name, line()};
+      auto member_status = parse_member(cls);
+      if (!member_status.ok()) return member_status.error();
+    }
+    return cls;
+  }
+
+  util::Status parse_member(ClassDecl& cls) {
+    bool unused_a = false, unused_b = false;
+    auto mods = parse_modifiers(unused_a, unused_b);
+    if (!mods.ok()) return mods.error();
+
+    if (match_word("field")) {
+      auto type = parse_type_tokens();
+      if (!type.ok()) return type.error();
+      auto name = expect_word("field name");
+      if (!name.ok()) return name.error();
+      if (auto s = expect_sym(";"); !s.ok()) return s;
+      cls.fields.push_back(Field{std::move(name.value()), std::move(type.value()), mods.value()});
+      return util::Status::ok_status();
+    }
+    if (match_word("method")) {
+      Method m;
+      m.mods = mods.value();
+      auto name = expect_method_name("method name");
+      if (!name.ok()) return name.error();
+      m.name = std::move(name.value());
+      if (auto s = expect_sym("("); !s.ok()) return s;
+      if (!match_sym(")")) {
+        do {
+          auto type = parse_type_tokens();
+          if (!type.ok()) return type.error();
+          m.params.push_back(std::move(type.value()));
+        } while (match_sym(","));
+        if (auto s = expect_sym(")"); !s.ok()) return s;
+      }
+      if (auto s = expect_sym(":"); !s.ok()) return s;
+      auto ret = parse_type_tokens();
+      if (!ret.ok()) return ret.error();
+      m.ret = std::move(ret.value());
+
+      if (match_sym(";")) {
+        if (!m.mods.is_native && !cls.is_interface) m.mods.is_abstract = true;
+        cls.methods.push_back(std::move(m));
+        return util::Status::ok_status();
+      }
+      if (auto s = expect_sym("{"); !s.ok()) return s;
+      while (!match_sym("}")) {
+        if (at_end()) return Error{"unterminated method body for " + m.name, line()};
+        auto stmt = parse_stmt();
+        if (!stmt.ok()) return stmt.error();
+        if (auto s = expect_sym(";"); !s.ok()) return s;
+        m.body.push_back(std::move(stmt.value()));
+      }
+      cls.methods.push_back(std::move(m));
+      return util::Status::ok_status();
+    }
+    return Error{"expected 'field' or 'method', got '" + peek().text + "'", line()};
+  }
+
+  Result<InvokeKind> parse_invoke_kind(const std::string& word) {
+    if (word == "virtualinvoke") return InvokeKind::Virtual;
+    if (word == "staticinvoke") return InvokeKind::Static;
+    if (word == "specialinvoke") return InvokeKind::Special;
+    if (word == "interfaceinvoke") return InvokeKind::Interface;
+    return Error{"unknown invoke kind: " + word, line()};
+  }
+
+  bool is_invoke_keyword(const Token& tok) const {
+    return tok.kind == TokKind::Word &&
+           (tok.text == "virtualinvoke" || tok.text == "staticinvoke" ||
+            tok.text == "specialinvoke" || tok.text == "interfaceinvoke");
+  }
+
+  /// Parses "<Owner#name/n>(a, b)" with optional "base." prefix already
+  /// consumed. `base` is empty for static invokes.
+  Result<InvokeStmt> parse_invoke_tail(std::string target, InvokeKind kind, std::string base) {
+    if (auto s = expect_sym("<"); !s.ok()) return s.error();
+    auto owner = expect_word("callee owner");
+    if (!owner.ok()) return owner.error();
+    if (auto s = expect_sym("#"); !s.ok()) return s.error();
+    auto name = expect_method_name("callee name");
+    if (!name.ok()) return name.error();
+    if (auto s = expect_sym("/"); !s.ok()) return s.error();
+    if (peek().kind != TokKind::Int) return Error{"expected arg count", line()};
+    int nargs = static_cast<int>(advance().int_value);
+    if (auto s = expect_sym(">"); !s.ok()) return s.error();
+    if (auto s = expect_sym("("); !s.ok()) return s.error();
+    std::vector<std::string> args;
+    if (!match_sym(")")) {
+      do {
+        auto arg = expect_word("argument variable");
+        if (!arg.ok()) return arg.error();
+        args.push_back(std::move(arg.value()));
+      } while (match_sym(","));
+      if (auto s = expect_sym(")"); !s.ok()) return s.error();
+    }
+    if (static_cast<int>(args.size()) != nargs) {
+      return Error{"arg count mismatch in invoke of " + name.value(), line()};
+    }
+    return InvokeStmt{std::move(target), kind,
+                      MethodRef{std::move(owner.value()), std::move(name.value()), nargs},
+                      std::move(base), std::move(args)};
+  }
+
+  Result<CmpOp> parse_cmp_op() {
+    if (peek().kind != TokKind::Sym) return Error{"expected comparison operator", line()};
+    std::string op = advance().text;
+    if (op == "==") return CmpOp::Eq;
+    if (op == "!=") return CmpOp::Ne;
+    if (op == "<") return CmpOp::Lt;
+    if (op == ">") return CmpOp::Gt;
+    if (op == "<=") return CmpOp::Le;
+    if (op == ">=") return CmpOp::Ge;
+    return Error{"unknown comparison operator: " + op, line()};
+  }
+
+  Result<Stmt> parse_stmt() {
+    // Keyword-led statements.
+    if (match_word("return")) {
+      if (peek().kind == TokKind::Word) return Stmt{ReturnStmt{advance().text}};
+      return Stmt{ReturnStmt{}};
+    }
+    if (match_word("goto")) {
+      auto label = expect_word("label");
+      if (!label.ok()) return label.error();
+      return Stmt{GotoStmt{std::move(label.value())}};
+    }
+    if (match_word("label")) {
+      auto label = expect_word("label");
+      if (!label.ok()) return label.error();
+      return Stmt{LabelStmt{std::move(label.value())}};
+    }
+    if (match_word("throw")) {
+      auto value = expect_word("variable");
+      if (!value.ok()) return value.error();
+      return Stmt{ThrowStmt{std::move(value.value())}};
+    }
+    if (match_word("nop")) return Stmt{NopStmt{}};
+    if (match_word("if")) {
+      auto lhs = expect_word("variable");
+      if (!lhs.ok()) return lhs.error();
+      auto op = parse_cmp_op();
+      if (!op.ok()) return op.error();
+      auto rhs = expect_word("variable");
+      if (!rhs.ok()) return rhs.error();
+      if (!match_word("goto")) return Error{"expected 'goto' in if statement", line()};
+      auto label = expect_word("label");
+      if (!label.ok()) return label.error();
+      return Stmt{IfStmt{std::move(lhs.value()), op.value(), std::move(rhs.value()),
+                         std::move(label.value())}};
+    }
+    if (match_word("staticput")) {
+      auto target = expect_word("Class.field");
+      if (!target.ok()) return target.error();
+      std::size_t dot = target.value().rfind('.');
+      if (dot == std::string::npos) return Error{"staticput needs Class.field", line()};
+      if (auto s = expect_sym("="); !s.ok()) return s.error();
+      auto source = expect_word("variable");
+      if (!source.ok()) return source.error();
+      return Stmt{StaticStoreStmt{target.value().substr(0, dot), target.value().substr(dot + 1),
+                                  std::move(source.value())}};
+    }
+    if (is_invoke_keyword(peek())) {
+      return parse_invoke_stmt("");
+    }
+
+    // Everything else starts with an lvalue word.
+    auto first = expect_word("statement");
+    if (!first.ok()) return first.error();
+    std::string lhs = std::move(first.value());
+
+    // a[i] = b
+    if (match_sym("[")) {
+      auto index = expect_word("index variable");
+      if (!index.ok()) return index.error();
+      if (auto s = expect_sym("]"); !s.ok()) return s.error();
+      if (auto s = expect_sym("="); !s.ok()) return s.error();
+      auto source = expect_word("variable");
+      if (!source.ok()) return source.error();
+      return Stmt{ArrayStoreStmt{std::move(lhs), std::move(index.value()),
+                                 std::move(source.value())}};
+    }
+
+    // a.f = b (field store; base is a local so exactly one dot)
+    std::size_t dot = lhs.rfind('.');
+    if (dot != std::string::npos) {
+      if (auto s = expect_sym("="); !s.ok()) return s.error();
+      auto source = expect_word("variable");
+      if (!source.ok()) return source.error();
+      return Stmt{FieldStoreStmt{lhs.substr(0, dot), lhs.substr(dot + 1),
+                                 std::move(source.value())}};
+    }
+
+    if (auto s = expect_sym("="); !s.ok()) return s.error();
+    return parse_rhs(std::move(lhs));
+  }
+
+  Result<Stmt> parse_invoke_stmt(std::string target) {
+    auto kind = parse_invoke_kind(advance().text);
+    if (!kind.ok()) return kind.error();
+    std::string base;
+    if (kind.value() != InvokeKind::Static) {
+      auto base_word = expect_word("invoke receiver");
+      if (!base_word.ok()) return base_word.error();
+      base = std::move(base_word.value());
+      if (auto s = expect_sym("."); !s.ok()) return s.error();
+    }
+    auto inv = parse_invoke_tail(std::move(target), kind.value(), std::move(base));
+    if (!inv.ok()) return inv.error();
+    return Stmt{std::move(inv.value())};
+  }
+
+  Result<Stmt> parse_rhs(std::string target) {
+    // a = <int> / "str" / null
+    if (peek().kind == TokKind::Int) {
+      return Stmt{ConstStmt{std::move(target), Const::of(advance().int_value)}};
+    }
+    if (peek().kind == TokKind::Str) {
+      return Stmt{ConstStmt{std::move(target), Const::of(advance().text)}};
+    }
+    if (match_word("null")) return Stmt{ConstStmt{std::move(target), Const::null()}};
+
+    // a = new T
+    if (match_word("new")) {
+      auto type = parse_type_tokens();
+      if (!type.ok()) return type.error();
+      return Stmt{NewStmt{std::move(target), std::move(type.value())}};
+    }
+    // a = staticget T.f
+    if (match_word("staticget")) {
+      auto word = expect_word("Class.field");
+      if (!word.ok()) return word.error();
+      std::size_t dot = word.value().rfind('.');
+      if (dot == std::string::npos) return Error{"staticget needs Class.field", line()};
+      return Stmt{StaticLoadStmt{std::move(target), word.value().substr(0, dot),
+                                 word.value().substr(dot + 1)}};
+    }
+    // a = (T) b
+    if (match_sym("(")) {
+      auto type = parse_type_tokens();
+      if (!type.ok()) return type.error();
+      if (auto s = expect_sym(")"); !s.ok()) return s.error();
+      auto source = expect_word("variable");
+      if (!source.ok()) return source.error();
+      return Stmt{CastStmt{std::move(target), std::move(type.value()),
+                           std::move(source.value())}};
+    }
+    // a = <kind>invoke ...
+    if (is_invoke_keyword(peek())) {
+      return parse_invoke_stmt(std::move(target));
+    }
+
+    // a = b / b.f / b[i]
+    auto source = expect_word("rvalue");
+    if (!source.ok()) return source.error();
+    std::string rhs = std::move(source.value());
+    if (match_sym("[")) {
+      auto index = expect_word("index variable");
+      if (!index.ok()) return index.error();
+      if (auto s = expect_sym("]"); !s.ok()) return s.error();
+      return Stmt{ArrayLoadStmt{std::move(target), std::move(rhs), std::move(index.value())}};
+    }
+    std::size_t dot = rhs.rfind('.');
+    if (dot != std::string::npos) {
+      return Stmt{FieldLoadStmt{std::move(target), rhs.substr(0, dot), rhs.substr(dot + 1)}};
+    }
+    return Stmt{AssignStmt{std::move(target), std::move(rhs)}};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> parse_program(std::string_view text) {
+  auto tokens = Lexer(text).lex();
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens.value())).parse_program();
+}
+
+Result<Stmt> parse_stmt(std::string_view text) {
+  auto tokens = Lexer(text).lex();
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens.value())).parse_single_stmt();
+}
+
+}  // namespace tabby::jir

@@ -1,0 +1,20 @@
+// Parser for the textual JIR surface syntax (the inverse of jir/printer).
+// Used by tests, by the quickstart example, and wherever a corpus is easier
+// to express as text than through the builder API. Failure is reported via
+// Result — malformed text is expected input, not a programming error.
+#pragma once
+
+#include <string_view>
+
+#include "jir/model.hpp"
+#include "util/result.hpp"
+
+namespace tabby::jir {
+
+/// Parses a whole translation unit (any number of class/interface decls).
+util::Result<Program> parse_program(std::string_view text);
+
+/// Parses a single statement line (without the trailing ';').
+util::Result<Stmt> parse_stmt(std::string_view text);
+
+}  // namespace tabby::jir

@@ -1,0 +1,107 @@
+#include "jir/stmt.hpp"
+
+namespace tabby::jir {
+
+std::string_view to_string(InvokeKind kind) {
+  switch (kind) {
+    case InvokeKind::Virtual: return "virtualinvoke";
+    case InvokeKind::Static: return "staticinvoke";
+    case InvokeKind::Special: return "specialinvoke";
+    case InvokeKind::Interface: return "interfaceinvoke";
+  }
+  return "virtualinvoke";
+}
+
+std::string_view to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq: return "==";
+    case CmpOp::Ne: return "!=";
+    case CmpOp::Lt: return "<";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Ge: return ">=";
+  }
+  return "==";
+}
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string const_to_string(const Const& c) {
+  if (c.is_null()) return "null";
+  if (const auto* i = std::get_if<std::int64_t>(&c.value)) return std::to_string(*i);
+  return quote(std::get<std::string>(c.value));
+}
+
+std::string invoke_to_string(const InvokeStmt& s) {
+  std::string out;
+  if (!s.target.empty()) out += s.target + " = ";
+  out += std::string(to_string(s.kind)) + " ";
+  if (!s.base.empty()) out += s.base + ".";
+  out += "<" + s.callee.to_string() + ">(";
+  for (std::size_t i = 0; i < s.args.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += s.args[i];
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const Stmt& stmt) {
+  struct Visitor {
+    std::string operator()(const AssignStmt& s) { return s.target + " = " + s.source; }
+    std::string operator()(const ConstStmt& s) {
+      return s.target + " = " + const_to_string(s.value);
+    }
+    std::string operator()(const NewStmt& s) {
+      return s.target + " = new " + s.type.to_string();
+    }
+    std::string operator()(const FieldStoreStmt& s) {
+      return s.base + "." + s.field + " = " + s.source;
+    }
+    std::string operator()(const FieldLoadStmt& s) {
+      return s.target + " = " + s.base + "." + s.field;
+    }
+    std::string operator()(const StaticStoreStmt& s) {
+      return "staticput " + s.owner + "." + s.field + " = " + s.source;
+    }
+    std::string operator()(const StaticLoadStmt& s) {
+      return s.target + " = staticget " + s.owner + "." + s.field;
+    }
+    std::string operator()(const ArrayStoreStmt& s) {
+      return s.base + "[" + s.index + "] = " + s.source;
+    }
+    std::string operator()(const ArrayLoadStmt& s) {
+      return s.target + " = " + s.base + "[" + s.index + "]";
+    }
+    std::string operator()(const CastStmt& s) {
+      return s.target + " = (" + s.type.to_string() + ") " + s.source;
+    }
+    std::string operator()(const ReturnStmt& s) {
+      return s.value.empty() ? "return" : "return " + s.value;
+    }
+    std::string operator()(const InvokeStmt& s) { return invoke_to_string(s); }
+    std::string operator()(const IfStmt& s) {
+      return "if " + s.lhs + " " + std::string(to_string(s.op)) + " " + s.rhs + " goto " +
+             s.target_label;
+    }
+    std::string operator()(const GotoStmt& s) { return "goto " + s.target_label; }
+    std::string operator()(const LabelStmt& s) { return "label " + s.name; }
+    std::string operator()(const ThrowStmt& s) { return "throw " + s.value; }
+    std::string operator()(const NopStmt&) { return "nop"; }
+  };
+  return std::visit(Visitor{}, stmt);
+}
+
+}  // namespace tabby::jir

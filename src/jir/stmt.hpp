@@ -1,0 +1,130 @@
+// JIR statements: the fifteen Jimple statement forms that Table IV of the
+// paper defines transfer rules over, plus the control-flow forms (if/goto/
+// label/throw) needed to reproduce the paper's residual false positives
+// ("conditional execution statements", §IV-C).
+//
+// Variables are plain identifiers. Two special families are pre-bound on
+// method entry, mirroring Jimple identity statements:
+//   "@this"          the receiver (instance methods only)
+//   "@p1".."@pN"     parameters, 1-based to match the paper's weight domain
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "jir/type.hpp"
+
+namespace tabby::jir {
+
+/// Receiver variable name and 1-based parameter variable names.
+inline constexpr std::string_view kThisVar = "@this";
+inline std::string param_var(int index_1_based) { return "@p" + std::to_string(index_1_based); }
+
+/// A reference to a callee method. Resolution (virtual dispatch, alias
+/// analysis) is by owner + name + argument count, the same signature notion
+/// the paper's MAG construction uses (name, return value, parameter count).
+struct MethodRef {
+  std::string owner;
+  std::string name;
+  int nargs = 0;
+
+  bool operator==(const MethodRef&) const = default;
+  std::string to_string() const { return owner + "#" + name + "/" + std::to_string(nargs); }
+};
+
+enum class InvokeKind : std::uint8_t { Virtual, Static, Special, Interface };
+
+std::string_view to_string(InvokeKind kind);
+
+enum class CmpOp : std::uint8_t { Eq, Ne, Lt, Gt, Le, Ge };
+
+std::string_view to_string(CmpOp op);
+
+/// A compile-time constant: null, integer or string.
+struct Const {
+  std::variant<std::monostate, std::int64_t, std::string> value;
+
+  bool operator==(const Const&) const = default;
+  bool is_null() const { return std::holds_alternative<std::monostate>(value); }
+
+  static Const null() { return {}; }
+  static Const of(std::int64_t v) { return Const{v}; }
+  static Const of(std::string v) { return Const{std::move(v)}; }
+};
+
+// --- Statement forms (Table IV) -------------------------------------------
+
+struct AssignStmt {        // a = b
+  std::string target, source;
+};
+struct ConstStmt {         // a = <const>
+  std::string target;
+  Const value;
+};
+struct NewStmt {           // a = new T
+  std::string target;
+  Type type;
+};
+struct FieldStoreStmt {    // a.f = b
+  std::string base, field, source;
+};
+struct FieldLoadStmt {     // a = b.f
+  std::string target, base, field;
+};
+struct StaticStoreStmt {   // T.f = b
+  std::string owner, field, source;
+};
+struct StaticLoadStmt {    // a = T.f
+  std::string target, owner, field;
+};
+struct ArrayStoreStmt {    // a[i] = b
+  std::string base, index, source;
+};
+struct ArrayLoadStmt {     // a = b[i]
+  std::string target, base, index;
+};
+struct CastStmt {          // a = (T) b
+  std::string target;
+  Type type;
+  std::string source;
+};
+struct ReturnStmt {        // return / return a
+  std::string value;       // empty for void return
+};
+struct InvokeStmt {        // [a =] kindinvoke base.<Owner#name/n>(args)
+  std::string target;      // empty when the result is discarded
+  InvokeKind kind = InvokeKind::Virtual;
+  MethodRef callee;
+  std::string base;        // empty for static invokes
+  std::vector<std::string> args;
+};
+
+// --- Control flow ----------------------------------------------------------
+
+struct IfStmt {            // if a <op> b goto L
+  std::string lhs;
+  CmpOp op = CmpOp::Eq;
+  std::string rhs;
+  std::string target_label;
+};
+struct GotoStmt {          // goto L
+  std::string target_label;
+};
+struct LabelStmt {         // label L
+  std::string name;
+};
+struct ThrowStmt {         // throw a
+  std::string value;
+};
+struct NopStmt {};
+
+using Stmt = std::variant<AssignStmt, ConstStmt, NewStmt, FieldStoreStmt, FieldLoadStmt,
+                          StaticStoreStmt, StaticLoadStmt, ArrayStoreStmt, ArrayLoadStmt, CastStmt,
+                          ReturnStmt, InvokeStmt, IfStmt, GotoStmt, LabelStmt, ThrowStmt, NopStmt>;
+
+/// Render one statement as the textual JIR form the parser accepts.
+std::string to_string(const Stmt& stmt);
+
+}  // namespace tabby::jir

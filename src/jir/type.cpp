@@ -1,0 +1,35 @@
+#include "jir/type.hpp"
+
+#include <array>
+
+namespace tabby::jir {
+
+namespace {
+constexpr std::array<std::string_view, 9> kPrimitives = {
+    "void", "boolean", "byte", "char", "short", "int", "long", "float", "double"};
+}  // namespace
+
+bool Type::is_primitive() const {
+  if (dims > 0) return false;
+  for (std::string_view p : kPrimitives) {
+    if (name == p) return true;
+  }
+  return false;
+}
+
+std::string Type::to_string() const {
+  std::string out = name;
+  for (int i = 0; i < dims; ++i) out += "[]";
+  return out;
+}
+
+Type parse_type(std::string_view text) {
+  int dims = 0;
+  while (text.size() >= 2 && text.substr(text.size() - 2) == "[]") {
+    ++dims;
+    text.remove_suffix(2);
+  }
+  return Type{std::string(text), dims};
+}
+
+}  // namespace tabby::jir

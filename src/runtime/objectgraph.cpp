@@ -1,0 +1,45 @@
+#include "runtime/objectgraph.hpp"
+
+namespace tabby::runtime {
+
+namespace {
+
+VmValue resolve(const FieldSpec& spec, const std::map<std::string, ObjectPtr>& instances) {
+  struct Visitor {
+    const std::map<std::string, ObjectPtr>& instances;
+    VmValue operator()(std::monostate) { return VmValue::null(); }
+    VmValue operator()(std::int64_t v) { return VmValue::of(v); }
+    VmValue operator()(const std::string& v) { return VmValue::of(v); }
+    VmValue operator()(const Ref& ref) {
+      auto it = instances.find(ref.name);
+      return it == instances.end() ? VmValue::null() : VmValue::of(it->second);
+    }
+  };
+  return std::visit(Visitor{instances}, spec);
+}
+
+}  // namespace
+
+ObjectPtr instantiate(const ObjectGraphSpec& spec) {
+  if (spec.empty()) return nullptr;
+
+  // Two-phase build so cyclic references resolve.
+  std::map<std::string, ObjectPtr> instances;
+  for (const auto& [name, object_spec] : spec.objects) {
+    instances.emplace(name, std::make_shared<Object>(object_spec.class_name));
+  }
+  for (const auto& [name, object_spec] : spec.objects) {
+    ObjectPtr& obj = instances.at(name);
+    for (const auto& [field, value] : object_spec.fields) {
+      obj->set_field(field, resolve(value, instances));
+    }
+    for (const FieldSpec& element : object_spec.elements) {
+      obj->elements().push_back(resolve(element, instances));
+    }
+  }
+
+  auto it = instances.find(spec.root);
+  return it == instances.end() ? nullptr : it->second;
+}
+
+}  // namespace tabby::runtime

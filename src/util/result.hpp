@@ -1,0 +1,81 @@
+// Lightweight expected-style result type used by parsers and binary readers,
+// where failure is a normal outcome (untrusted input) rather than a programming
+// error. Exceptions remain the vehicle for contract violations elsewhere.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tabby::util {
+
+/// Error payload: a human-readable message plus an optional byte/line location.
+struct Error {
+  std::string message;
+  std::size_t location = 0;
+
+  std::string to_string() const {
+    if (location == 0) return message;
+    return message + " (at " + std::to_string(location) + ")";
+  }
+};
+
+/// Result<T> holds either a value or an Error. Modeled on std::expected
+/// (not yet available in this toolchain's standard library).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(data_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace tabby::util

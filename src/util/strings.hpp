@@ -1,0 +1,33 @@
+// Small string utilities shared across the parser, the Cypher front end and
+// the report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabby::util {
+
+/// Split on a single-character separator; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Join with a separator string.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// The trailing simple name of a dotted qualified name ("a.b.C" -> "C").
+std::string_view simple_name(std::string_view qualified);
+
+/// The package of a dotted qualified name ("a.b.C" -> "a.b", "C" -> "").
+std::string_view package_of(std::string_view qualified);
+
+/// Render a double with the given number of decimals (locale-independent).
+std::string format_double(double value, int decimals);
+
+}  // namespace tabby::util

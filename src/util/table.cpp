@@ -1,0 +1,38 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace tabby::util {
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "|";
+  for (std::size_t width : widths) sep += std::string(width + 2, '-') + "|";
+  sep += "\n";
+
+  std::string out = render_row(header_);
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace tabby::util

@@ -1,0 +1,24 @@
+// ASCII table renderer: the bench binaries print rows shaped exactly like the
+// paper's tables so the reproduction can be eyeballed against the original.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tabby::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column widths fitted to content, pipe-separated.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tabby::util

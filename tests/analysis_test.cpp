@@ -1,0 +1,498 @@
+// Tests for the controllability analysis (§III-C): the weight/origin domain,
+// Formula 2 (calc), every Table IV transfer rule, and — most importantly —
+// the paper's own worked example from Figure 5, asserted end to end
+// (PP = [∞,∞,2] and the exact Action of `exchange`).
+#include <gtest/gtest.h>
+
+#include "analysis/controllability.hpp"
+#include "analysis/domain.hpp"
+#include "jir/builder.hpp"
+#include "jir/hierarchy.hpp"
+
+namespace tabby::analysis {
+namespace {
+
+using jir::CmpOp;
+
+struct Analyzed {
+  jir::Program program;
+  std::unique_ptr<jir::Hierarchy> hierarchy;
+  std::unique_ptr<ControllabilityAnalysis> analysis;
+};
+
+Analyzed analyze(jir::ProgramBuilder& pb, AnalysisOptions options = {}) {
+  Analyzed a;
+  a.program = pb.build();
+  a.hierarchy = std::make_unique<jir::Hierarchy>(a.program);
+  a.analysis = std::make_unique<ControllabilityAnalysis>(a.program, *a.hierarchy, options);
+  return a;
+}
+
+const MethodSummary& summary_of(Analyzed& a, std::string_view cls, std::string_view name,
+                                int nargs) {
+  auto id = a.program.find_method(cls, name, nargs);
+  EXPECT_TRUE(id.has_value()) << cls << "#" << name;
+  return a.analysis->summary(*id);
+}
+
+// --- Domain -----------------------------------------------------------------
+
+TEST(Domain, WeightsOfOrigins) {
+  EXPECT_EQ(Origin::unknown().weight(), kUncontrollable);
+  EXPECT_EQ(Origin::this_origin().weight(), 0);
+  EXPECT_EQ(Origin::this_origin("f").weight(), 0);
+  EXPECT_EQ(Origin::param_origin(3).weight(), 3);
+  EXPECT_EQ(Origin::param_origin(3, "f").weight(), 3);
+  EXPECT_TRUE(is_controllable(0));
+  EXPECT_FALSE(is_controllable(kUncontrollable));
+}
+
+TEST(Domain, OriginToStringAndParseRoundTrip) {
+  for (const Origin& o : {Origin::unknown(), Origin::this_origin(), Origin::this_origin("x"),
+                          Origin::param_origin(2), Origin::param_origin(12, "field")}) {
+    EXPECT_EQ(Origin::parse(o.to_string()), o) << o.to_string();
+  }
+  EXPECT_EQ(Origin::parse("garbage"), Origin::unknown());
+}
+
+TEST(Domain, MemberCollapsesAtDepthOne) {
+  Origin base = Origin::param_origin(1);
+  Origin f = base.member("a");
+  EXPECT_EQ(f.field, "a");
+  EXPECT_EQ(f.member("b").field, "a");  // depth-1 collapse keeps first field
+}
+
+TEST(Domain, MergePicksMoreControllable) {
+  Origin p2 = Origin::param_origin(2);
+  Origin t = Origin::this_origin();
+  Origin u = Origin::unknown();
+  EXPECT_EQ(merge(p2, t), t);   // 0 beats 2
+  EXPECT_EQ(merge(u, p2), p2);  // 2 beats ∞
+  EXPECT_EQ(merge(p2, u), p2);
+}
+
+TEST(Domain, ActionStringsRoundTrip) {
+  Action a;
+  a.set("final-param-1", Origin::param_origin(1));
+  a.set("final-param-1.b", Origin::param_origin(2));
+  a.set("return", Origin::param_origin(2));
+  a.set("this", Origin::unknown());
+  Action b = Action::from_strings(a.to_strings());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Domain, CalcFollowsFigure5) {
+  // Action of exchange (Fig. 5(b)).
+  Action action;
+  action.set("final-param-1", Origin::param_origin(1));
+  action.set("final-param-1.b", Origin::param_origin(2));
+  action.set("final-param-2", Origin::unknown());
+  action.set("return", Origin::param_origin(2));
+  action.set("this", Origin::unknown());
+
+  // in (Fig. 5(d)).
+  InWeights in{{"this", kUncontrollable},
+               {"init-param-1", kUncontrollable},
+               {"init-param-2", 2}};
+
+  auto out = calc(action, in);
+  EXPECT_EQ(out.at("this"), kUncontrollable);
+  EXPECT_EQ(out.at("final-param-1"), kUncontrollable);
+  EXPECT_EQ(out.at("final-param-1.b"), 2);
+  EXPECT_EQ(out.at("final-param-2"), kUncontrollable);
+  EXPECT_EQ(out.at("return"), 2);
+}
+
+TEST(Domain, PpHelpers) {
+  PollutedPosition pp{kUncontrollable, kUncontrollable, 2};
+  EXPECT_EQ(pp_to_string(pp), "[∞,∞,2]");
+  EXPECT_FALSE(all_uncontrollable(pp));
+  EXPECT_TRUE(all_uncontrollable({kUncontrollable, kUncontrollable}));
+  EXPECT_FALSE(all_uncontrollable({0}));
+}
+
+// --- Figure 5: the paper's worked example ------------------------------------
+
+Analyzed figure5() {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto a_cls = pb.add_class("demo.A");
+  a_cls.field("b", "demo.B");
+  auto b_cls = pb.add_class("demo.B");
+  // public static B exchange(A a, B b) { a.b = b; b = new B(); return a.b; }
+  b_cls.method("exchange")
+      .set_static()
+      .param("demo.A")
+      .param("demo.B")
+      .returns("demo.B")
+      .field_store("@p1", "b", "@p2")
+      .new_object("@p2", "demo.B")
+      .field_load("r", "@p1", "b")
+      .ret("r");
+  // public A example(A a, B b) { A a1 = new A(); A a2 = a; a = a1;
+  //                              B b1 = B.exchange(a, b); return a2; }
+  auto holder = pb.add_class("demo.Holder");
+  holder.method("example")
+      .param("demo.A")
+      .param("demo.B")
+      .returns("demo.A")
+      .new_object("a1", "demo.A")
+      .assign("a2", "@p1")
+      .assign("@p1", "a1")
+      .invoke_static("b1", "demo.B", "exchange", {"@p1", "@p2"})
+      .ret("a2");
+  return analyze(pb);
+}
+
+TEST(Figure5, ExchangeActionMatchesPaper) {
+  Analyzed a = figure5();
+  const Action& action = summary_of(a, "demo.B", "exchange", 2).action;
+  EXPECT_EQ(action.entries.at("final-param-1"), Origin::param_origin(1));
+  EXPECT_EQ(action.entries.at("final-param-1.b"), Origin::param_origin(2));
+  EXPECT_EQ(action.entries.at("final-param-2"), Origin::unknown());
+  EXPECT_EQ(action.entries.at("return"), Origin::param_origin(2));
+  EXPECT_EQ(action.entries.at("this"), Origin::unknown());
+}
+
+TEST(Figure5, ExamplePollutedPositionIsInfInf2) {
+  Analyzed a = figure5();
+  const MethodSummary& s = summary_of(a, "demo.Holder", "example", 2);
+  ASSERT_EQ(s.call_sites.size(), 1u);
+  const CallSite& site = s.call_sites[0];
+  EXPECT_EQ(site.declared.name, "exchange");
+  ASSERT_EQ(site.pp.size(), 3u);
+  EXPECT_EQ(site.pp[0], kUncontrollable);  // static receiver
+  EXPECT_EQ(site.pp[1], kUncontrollable);  // a rebound to new A()
+  EXPECT_EQ(site.pp[2], 2);                // b is init-param-2
+}
+
+TEST(Figure5, ExampleReturnIsControllableParam1) {
+  Analyzed a = figure5();
+  const Action& action = summary_of(a, "demo.Holder", "example", 2).action;
+  // "the example method will return the a2 variable (the content of the
+  // original method parameter a), making it a controllable variable."
+  EXPECT_EQ(action.entries.at("return"), Origin::param_origin(1));
+  // After correct(): the caller's b became uncontrollable, and a.b points to
+  // init-param-2.
+  EXPECT_EQ(action.entries.at("final-param-2"), Origin::unknown());
+  EXPECT_EQ(action.entries.at("final-param-1"), Origin::unknown());
+  EXPECT_EQ(action.entries.at("final-param-1.b"), Origin::param_origin(2));
+}
+
+// --- Table IV transfer rules, one test per row --------------------------------
+
+TEST(TableIV, OriginalAssignmentPropagates) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").param("t.X").returns("t.X").assign("a", "@p1").ret("a");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::param_origin(1));
+}
+
+TEST(TableIV, NewDestroysControllability) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").param("t.X").returns("t.X").assign("a", "@p1").new_object("a", "t.X").ret("a");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::unknown());
+}
+
+TEST(TableIV, ClassPropertyAssignmentAndLoad) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.field("f", "t.X");
+  cls.method("m")
+      .param("t.X")
+      .returns("t.X")
+      .field_store("@this", "f", "@p1")
+      .field_load("r", "@this", "f")
+      .ret("r");
+  Analyzed a = analyze(pb);
+  const Action& action = summary_of(a, "t.C", "m", 1).action;
+  EXPECT_EQ(action.entries.at("return"), Origin::param_origin(1));
+  EXPECT_EQ(action.entries.at("this.f"), Origin::param_origin(1));
+}
+
+TEST(TableIV, UnassignedThisFieldIsCallerControllable) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.field("f", "t.X");
+  cls.method("m").returns("t.X").field_load("r", "@this", "f").ret("r");
+  Analyzed a = analyze(pb);
+  // this.f without assignment: weight 0 ("comes from the caller class or
+  // class property").
+  EXPECT_EQ(summary_of(a, "t.C", "m", 0).action.entries.at("return").weight(), 0);
+}
+
+TEST(TableIV, StaticPropertyAssignmentAndLoad) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.field("sf", "t.X", /*is_static=*/true);
+  cls.method("m")
+      .set_static()
+      .param("t.X")
+      .returns("t.X")
+      .static_store("t.C", "sf", "@p1")
+      .static_load("r", "t.C", "sf")
+      .ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::param_origin(1));
+}
+
+TEST(TableIV, UnassignedStaticIsUncontrollable) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").set_static().returns("t.X").static_load("r", "t.Other", "sf").ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 0).action.entries.at("return"), Origin::unknown());
+}
+
+TEST(TableIV, ArrayStoreAndLoad) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m")
+      .set_static()
+      .param("t.X[]")
+      .param("t.X")
+      .returns("t.X")
+      .const_int("i", 0)
+      .array_store("@p1", "i", "@p2")
+      .array_load("r", "@p1", "i")
+      .ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 2).action.entries.at("return"), Origin::param_origin(2));
+}
+
+TEST(TableIV, ArrayLoadFromParamIsControllable) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m")
+      .set_static()
+      .param("t.X[]")
+      .returns("t.X")
+      .const_int("i", 0)
+      .array_load("r", "@p1", "i")
+      .ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return").weight(), 1);
+}
+
+TEST(TableIV, CastPreservesControllability) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").set_static().param("t.X").returns("t.Y").cast("r", "t.Y", "@p1").ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::param_origin(1));
+}
+
+TEST(TableIV, ConstantsAreUncontrollable) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").set_static().returns("java.lang.String").const_str("r", "cmd").ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 0).action.entries.at("return"), Origin::unknown());
+}
+
+TEST(TableIV, MethodCallAssignmentUsesCalleeReturn) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("id").set_static().param("t.X").returns("t.X").ret("@p1");
+  cls.method("m")
+      .set_static()
+      .param("t.X")
+      .returns("t.X")
+      .invoke_static("r", "t.C", "id", {"@p1"})
+      .ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return").weight(), 1);
+}
+
+TEST(TableIV, CalleeCanDestroyArgumentControllability) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  // wipe(x) rebinds its param; the paper's correct() propagates that wipe
+  // into the caller frame (Fig. 5(d): caller's b becomes ∞).
+  cls.method("wipe").set_static().param("t.X").returns("void").new_object("@p1", "t.X").ret();
+  cls.method("m")
+      .set_static()
+      .param("t.X")
+      .returns("t.X")
+      .invoke_static("", "t.C", "wipe", {"@p1"})
+      .ret("@p1");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::unknown());
+}
+
+// --- Control flow ------------------------------------------------------------
+
+TEST(ControlFlow, JoinMergesOptimistically) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  // r = param on one branch, constant on the other: the merge keeps the
+  // controllable origin (the paper's false-positive source).
+  cls.method("m")
+      .set_static()
+      .param("t.X")
+      .param("int")
+      .returns("t.X")
+      .const_int("zero", 0)
+      .const_null("r")
+      .if_cmp("@p2", CmpOp::Eq, "zero", "takeparam")
+      .jump("end")
+      .mark("takeparam")
+      .assign("r", "@p1")
+      .mark("end")
+      .ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 2).action.entries.at("return"), Origin::param_origin(1));
+}
+
+TEST(ControlFlow, LoopConverges) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m")
+      .set_static()
+      .param("t.X")
+      .returns("t.X")
+      .assign("r", "@p1")
+      .mark("head")
+      .const_int("c", 1)
+      .const_int("d", 2)
+      .if_cmp("c", CmpOp::Eq, "d", "out")
+      .assign("r", "r")
+      .jump("head")
+      .mark("out")
+      .ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::param_origin(1));
+}
+
+TEST(ControlFlow, MultipleReturnsMerge) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m")
+      .set_static()
+      .param("t.X")
+      .returns("t.X")
+      .const_int("c", 1)
+      .const_int("d", 2)
+      .const_null("k")
+      .if_cmp("c", CmpOp::Eq, "d", "other")
+      .ret("@p1")
+      .mark("other")
+      .ret("k");
+  Analyzed a = analyze(pb);
+  // Most controllable across returns wins.
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::param_origin(1));
+}
+
+// --- Interprocedural machinery ------------------------------------------------
+
+TEST(Interprocedural, RecursionTerminatesWithIdentityBottom) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("rec")
+      .set_static()
+      .param("t.X")
+      .returns("t.X")
+      .invoke_static("r", "t.C", "rec", {"@p1"})
+      .ret("r");
+  Analyzed a = analyze(pb);
+  const Action& action = summary_of(a, "t.C", "rec", 1).action;
+  (void)action;  // termination is the primary assertion
+  SUCCEED();
+}
+
+TEST(Interprocedural, MutualRecursionTerminates) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("ping").set_static().param("t.X").returns("t.X")
+      .invoke_static("r", "t.C", "pong", {"@p1"}).ret("r");
+  cls.method("pong").set_static().param("t.X").returns("t.X")
+      .invoke_static("r", "t.C", "ping", {"@p1"}).ret("r");
+  Analyzed a = analyze(pb);
+  summary_of(a, "t.C", "ping", 1);
+  SUCCEED();
+}
+
+TEST(Interprocedural, SummariesAreCached) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("leaf").set_static().param("t.X").returns("t.X").ret("@p1");
+  cls.method("c1").set_static().param("t.X").returns("t.X")
+      .invoke_static("r", "t.C", "leaf", {"@p1"}).ret("r");
+  cls.method("c2").set_static().param("t.X").returns("t.X")
+      .invoke_static("r", "t.C", "leaf", {"@p1"}).ret("r");
+  Analyzed a = analyze(pb);
+  summary_of(a, "t.C", "c1", 1);
+  summary_of(a, "t.C", "c2", 1);
+  EXPECT_GE(a.analysis->cache_hits(), 1u);  // leaf analyzed once, hit once
+}
+
+TEST(Interprocedural, UnknownCalleeReturnUncontrollableByDefault) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").set_static().param("t.X").returns("t.X")
+      .invoke_static("r", "ghost.Lib", "mystery", {"@p1"}).ret("r");
+  Analyzed a = analyze(pb);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return"), Origin::unknown());
+}
+
+TEST(Interprocedural, UnknownCalleePermissiveOption) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("m").set_static().param("t.X").returns("t.X")
+      .invoke_static("r", "ghost.Lib", "mystery", {"@p1"}).ret("r");
+  AnalysisOptions options;
+  options.unknown_return_controllable = true;
+  Analyzed a = analyze(pb, options);
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return").weight(), 1);
+}
+
+TEST(Interprocedural, IntraproceduralModeIgnoresCalleeBodies) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.method("wipe").set_static().param("t.X").returns("void").new_object("@p1", "t.X").ret();
+  cls.method("m").set_static().param("t.X").returns("t.X")
+      .invoke_static("", "t.C", "wipe", {"@p1"}).ret("@p1");
+  AnalysisOptions options;
+  options.interprocedural = false;
+  Analyzed a = analyze(pb, options);
+  // Without interprocedural analysis the wipe is invisible: param stays
+  // controllable — the imprecision the paper pins on prior tools.
+  EXPECT_EQ(summary_of(a, "t.C", "m", 1).action.entries.at("return").weight(), 1);
+}
+
+TEST(Interprocedural, PpRecordedPerCallSite) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("t.C");
+  cls.field("f", "t.X");
+  cls.method("sinkish").param("t.X").returns("void").ret();
+  cls.method("m")
+      .param("t.X")
+      .returns("void")
+      .field_load("own", "@this", "f")
+      .const_null("k")
+      .invoke_virtual("", "@this", "t.C", "sinkish", {"@p1"})
+      .invoke_virtual("", "@this", "t.C", "sinkish", {"own"})
+      .invoke_virtual("", "@this", "t.C", "sinkish", {"k"})
+      .ret();
+  Analyzed a = analyze(pb);
+  const auto& sites = summary_of(a, "t.C", "m", 1).call_sites;
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].pp, (PollutedPosition{0, 1}));
+  EXPECT_EQ(sites[1].pp, (PollutedPosition{0, 0}));
+  EXPECT_EQ(sites[2].pp, (PollutedPosition{0, kUncontrollable}));
+}
+
+TEST(Interprocedural, AbstractMethodGetsIdentityAction) {
+  jir::ProgramBuilder pb;
+  auto iface = pb.add_interface("t.I");
+  iface.method("doIt").param("t.X").returns("t.X").set_abstract();
+  Analyzed a = analyze(pb);
+  const Action& action = summary_of(a, "t.I", "doIt", 1).action;
+  EXPECT_EQ(action.entries.at("final-param-1"), Origin::param_origin(1));
+}
+
+}  // namespace
+}  // namespace tabby::analysis

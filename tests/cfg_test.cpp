@@ -1,0 +1,147 @@
+// Tests for the control-flow-graph substrate (the Soot role): block
+// splitting, branch edges, reverse post-order and reachability.
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+#include "jir/builder.hpp"
+
+namespace tabby::cfg {
+namespace {
+
+jir::Method build_method(const std::function<void(jir::MethodBuilder&)>& fill) {
+  jir::ProgramBuilder pb;
+  auto cls = pb.add_class("demo.C");
+  auto m = cls.method("m").returns("void");
+  fill(m);
+  jir::Program p = pb.build();
+  return p.find_class("demo.C")->methods[0];
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.const_int("x", 1).const_int("y", 2).assign("z", "x").ret();
+  });
+  ControlFlowGraph g(m);
+  ASSERT_EQ(g.blocks().size(), 1u);
+  EXPECT_EQ(g.blocks()[0].size(), 4u);
+  EXPECT_TRUE(g.blocks()[0].successors.empty());
+}
+
+TEST(Cfg, EmptyBodyHasNoBlocks) {
+  jir::Method m = build_method([](jir::MethodBuilder&) {});
+  ControlFlowGraph g(m);
+  EXPECT_TRUE(g.blocks().size() == 0u);
+  EXPECT_EQ(g.entry(), kNoBlock);
+  EXPECT_TRUE(g.reverse_post_order().empty());
+}
+
+TEST(Cfg, IfSplitsIntoDiamond) {
+  // if x == y goto L; <then-fallthrough>; label L; return
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.const_int("x", 1)
+        .const_int("y", 1)
+        .if_cmp("x", jir::CmpOp::Eq, "y", "skip")
+        .assign("z", "x")
+        .mark("skip")
+        .ret();
+  });
+  ControlFlowGraph g(m);
+  // Blocks: [consts+if], [assign], [label+return]
+  ASSERT_EQ(g.blocks().size(), 3u);
+  EXPECT_EQ(g.blocks()[0].successors.size(), 2u);
+  EXPECT_EQ(g.blocks()[1].successors.size(), 1u);
+  EXPECT_EQ(g.blocks()[2].successors.size(), 0u);
+  EXPECT_EQ(g.blocks()[2].predecessors.size(), 2u);
+  EXPECT_TRUE(g.is_conditional(1));
+  EXPECT_FALSE(g.is_conditional(0));
+}
+
+TEST(Cfg, LoopBackEdge) {
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.const_int("i", 0)
+        .mark("head")
+        .const_int("n", 10)
+        .if_cmp("i", jir::CmpOp::Ge, "n", "done")
+        .assign("i", "n")
+        .jump("head")
+        .mark("done")
+        .ret();
+  });
+  ControlFlowGraph g(m);
+  // A back edge exists: some block's successor has a lower id.
+  bool has_back_edge = false;
+  for (const BasicBlock& block : g.blocks()) {
+    for (BlockId succ : block.successors) {
+      if (succ <= block.id) has_back_edge = true;
+    }
+  }
+  EXPECT_TRUE(has_back_edge);
+}
+
+TEST(Cfg, ReturnTerminatesBlock) {
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.ret();
+    b.const_int("dead", 1);  // unreachable
+    b.ret();
+  });
+  ControlFlowGraph g(m);
+  ASSERT_EQ(g.blocks().size(), 2u);
+  EXPECT_TRUE(g.blocks()[0].successors.empty());
+  auto reach = g.reachable();
+  EXPECT_TRUE(reach[0]);
+  EXPECT_FALSE(reach[1]);
+}
+
+TEST(Cfg, GotoToUnknownLabelIsDeadEnd) {
+  // The validator flags this; the CFG must still not crash.
+  jir::Method m = build_method([](jir::MethodBuilder& b) { b.jump("nowhere"); });
+  ControlFlowGraph g(m);
+  ASSERT_EQ(g.blocks().size(), 1u);
+  EXPECT_TRUE(g.blocks()[0].successors.empty());
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.const_int("x", 1)
+        .const_int("y", 2)
+        .if_cmp("x", jir::CmpOp::Eq, "y", "a")
+        .jump("b")
+        .mark("a")
+        .jump("end")
+        .mark("b")
+        .jump("end")
+        .mark("end")
+        .ret();
+  });
+  ControlFlowGraph g(m);
+  auto order = g.reverse_post_order();
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), g.entry());
+  // Every block is reachable here, so RPO covers all blocks.
+  EXPECT_EQ(order.size(), g.blocks().size());
+  // The join block ("end") comes after both branches.
+  EXPECT_EQ(order.back(), g.blocks().size() - 1);
+}
+
+TEST(Cfg, ThrowEndsBlockWithoutSuccessors) {
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.new_object("e", "java.lang.RuntimeException").throw_value("e");
+  });
+  ControlFlowGraph g(m);
+  ASSERT_EQ(g.blocks().size(), 1u);
+  EXPECT_TRUE(g.blocks()[0].successors.empty());
+}
+
+TEST(Cfg, ToStringMentionsEveryBlock) {
+  jir::Method m = build_method([](jir::MethodBuilder& b) {
+    b.const_int("x", 1).const_int("y", 1).if_cmp("x", jir::CmpOp::Eq, "y", "l").mark("l").ret();
+  });
+  ControlFlowGraph g(m);
+  std::string dump = g.to_string();
+  for (const BasicBlock& block : g.blocks()) {
+    EXPECT_NE(dump.find("B" + std::to_string(block.id)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tabby::cfg

@@ -1,0 +1,140 @@
+// Tests for the `tabby` CLI: argument handling, every subcommand, and the
+// full disk round trip (gen -> analyze -> find -> query, including the
+// persistent graph-store path).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "cli/cli.hpp"
+
+namespace tabby::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CliRun result;
+  result.code = run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+class CliFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("tabby_cli_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& file) const { return (dir_ / file).string(); }
+  fs::path dir_;
+};
+
+TEST(Cli, NoArgsShowsUsage) {
+  CliRun r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliRun r = run({"list", "--bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, MissingFlagValueFails) {
+  CliRun r = run({"gen", "C3P0", "--out"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, ListShowsComponentsAndScenes) {
+  CliRun r = run({"list"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("commons-collections(3.2.1)"), std::string::npos);
+  EXPECT_NE(r.out.find("Spring"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenUnknownNameFails) {
+  CliRun r = run({"gen", "NoSuchThing", "--out", dir_.string()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown component or scene"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenAnalyzeFindQueryRoundTrip) {
+  // gen
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  ASSERT_TRUE(fs::exists(path("BeanShell1.tjar")));
+  ASSERT_TRUE(fs::exists(path("jdk-base.tjar")));
+
+  // analyze with a persistent store
+  CliRun analyze =
+      run({"analyze", path("BeanShell1.tjar"), "--store", path("cpg.tgdb")});
+  ASSERT_EQ(analyze.code, 0) << analyze.err;
+  EXPECT_NE(analyze.out.find("sinks:"), std::string::npos);
+  EXPECT_TRUE(fs::exists(path("cpg.tgdb")));
+
+  // find with auto-verification: BeanShell1 = 1 real + 2 guarded fakes.
+  CliRun find = run({"find", path("BeanShell1.tjar"), "--verify"});
+  ASSERT_EQ(find.code, 0) << find.err;
+  EXPECT_NE(find.out.find("3 gadget chain(s)"), std::string::npos);
+  EXPECT_NE(find.out.find("1/3 chains confirmed effective"), std::string::npos);
+
+  // query against the stored graph
+  CliRun query = run({"query", "--store", path("cpg.tgdb"),
+                      "MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE"});
+  ASSERT_EQ(query.code, 0) << query.err;
+  EXPECT_NE(query.out.find("row(s)"), std::string::npos);
+
+  // query building the CPG from jars directly
+  CliRun query2 = run({"query", path("BeanShell1.tjar"),
+                       "MATCH (m:Method {IS_SOURCE: true}) RETURN m.SIGNATURE LIMIT 3"});
+  ASSERT_EQ(query2.code, 0) << query2.err;
+  EXPECT_NE(query2.out.find("readObject"), std::string::npos);
+}
+
+TEST_F(CliFixture, FindDepthFlagLimitsSearch) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0);
+  CliRun shallow = run({"find", path("BeanShell1.tjar"), "--depth", "1"});
+  ASSERT_EQ(shallow.code, 0);
+  EXPECT_NE(shallow.out.find("0 gadget chain(s)"), std::string::npos);
+}
+
+TEST_F(CliFixture, AnalyzeMissingJarFails) {
+  CliRun r = run({"analyze", path("ghost.tjar")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
+TEST_F(CliFixture, QueryParseErrorReported) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0);
+  CliRun r = run({"query", path("BeanShell1.tjar"), "NONSENSE"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("query error"), std::string::npos);
+}
+
+TEST_F(CliFixture, BadDepthRejected) {
+  CliRun r = run({"find", "x.tjar", "--depth", "zero"});
+  EXPECT_EQ(r.code, 2);
+}
+
+}  // namespace
+}  // namespace tabby::cli

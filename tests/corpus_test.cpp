@@ -1,0 +1,150 @@
+// Tests for the synthetic corpus: structural sanity of every component and
+// scene, determinism, validation, and — crucially — VM verification of the
+// planted ground truth (every real chain fires, every fake is refuted).
+#include <gtest/gtest.h>
+
+#include "corpus/components.hpp"
+#include "corpus/jdk.hpp"
+#include "corpus/noise.hpp"
+#include "corpus/scenes.hpp"
+#include "evalkit/evalkit.hpp"
+#include "jir/printer.hpp"
+#include "jir/validate.hpp"
+
+namespace tabby::corpus {
+namespace {
+
+TEST(Jdk, BaseArchiveIsWellFormed) {
+  jar::Archive base = jdk_base_archive();
+  EXPECT_EQ(base.meta.name, "jdk-base");
+  jir::Program program = jar::link({base});
+  EXPECT_TRUE(jir::validate(program).empty());
+  EXPECT_NE(program.find_class("java.lang.Runtime"), nullptr);
+  EXPECT_NE(program.find_class("javax.naming.Context"), nullptr);
+}
+
+TEST(Jdk, SinkSignaturesResolve) {
+  for (SinkFlavor flavor : kAllSinkFlavors) {
+    EXPECT_FALSE(sink_signature(flavor).empty());
+  }
+}
+
+TEST(Components, TableIXHas26Rows) {
+  EXPECT_EQ(component_names().size(), 26u);
+}
+
+TEST(Components, DatasetTotalsMatchTableIX) {
+  // "Known in dataset" sums to 38 across the table.
+  std::size_t dataset_total = 0;
+  for (const std::string& name : component_names()) {
+    dataset_total += build_component(name).known_in_dataset();
+  }
+  EXPECT_EQ(dataset_total, 38u);
+}
+
+TEST(Components, UnknownNameThrows) {
+  EXPECT_THROW(build_component("NoSuchLib"), std::invalid_argument);
+}
+
+TEST(Components, BuildIsDeterministic) {
+  Component a = build_component("C3P0");
+  Component b = build_component("C3P0");
+  EXPECT_EQ(jar::write_archive(a.jar), jar::write_archive(b.jar));
+  ASSERT_EQ(a.truths.size(), b.truths.size());
+  for (std::size_t i = 0; i < a.truths.size(); ++i) {
+    EXPECT_EQ(a.truths[i].source_signature, b.truths[i].source_signature);
+  }
+}
+
+TEST(Components, EveryComponentValidates) {
+  for (const std::string& name : component_names()) {
+    Component component = build_component(name);
+    jir::Program program = component.link();
+    auto issues = jir::validate(program);
+    EXPECT_TRUE(issues.empty()) << name << ": " << issues.front().to_string();
+  }
+}
+
+TEST(Components, GroundTruthVerifiesInTheVm) {
+  // Every real recipe fires its sink, every fake attempt is refuted — the
+  // corpus-wide self-check that makes the Table IX classification honest.
+  for (const std::string& name : component_names()) {
+    Component component = build_component(name);
+    jir::Program program = component.link();
+    evalkit::VerificationOutcome outcome =
+        evalkit::verify_ground_truth(program, component.truths, component.fakes);
+    EXPECT_TRUE(outcome.all_good())
+        << name << ": " << (outcome.failures.empty() ? "count mismatch" : outcome.failures[0]);
+  }
+}
+
+TEST(Scenes, TableXHas5Rows) {
+  EXPECT_EQ(scene_names().size(), 5u);
+}
+
+TEST(Scenes, JarCountsMatchTableX) {
+  struct Expected {
+    const char* name;
+    std::size_t jars;
+  };
+  const Expected expected[] = {
+      {"Spring", 66}, {"JDK8", 19}, {"Tomcat", 25}, {"Jetty", 67}, {"Apache Dubbo", 15}};
+  for (const Expected& e : expected) {
+    Scene scene = build_scene(e.name);
+    EXPECT_EQ(scene.jar_count(), e.jars) << e.name;
+  }
+}
+
+TEST(Scenes, SpringContainsTableXIChains) {
+  Scene spring = build_scene("Spring");
+  jir::Program program = spring.link();
+  EXPECT_NE(program.find_class("org.springframework.aop.target.LazyInitTargetSource"), nullptr);
+  EXPECT_NE(program.find_class("org.springframework.aop.target.PrototypeTargetSource"), nullptr);
+  EXPECT_NE(program.find_class("org.springframework.jndi.support.SimpleJndiBeanFactory"), nullptr);
+  // Three JNDI chains among the truths.
+  std::size_t jndi = 0;
+  for (const auto& truth : spring.truths) {
+    if (truth.sink_signature == "javax.naming.Context#lookup/1") ++jndi;
+  }
+  EXPECT_GE(jndi, 3u);
+}
+
+TEST(Scenes, GroundTruthVerifiesInTheVm) {
+  for (const std::string& name : scene_names()) {
+    Scene scene = build_scene(name);
+    jir::Program program = scene.link();
+    evalkit::VerificationOutcome outcome =
+        evalkit::verify_ground_truth(program, scene.truths, scene.fakes);
+    EXPECT_TRUE(outcome.all_good())
+        << name << ": " << (outcome.failures.empty() ? "count mismatch" : outcome.failures[0]);
+  }
+}
+
+TEST(Noise, DeterministicAndSized) {
+  jar::Archive a = make_noise_archive("n.jar", "noise.pkg", 50, 7);
+  jar::Archive b = make_noise_archive("n.jar", "noise.pkg", 50, 7);
+  EXPECT_EQ(jar::write_archive(a), jar::write_archive(b));
+  EXPECT_EQ(a.classes.size(), 50u + 50u / 20u);  // classes + interfaces
+}
+
+TEST(Noise, ValidatesAsProgram) {
+  jar::Archive archive = make_noise_archive("n.jar", "noise.pkg", 80, 11);
+  jir::Program program = jar::link({jdk_base_archive(), archive});
+  auto issues = jir::validate(program);
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues.front().to_string());
+}
+
+TEST(Noise, ScaledCorpusReachesTarget) {
+  std::size_t actual = 0;
+  auto jars = make_scaled_corpus(200'000, 3, &actual);
+  EXPECT_GE(actual, 200'000u);
+  EXPECT_FALSE(jars.empty());
+  // No duplicate class names across jars (packages are distinct).
+  jir::Program linked = jar::link(jars);
+  std::size_t classes = 0;
+  for (const auto& jar : jars) classes += jar.classes.size();
+  EXPECT_EQ(linked.class_count(), classes);
+}
+
+}  // namespace
+}  // namespace tabby::corpus

@@ -1,0 +1,106 @@
+// Shared JIR fixtures mirroring the paper's running examples:
+//  - Figure 1: EvilObjectA/EvilObjectB (readObject -> toString -> exec)
+//  - Figure 3: the URLDNS chain (HashMap.readObject -> ... -> getByName)
+// The corpus module ships richer models; these are the minimal versions the
+// unit tests reason about by hand.
+#pragma once
+
+#include "jir/builder.hpp"
+#include "jir/model.hpp"
+
+namespace tabby::testing {
+
+/// Figure 1: EvilObjectA.readObject() reads val1 and calls toString();
+/// EvilObjectB.toString() runs Runtime.exec(val2.toString()).
+inline jir::Program evil_object_program() {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+
+  auto runtime = pb.add_class("java.lang.Runtime");
+  runtime.method("getRuntime").set_static().returns("java.lang.Runtime")
+      .new_object("r", "java.lang.Runtime").ret("r");
+  runtime.method("exec").param("java.lang.String").returns("java.lang.Process").set_native();
+
+  auto a = pb.add_class("demo.EvilObjectA");
+  a.serializable();
+  a.field("val1", "java.lang.Object");
+  a.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("valObj", "@this", "val1")
+      .invoke_virtual("s", "valObj", "java.lang.Object", "toString", {})
+      .ret();
+
+  auto b = pb.add_class("demo.EvilObjectB");
+  b.serializable();
+  b.field("val2", "java.lang.Object");
+  b.method("toString")
+      .returns("java.lang.String")
+      .field_load("v2", "@this", "val2")
+      .invoke_virtual("cmd", "v2", "java.lang.Object", "toString", {})
+      .invoke_static("rt", "java.lang.Runtime", "getRuntime", {})
+      .invoke_virtual("p", "rt", "java.lang.Runtime", "exec", {"cmd"})
+      .const_str("s", "done")
+      .ret("s");
+
+  return pb.build();
+}
+
+/// Figure 3: the URLDNS gadget chain, plus the EnumMap.hashCode alias
+/// dead-end the paper uses to motivate searching upwards from the sink.
+inline jir::Program urldns_program() {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+
+  auto hashmap = pb.add_class("java.util.HashMap");
+  hashmap.serializable();
+  hashmap.field("key", "java.lang.Object");
+  hashmap.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("k", "@this", "key")
+      .invoke_virtual("h", "@this", "java.util.HashMap", "hash", {"k"})
+      .ret();
+  hashmap.method("hash")
+      .param("java.lang.Object")
+      .returns("int")
+      .invoke_virtual("h", "@p1", "java.lang.Object", "hashCode", {})
+      .ret("h");
+
+  auto url = pb.add_class("java.net.URL");
+  url.serializable();
+  url.field("host", "java.lang.String");
+  url.field("handler", "java.net.URLStreamHandler");
+  url.method("hashCode")
+      .returns("int")
+      .field_load("hd", "@this", "handler")
+      .invoke_virtual("h", "hd", "java.net.URLStreamHandler", "hashCode", {"@this"})
+      .ret("h");
+
+  auto handler = pb.add_class("java.net.URLStreamHandler");
+  handler.method("hashCode")
+      .param("java.net.URL")
+      .returns("int")
+      .invoke_virtual("addr", "@this", "java.net.URLStreamHandler", "getHostAddress", {"@p1"})
+      .const_int("h", 0)
+      .ret("h");
+  handler.method("getHostAddress")
+      .param("java.net.URL")
+      .returns("java.net.InetAddress")
+      .field_load("host", "@p1", "host")
+      .invoke_static("a", "java.net.InetAddress", "getByName", {"host"})
+      .ret("a");
+
+  // Alias dead end: EnumMap.hashCode never reaches a sink.
+  auto enummap = pb.add_class("java.util.EnumMap");
+  enummap.serializable();
+  enummap.method("hashCode")
+      .returns("int")
+      .invoke_virtual("h", "@this", "java.util.EnumMap", "entryHashCode", {})
+      .ret("h");
+  enummap.method("entryHashCode").returns("int").const_int("h", 17).ret("h");
+
+  return pb.build();
+}
+
+}  // namespace tabby::testing

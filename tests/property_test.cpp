@@ -1,0 +1,169 @@
+// Cross-module property tests, swept over every Table IX component model:
+// archive and text round trips, CPG structural invariants, chain soundness
+// (every reported chain is a CALL/ALIAS-connected source-to-sink path whose
+// Trigger_Condition survives), and persistence stability of search results.
+#include <gtest/gtest.h>
+
+#include "analysis/domain.hpp"
+#include "corpus/components.hpp"
+#include "cpg/builder.hpp"
+#include "cpg/schema.hpp"
+#include "finder/finder.hpp"
+#include "graph/serialize.hpp"
+#include "jir/parser.hpp"
+#include "jir/printer.hpp"
+
+namespace tabby {
+namespace {
+
+class ComponentProperty : public ::testing::TestWithParam<std::string> {
+ public:
+  static std::string sanitize(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return out;
+  }
+};
+
+TEST_P(ComponentProperty, ArchiveBinaryRoundTrip) {
+  corpus::Component component = corpus::build_component(GetParam());
+  auto bytes = jar::write_archive(component.jar);
+  auto reread = jar::read_archive(bytes);
+  ASSERT_TRUE(reread.ok()) << reread.error().to_string();
+  ASSERT_EQ(reread.value().classes.size(), component.jar.classes.size());
+  // Canonical text must be identical class-by-class.
+  for (std::size_t i = 0; i < component.jar.classes.size(); ++i) {
+    EXPECT_EQ(jir::to_text(reread.value().classes[i]), jir::to_text(component.jar.classes[i]));
+  }
+}
+
+TEST_P(ComponentProperty, TextualRoundTrip) {
+  corpus::Component component = corpus::build_component(GetParam());
+  jir::Program program = component.link();
+  std::string text = jir::to_text(program);
+  auto reparsed = jir::parse_program(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(jir::to_text(reparsed.value()), text);
+}
+
+TEST_P(ComponentProperty, CpgStructuralInvariants) {
+  corpus::Component component = corpus::build_component(GetParam());
+  cpg::Cpg cpg = cpg::build_cpg(component.link());
+  const graph::GraphDb& db = cpg.db;
+
+  db.for_each_edge([&](const graph::Edge& e) {
+    const graph::Node& from = db.node(e.from);
+    const graph::Node& to = db.node(e.to);
+    if (e.type == cpg::kHasEdge) {
+      EXPECT_EQ(from.label, cpg::kClassLabel);
+      EXPECT_EQ(to.label, cpg::kMethodLabel);
+      // The method's CLASSNAME is its owning class's NAME.
+      EXPECT_EQ(to.prop_string(std::string(cpg::kPropClassName)),
+                from.prop_string(std::string(cpg::kPropName)));
+    } else if (e.type == cpg::kExtendEdge || e.type == cpg::kInterfaceEdge) {
+      EXPECT_EQ(from.label, cpg::kClassLabel);
+      EXPECT_EQ(to.label, cpg::kClassLabel);
+    } else if (e.type == cpg::kCallEdge) {
+      EXPECT_EQ(from.label, cpg::kMethodLabel);
+      EXPECT_EQ(to.label, cpg::kMethodLabel);
+      // Every surviving CALL edge has a PP with at least one controllable
+      // position (the PCG pruning invariant).
+      const auto* pp = std::get_if<std::vector<std::int64_t>>(
+          e.prop(std::string(cpg::kPropPollutedPosition)));
+      ASSERT_NE(pp, nullptr);
+      EXPECT_FALSE(pp->empty());
+      bool any_controllable = false;
+      for (std::int64_t w : *pp) any_controllable |= analysis::is_controllable(w);
+      EXPECT_TRUE(any_controllable);
+    } else if (e.type == cpg::kAliasEdge) {
+      // ALIAS links methods with identical name and arity.
+      EXPECT_EQ(from.prop_string(std::string(cpg::kPropName)),
+                to.prop_string(std::string(cpg::kPropName)));
+      EXPECT_EQ(from.prop_int(std::string(cpg::kPropParamCount)),
+                to.prop_int(std::string(cpg::kPropParamCount)));
+    }
+  });
+
+  // Every source node sits in a serializable class.
+  for (graph::NodeId id : db.find_nodes(std::string(cpg::kMethodLabel),
+                                        std::string(cpg::kPropIsSource), graph::Value{true})) {
+    std::string owner = db.node(id).prop_string(std::string(cpg::kPropClassName));
+    auto classes = db.find_nodes(std::string(cpg::kClassLabel), std::string(cpg::kPropName),
+                                 graph::Value{owner});
+    ASSERT_EQ(classes.size(), 1u);
+    EXPECT_TRUE(db.node(classes[0]).prop_bool(std::string(cpg::kPropSerializable))) << owner;
+  }
+}
+
+TEST_P(ComponentProperty, ReportedChainsAreConnectedSourceToSinkPaths) {
+  corpus::Component component = corpus::build_component(GetParam());
+  cpg::Cpg cpg = cpg::build_cpg(component.link());
+  finder::GadgetChainFinder finder(cpg.db);
+  for (const finder::GadgetChain& chain : finder.find_all().chains) {
+    ASSERT_GE(chain.nodes.size(), 2u);
+    EXPECT_TRUE(cpg.db.node(chain.nodes.front()).prop_bool(std::string(cpg::kPropIsSource)));
+    EXPECT_TRUE(cpg.db.node(chain.nodes.back()).prop_bool(std::string(cpg::kPropIsSink)));
+    for (std::size_t i = 0; i + 1 < chain.nodes.size(); ++i) {
+      // Forward CALL (caller -> callee) or reverse ALIAS (override <- decl).
+      bool connected =
+          cpg.db.find_edge(chain.nodes[i], chain.nodes[i + 1], cpg::kCallEdge).has_value() ||
+          cpg.db.find_edge(chain.nodes[i + 1], chain.nodes[i], cpg::kAliasEdge).has_value();
+      EXPECT_TRUE(connected) << chain.signatures[i] << " -/-> " << chain.signatures[i + 1];
+    }
+    // No node repeats (NodePath uniqueness).
+    std::set<graph::NodeId> unique(chain.nodes.begin(), chain.nodes.end());
+    EXPECT_EQ(unique.size(), chain.nodes.size());
+  }
+}
+
+TEST_P(ComponentProperty, SearchResultsSurviveGraphPersistence) {
+  corpus::Component component = corpus::build_component(GetParam());
+  cpg::Cpg cpg = cpg::build_cpg(component.link());
+  finder::GadgetChainFinder before(cpg.db);
+  auto chains_before = before.find_all().chains;
+
+  auto loaded = graph::deserialize(graph::serialize(cpg.db));
+  ASSERT_TRUE(loaded.ok());
+  // Rebuild the indexes the finder relies on (persistence stores data, not
+  // index structures — like a fresh Neo4j store after import).
+  loaded.value().create_index(std::string(cpg::kMethodLabel), std::string(cpg::kPropIsSink));
+  finder::GadgetChainFinder after(loaded.value());
+  auto chains_after = after.find_all().chains;
+
+  ASSERT_EQ(chains_after.size(), chains_before.size());
+  std::multiset<std::string> keys_before, keys_after;
+  for (const auto& c : chains_before) keys_before.insert(c.key());
+  for (const auto& c : chains_after) keys_after.insert(c.key());
+  EXPECT_EQ(keys_before, keys_after);
+}
+
+TEST_P(ComponentProperty, PrunedGraphIsSubsetOfUnpruned) {
+  corpus::Component component = corpus::build_component(GetParam());
+  jir::Program program = component.link();
+  cpg::Cpg pruned = cpg::build_cpg(program);
+  cpg::CpgOptions raw_options;
+  raw_options.prune_uncontrollable_calls = false;
+  cpg::Cpg raw = cpg::build_cpg(program, raw_options);
+  EXPECT_LE(pruned.stats.call_edges, raw.stats.call_edges);
+  EXPECT_EQ(pruned.stats.call_edges + pruned.stats.pruned_call_sites >= raw.stats.call_edges,
+            true);
+  // Pruning must not change what the finder reports (TC checking already
+  // rejects those edges): result sets are identical.
+  finder::GadgetChainFinder on_pruned(pruned.db);
+  finder::GadgetChainFinder on_raw(raw.db);
+  std::multiset<std::string> a, b;
+  for (const auto& c : on_pruned.find_all().chains) a.insert(c.key());
+  for (const auto& c : on_raw.find_all().chains) b.insert(c.key());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComponents, ComponentProperty,
+                         ::testing::ValuesIn(corpus::component_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return ComponentProperty::sanitize(info.param);
+                         });
+
+}  // namespace
+}  // namespace tabby

@@ -1,0 +1,307 @@
+// Tests for the deserialization VM: value semantics, dispatch, taint flow,
+// sink observation, branch behaviour (guard-broken chains must fail), budget
+// handling, and full attack verification of the URLDNS / EvilObject models.
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "runtime/objectgraph.hpp"
+#include "runtime/vm.hpp"
+
+namespace tabby::runtime {
+namespace {
+
+struct World {
+  jir::Program program;
+  std::unique_ptr<jir::Hierarchy> hierarchy;
+  std::unique_ptr<Interpreter> vm;
+};
+
+World make_world(jir::Program program, VmOptions options = {}) {
+  World w;
+  w.program = std::move(program);
+  w.hierarchy = std::make_unique<jir::Hierarchy>(w.program);
+  w.vm = std::make_unique<Interpreter>(w.program, *w.hierarchy, std::move(options));
+  return w;
+}
+
+TEST(Vm, UrldnsAttackSucceeds) {
+  World w = make_world(testing::urldns_program());
+
+  ObjectGraphSpec spec;
+  spec.objects["map"] = ObjectSpec{"java.util.HashMap", {{"key", Ref{"url"}}}, {}};
+  spec.objects["url"] = ObjectSpec{
+      "java.net.URL", {{"host", std::string("attacker.example")}, {"handler", Ref{"handler"}}},
+      {}};
+  spec.objects["handler"] = ObjectSpec{"java.net.URLStreamHandler", {}, {}};
+  spec.root = "map";
+
+  ObjectPtr root = instantiate(spec);
+  ASSERT_NE(root, nullptr);
+  ExecutionResult result = w.vm->deserialize(root);
+  EXPECT_TRUE(result.completed) << result.fault;
+  ASSERT_FALSE(result.sink_hits.empty());
+  EXPECT_TRUE(result.attack_succeeded("java.net.InetAddress#getByName/1"));
+  // The observed call stack is the gadget chain.
+  const SinkHit& hit = result.sink_hits[0];
+  EXPECT_EQ(hit.call_stack.front(), "java.util.HashMap#readObject/1");
+  EXPECT_EQ(hit.call_stack.back(), "java.net.InetAddress#getByName/1");
+}
+
+TEST(Vm, UrldnsWithEnumMapKeyHitsNoSink) {
+  World w = make_world(testing::urldns_program());
+  ObjectGraphSpec spec;
+  spec.objects["map"] = ObjectSpec{"java.util.HashMap", {{"key", Ref{"em"}}}, {}};
+  spec.objects["em"] = ObjectSpec{"java.util.EnumMap", {}, {}};
+  spec.root = "map";
+  ExecutionResult result = w.vm->deserialize(instantiate(spec));
+  EXPECT_TRUE(result.completed) << result.fault;
+  EXPECT_TRUE(result.sink_hits.empty());  // EnumMap.hashCode is a dead end
+  EXPECT_FALSE(result.attack_succeeded());
+}
+
+TEST(Vm, EvilObjectAttackSucceeds) {
+  World w = make_world(testing::evil_object_program());
+  ObjectGraphSpec spec;
+  spec.objects["a"] = ObjectSpec{"demo.EvilObjectA", {{"val1", Ref{"b"}}}, {}};
+  spec.objects["b"] = ObjectSpec{"demo.EvilObjectB", {{"val2", std::string("rm -rf /")}}, {}};
+  spec.root = "a";
+  ExecutionResult result = w.vm->deserialize(instantiate(spec));
+  EXPECT_TRUE(result.attack_succeeded("java.lang.Runtime#exec/1"));
+}
+
+TEST(Vm, UntaintedSinkArgumentIsNotAnAttack) {
+  // Call exec with a constant directly (not via deserialization): the hit is
+  // recorded but the trigger is unsatisfied.
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto runtime = pb.add_class("java.lang.Runtime");
+  runtime.method("exec").param("java.lang.String").returns("void").set_native();
+  auto cls = pb.add_class("t.Direct");
+  cls.method("go")
+      .set_static()
+      .returns("void")
+      .const_str("cmd", "ls")
+      .new_object("rt", "java.lang.Runtime")
+      .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"cmd"})
+      .ret();
+  World w = make_world(pb.build());
+  ExecutionResult result = w.vm->run("t.Direct", "go", VmValue::null(), {});
+  ASSERT_EQ(result.sink_hits.size(), 1u);
+  EXPECT_FALSE(result.sink_hits[0].trigger_satisfied);
+  EXPECT_FALSE(result.attack_succeeded());
+}
+
+TEST(Vm, GuardBrokenChainFails) {
+  // The chain passes through `if (this.mode == 42)` but mode cannot be 42:
+  // the readObject path overwrites it. The static analyses report this chain
+  // (path-insensitive); the VM proves it ineffective — a Tabby false
+  // positive reproduced.
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto runtime = pb.add_class("java.lang.Runtime");
+  runtime.method("exec").param("java.lang.String").returns("void").set_native();
+  auto cls = pb.add_class("t.Guarded");
+  cls.serializable();
+  cls.field("cmd", "java.lang.String");
+  cls.field("mode", "int");
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .const_int("zero", 0)
+      .field_store("@this", "mode", "zero")  // resets whatever the attacker set
+      .field_load("m", "@this", "mode")
+      .const_int("magic", 42)
+      .if_cmp("m", jir::CmpOp::Ne, "magic", "out")
+      .field_load("c", "@this", "cmd")
+      .new_object("rt", "java.lang.Runtime")
+      .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"c"})
+      .mark("out")
+      .ret();
+  World w = make_world(pb.build());
+
+  ObjectGraphSpec spec;
+  spec.objects["g"] = ObjectSpec{
+      "t.Guarded", {{"cmd", std::string("evil")}, {"mode", std::int64_t{42}}}, {}};
+  spec.root = "g";
+  ExecutionResult result = w.vm->deserialize(instantiate(spec));
+  EXPECT_TRUE(result.completed) << result.fault;
+  EXPECT_TRUE(result.sink_hits.empty());
+  EXPECT_FALSE(result.attack_succeeded());
+}
+
+TEST(Vm, GuardPassableChainSucceeds) {
+  // Same guard but the field is honoured: setting mode = 42 fires the sink.
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto runtime = pb.add_class("java.lang.Runtime");
+  runtime.method("exec").param("java.lang.String").returns("void").set_native();
+  auto cls = pb.add_class("t.Guarded2");
+  cls.serializable();
+  cls.field("cmd", "java.lang.String");
+  cls.field("mode", "int");
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("m", "@this", "mode")
+      .const_int("magic", 42)
+      .if_cmp("m", jir::CmpOp::Ne, "magic", "out")
+      .field_load("c", "@this", "cmd")
+      .new_object("rt", "java.lang.Runtime")
+      .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"c"})
+      .mark("out")
+      .ret();
+  World w = make_world(pb.build());
+
+  ObjectGraphSpec spec;
+  spec.objects["g"] = ObjectSpec{
+      "t.Guarded2", {{"cmd", std::string("evil")}, {"mode", std::int64_t{42}}}, {}};
+  spec.root = "g";
+  EXPECT_TRUE(w.vm->deserialize(instantiate(spec)).attack_succeeded());
+}
+
+TEST(Vm, VirtualDispatchPicksDynamicType) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto base = pb.add_class("t.Base");
+  base.method("tag").returns("java.lang.String").const_str("s", "base").ret("s");
+  auto derived = pb.add_class("t.Derived");
+  derived.extends("t.Base");
+  derived.method("tag").returns("java.lang.String").const_str("s", "derived").ret("s");
+  auto driver = pb.add_class("t.Driver");
+  driver.method("callTag")
+      .set_static()
+      .param("t.Base")
+      .returns("java.lang.String")
+      .invoke_virtual("r", "@p1", "t.Base", "tag", {})
+      .ret("r");
+  World w = make_world(pb.build());
+
+  ObjectPtr obj = std::make_shared<Object>("t.Derived");
+  ExecutionResult result =
+      w.vm->run("t.Driver", "callTag", VmValue::null(), {VmValue::of(obj)});
+  EXPECT_TRUE(result.completed);
+  // No direct way to read the return, so use a sink-free behavioural check:
+  // dispatch correctness is covered by the chain tests; here we simply
+  // require clean completion through the override.
+}
+
+TEST(Vm, NpeAbortsExecution) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Npe");
+  cls.method("go")
+      .set_static()
+      .returns("void")
+      .const_null("x")
+      .invoke_virtual("", "x", "java.lang.Object", "toString", {})
+      .ret();
+  World w = make_world(pb.build());
+  ExecutionResult result = w.vm->run("t.Npe", "go", VmValue::null(), {});
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.fault.find("NPE"), std::string::npos);
+}
+
+TEST(Vm, ThrowAbortsExecution) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Thrower");
+  cls.method("go").set_static().returns("void").new_object("e", "java.lang.Exception")
+      .throw_value("e").ret();
+  World w = make_world(pb.build());
+  ExecutionResult result = w.vm->run("t.Thrower", "go", VmValue::null(), {});
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(Vm, InfiniteLoopHitsStepBudget) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Loop");
+  cls.method("go").set_static().returns("void").mark("head").jump("head");
+  VmOptions options;
+  options.max_steps = 1000;
+  World w = make_world(pb.build(), options);
+  ExecutionResult result = w.vm->run("t.Loop", "go", VmValue::null(), {});
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.fault.find("step budget"), std::string::npos);
+}
+
+TEST(Vm, UnboundedRecursionHitsDepthBudget) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Rec");
+  cls.method("go").set_static().returns("void").invoke_static("", "t.Rec", "go", {}).ret();
+  VmOptions options;
+  options.max_call_depth = 16;
+  World w = make_world(pb.build(), options);
+  ExecutionResult result = w.vm->run("t.Rec", "go", VmValue::null(), {});
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.fault.find("depth"), std::string::npos);
+}
+
+TEST(Vm, ArraysStoreAndLoad) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto runtime = pb.add_class("java.lang.Runtime");
+  runtime.method("exec").param("java.lang.String").returns("void").set_native();
+  auto cls = pb.add_class("t.Arr");
+  cls.serializable();
+  cls.field("payload", "java.lang.Object[]");
+  cls.method("readObject")
+      .param("java.io.ObjectInputStream")
+      .returns("void")
+      .field_load("arr", "@this", "payload")
+      .const_int("i", 0)
+      .array_load("cmd", "arr", "i")
+      .new_object("rt", "java.lang.Runtime")
+      .invoke_virtual("", "rt", "java.lang.Runtime", "exec", {"cmd"})
+      .ret();
+  World w = make_world(pb.build());
+
+  ObjectGraphSpec spec;
+  spec.objects["root"] = ObjectSpec{"t.Arr", {{"payload", Ref{"arr"}}}, {}};
+  spec.objects["arr"] = ObjectSpec{"java.lang.Object[]", {}, {std::string("evil-cmd")}};
+  spec.root = "root";
+  EXPECT_TRUE(w.vm->deserialize(instantiate(spec)).attack_succeeded());
+}
+
+TEST(Vm, MissingSourceMethodReported) {
+  World w = make_world(testing::urldns_program());
+  ObjectPtr plain = std::make_shared<Object>("java.net.URLStreamHandler");
+  ExecutionResult result = w.vm->deserialize(plain);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.fault.find("no deserialization source"), std::string::npos);
+}
+
+TEST(Vm, TaintGraphMarksEverythingReachable) {
+  ObjectGraphSpec spec;
+  spec.objects["a"] = ObjectSpec{"t.A", {{"next", Ref{"b"}}, {"s", std::string("x")}}, {}};
+  spec.objects["b"] = ObjectSpec{"t.B", {{"back", Ref{"a"}}}, {std::int64_t{7}}};
+  spec.root = "a";
+  ObjectPtr root = instantiate(spec);
+  Interpreter::taint_graph(root);  // must terminate despite the cycle
+  EXPECT_TRUE(root->get_field("s").tainted);
+  const ObjectPtr* b = root->get_field("next").object();
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE((*b)->elements()[0].tainted);
+  EXPECT_TRUE((*b)->get_field("back").tainted);
+}
+
+TEST(ObjectGraph, UndefinedRefBecomesNull) {
+  ObjectGraphSpec spec;
+  spec.objects["a"] = ObjectSpec{"t.A", {{"x", Ref{"ghost"}}}, {}};
+  spec.root = "a";
+  ObjectPtr root = instantiate(spec);
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->get_field("x").is_null());
+}
+
+TEST(ObjectGraph, EmptySpecYieldsNull) {
+  EXPECT_EQ(instantiate(ObjectGraphSpec{}), nullptr);
+  ObjectGraphSpec bad_root;
+  bad_root.objects["a"] = ObjectSpec{"t.A", {}, {}};
+  bad_root.root = "missing";
+  EXPECT_EQ(instantiate(bad_root), nullptr);
+}
+
+}  // namespace
+}  // namespace tabby::runtime
