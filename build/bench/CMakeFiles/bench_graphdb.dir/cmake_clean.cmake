@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graphdb.dir/bench_graphdb.cpp.o"
+  "CMakeFiles/bench_graphdb.dir/bench_graphdb.cpp.o.d"
+  "bench_graphdb"
+  "bench_graphdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graphdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

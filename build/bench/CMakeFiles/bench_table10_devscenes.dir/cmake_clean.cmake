@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_devscenes.dir/bench_table10_devscenes.cpp.o"
+  "CMakeFiles/bench_table10_devscenes.dir/bench_table10_devscenes.cpp.o.d"
+  "bench_table10_devscenes"
+  "bench_table10_devscenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_devscenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

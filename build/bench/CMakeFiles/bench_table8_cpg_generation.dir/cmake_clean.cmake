@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_cpg_generation.dir/bench_table8_cpg_generation.cpp.o"
+  "CMakeFiles/bench_table8_cpg_generation.dir/bench_table8_cpg_generation.cpp.o.d"
+  "bench_table8_cpg_generation"
+  "bench_table8_cpg_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_cpg_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

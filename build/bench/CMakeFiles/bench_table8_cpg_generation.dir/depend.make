@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_cpg_generation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_component.dir/audit_component.cpp.o"
+  "CMakeFiles/audit_component.dir/audit_component.cpp.o.d"
+  "audit_component"
+  "audit_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for audit_component.
+# This may be replaced when dependencies are built.

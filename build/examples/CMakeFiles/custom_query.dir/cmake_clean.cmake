@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_query.dir/custom_query.cpp.o"
+  "CMakeFiles/custom_query.dir/custom_query.cpp.o.d"
+  "custom_query"
+  "custom_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urldns.dir/urldns.cpp.o"
+  "CMakeFiles/urldns.dir/urldns.cpp.o.d"
+  "urldns"
+  "urldns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urldns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("jir")
+subdirs("jar")
+subdirs("cfg")
+subdirs("graph")
+subdirs("cypher")
+subdirs("cpg")
+subdirs("analysis")
+subdirs("finder")
+subdirs("baseline")
+subdirs("runtime")
+subdirs("corpus")
+subdirs("evalkit")
+subdirs("cli")

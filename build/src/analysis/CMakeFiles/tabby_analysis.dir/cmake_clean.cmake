@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_analysis.dir/controllability.cpp.o"
+  "CMakeFiles/tabby_analysis.dir/controllability.cpp.o.d"
+  "CMakeFiles/tabby_analysis.dir/domain.cpp.o"
+  "CMakeFiles/tabby_analysis.dir/domain.cpp.o.d"
+  "libtabby_analysis.a"
+  "libtabby_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_baseline.dir/baselines.cpp.o"
+  "CMakeFiles/tabby_baseline.dir/baselines.cpp.o.d"
+  "libtabby_baseline.a"
+  "libtabby_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabby_baseline.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/tabby_cfg.dir/cfg.cpp.o.d"
+  "libtabby_cfg.a"
+  "libtabby_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tabby_cfg.
+# This may be replaced when dependencies are built.

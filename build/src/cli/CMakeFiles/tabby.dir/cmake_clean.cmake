@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby.dir/main.cpp.o"
+  "CMakeFiles/tabby.dir/main.cpp.o.d"
+  "tabby"
+  "tabby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

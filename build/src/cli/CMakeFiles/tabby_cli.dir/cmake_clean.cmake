@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_cli.dir/cli.cpp.o"
+  "CMakeFiles/tabby_cli.dir/cli.cpp.o.d"
+  "libtabby_cli.a"
+  "libtabby_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabby_cli.a"
+)

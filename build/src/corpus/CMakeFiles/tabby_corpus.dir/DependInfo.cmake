@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/components.cpp" "src/corpus/CMakeFiles/tabby_corpus.dir/components.cpp.o" "gcc" "src/corpus/CMakeFiles/tabby_corpus.dir/components.cpp.o.d"
+  "/root/repo/src/corpus/jdk.cpp" "src/corpus/CMakeFiles/tabby_corpus.dir/jdk.cpp.o" "gcc" "src/corpus/CMakeFiles/tabby_corpus.dir/jdk.cpp.o.d"
+  "/root/repo/src/corpus/noise.cpp" "src/corpus/CMakeFiles/tabby_corpus.dir/noise.cpp.o" "gcc" "src/corpus/CMakeFiles/tabby_corpus.dir/noise.cpp.o.d"
+  "/root/repo/src/corpus/planter.cpp" "src/corpus/CMakeFiles/tabby_corpus.dir/planter.cpp.o" "gcc" "src/corpus/CMakeFiles/tabby_corpus.dir/planter.cpp.o.d"
+  "/root/repo/src/corpus/scenes.cpp" "src/corpus/CMakeFiles/tabby_corpus.dir/scenes.cpp.o" "gcc" "src/corpus/CMakeFiles/tabby_corpus.dir/scenes.cpp.o.d"
+  "/root/repo/src/corpus/ysoserial.cpp" "src/corpus/CMakeFiles/tabby_corpus.dir/ysoserial.cpp.o" "gcc" "src/corpus/CMakeFiles/tabby_corpus.dir/ysoserial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jar/CMakeFiles/tabby_jar.dir/DependInfo.cmake"
+  "/root/repo/build/src/jir/CMakeFiles/tabby_jir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tabby_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tabby_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpg/CMakeFiles/tabby_cpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tabby_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/tabby_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tabby_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

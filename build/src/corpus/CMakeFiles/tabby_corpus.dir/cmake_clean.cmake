@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_corpus.dir/components.cpp.o"
+  "CMakeFiles/tabby_corpus.dir/components.cpp.o.d"
+  "CMakeFiles/tabby_corpus.dir/jdk.cpp.o"
+  "CMakeFiles/tabby_corpus.dir/jdk.cpp.o.d"
+  "CMakeFiles/tabby_corpus.dir/noise.cpp.o"
+  "CMakeFiles/tabby_corpus.dir/noise.cpp.o.d"
+  "CMakeFiles/tabby_corpus.dir/planter.cpp.o"
+  "CMakeFiles/tabby_corpus.dir/planter.cpp.o.d"
+  "CMakeFiles/tabby_corpus.dir/scenes.cpp.o"
+  "CMakeFiles/tabby_corpus.dir/scenes.cpp.o.d"
+  "CMakeFiles/tabby_corpus.dir/ysoserial.cpp.o"
+  "CMakeFiles/tabby_corpus.dir/ysoserial.cpp.o.d"
+  "libtabby_corpus.a"
+  "libtabby_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

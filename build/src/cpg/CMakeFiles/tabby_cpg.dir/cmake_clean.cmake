@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_cpg.dir/builder.cpp.o"
+  "CMakeFiles/tabby_cpg.dir/builder.cpp.o.d"
+  "CMakeFiles/tabby_cpg.dir/export.cpp.o"
+  "CMakeFiles/tabby_cpg.dir/export.cpp.o.d"
+  "CMakeFiles/tabby_cpg.dir/sinks.cpp.o"
+  "CMakeFiles/tabby_cpg.dir/sinks.cpp.o.d"
+  "libtabby_cpg.a"
+  "libtabby_cpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_cpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabby_cpg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_cypher.dir/cypher.cpp.o"
+  "CMakeFiles/tabby_cypher.dir/cypher.cpp.o.d"
+  "libtabby_cypher.a"
+  "libtabby_cypher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_cypher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

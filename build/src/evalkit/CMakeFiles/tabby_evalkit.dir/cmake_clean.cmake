@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_evalkit.dir/evalkit.cpp.o"
+  "CMakeFiles/tabby_evalkit.dir/evalkit.cpp.o.d"
+  "libtabby_evalkit.a"
+  "libtabby_evalkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_evalkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tabby_evalkit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tabby_evalkit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_finder.dir/finder.cpp.o"
+  "CMakeFiles/tabby_finder.dir/finder.cpp.o.d"
+  "CMakeFiles/tabby_finder.dir/payload.cpp.o"
+  "CMakeFiles/tabby_finder.dir/payload.cpp.o.d"
+  "libtabby_finder.a"
+  "libtabby_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_graph.dir/graph.cpp.o"
+  "CMakeFiles/tabby_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/tabby_graph.dir/serialize.cpp.o"
+  "CMakeFiles/tabby_graph.dir/serialize.cpp.o.d"
+  "CMakeFiles/tabby_graph.dir/value.cpp.o"
+  "CMakeFiles/tabby_graph.dir/value.cpp.o.d"
+  "libtabby_graph.a"
+  "libtabby_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabby_graph.a"
+)

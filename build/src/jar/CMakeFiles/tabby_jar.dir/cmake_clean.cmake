@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_jar.dir/archive.cpp.o"
+  "CMakeFiles/tabby_jar.dir/archive.cpp.o.d"
+  "libtabby_jar.a"
+  "libtabby_jar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_jar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

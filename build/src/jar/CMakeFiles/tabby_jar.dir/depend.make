@@ -1,0 +1,2 @@
+# Empty dependencies file for tabby_jar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jir/builder.cpp" "src/jir/CMakeFiles/tabby_jir.dir/builder.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/builder.cpp.o.d"
+  "/root/repo/src/jir/hierarchy.cpp" "src/jir/CMakeFiles/tabby_jir.dir/hierarchy.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/jir/model.cpp" "src/jir/CMakeFiles/tabby_jir.dir/model.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/model.cpp.o.d"
+  "/root/repo/src/jir/parser.cpp" "src/jir/CMakeFiles/tabby_jir.dir/parser.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/parser.cpp.o.d"
+  "/root/repo/src/jir/printer.cpp" "src/jir/CMakeFiles/tabby_jir.dir/printer.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/printer.cpp.o.d"
+  "/root/repo/src/jir/stmt.cpp" "src/jir/CMakeFiles/tabby_jir.dir/stmt.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/stmt.cpp.o.d"
+  "/root/repo/src/jir/type.cpp" "src/jir/CMakeFiles/tabby_jir.dir/type.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/type.cpp.o.d"
+  "/root/repo/src/jir/validate.cpp" "src/jir/CMakeFiles/tabby_jir.dir/validate.cpp.o" "gcc" "src/jir/CMakeFiles/tabby_jir.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tabby_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_jir.dir/builder.cpp.o"
+  "CMakeFiles/tabby_jir.dir/builder.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/hierarchy.cpp.o"
+  "CMakeFiles/tabby_jir.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/model.cpp.o"
+  "CMakeFiles/tabby_jir.dir/model.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/parser.cpp.o"
+  "CMakeFiles/tabby_jir.dir/parser.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/printer.cpp.o"
+  "CMakeFiles/tabby_jir.dir/printer.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/stmt.cpp.o"
+  "CMakeFiles/tabby_jir.dir/stmt.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/type.cpp.o"
+  "CMakeFiles/tabby_jir.dir/type.cpp.o.d"
+  "CMakeFiles/tabby_jir.dir/validate.cpp.o"
+  "CMakeFiles/tabby_jir.dir/validate.cpp.o.d"
+  "libtabby_jir.a"
+  "libtabby_jir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_jir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_runtime.dir/objectgraph.cpp.o"
+  "CMakeFiles/tabby_runtime.dir/objectgraph.cpp.o.d"
+  "CMakeFiles/tabby_runtime.dir/vm.cpp.o"
+  "CMakeFiles/tabby_runtime.dir/vm.cpp.o.d"
+  "libtabby_runtime.a"
+  "libtabby_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

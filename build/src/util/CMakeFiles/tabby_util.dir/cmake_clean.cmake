@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabby_util.dir/strings.cpp.o"
+  "CMakeFiles/tabby_util.dir/strings.cpp.o.d"
+  "CMakeFiles/tabby_util.dir/table.cpp.o"
+  "CMakeFiles/tabby_util.dir/table.cpp.o.d"
+  "libtabby_util.a"
+  "libtabby_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabby_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus_test.cpp.o"
+  "CMakeFiles/corpus_test.dir/corpus_test.cpp.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

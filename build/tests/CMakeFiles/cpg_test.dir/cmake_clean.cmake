@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpg_test.dir/cpg_test.cpp.o"
+  "CMakeFiles/cpg_test.dir/cpg_test.cpp.o.d"
+  "cpg_test"
+  "cpg_test.pdb"
+  "cpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

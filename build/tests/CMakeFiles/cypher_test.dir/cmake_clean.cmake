@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_test.dir/cypher_test.cpp.o"
+  "CMakeFiles/cypher_test.dir/cypher_test.cpp.o.d"
+  "cypher_test"
+  "cypher_test.pdb"
+  "cypher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evalkit_test.dir/evalkit_test.cpp.o"
+  "CMakeFiles/evalkit_test.dir/evalkit_test.cpp.o.d"
+  "evalkit_test"
+  "evalkit_test.pdb"
+  "evalkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evalkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

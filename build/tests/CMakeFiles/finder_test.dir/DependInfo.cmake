@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/finder_test.cpp" "tests/CMakeFiles/finder_test.dir/finder_test.cpp.o" "gcc" "tests/CMakeFiles/finder_test.dir/finder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/finder/CMakeFiles/tabby_finder.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tabby_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpg/CMakeFiles/tabby_cpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tabby_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tabby_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/tabby_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/jir/CMakeFiles/tabby_jir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tabby_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finder_test.dir/finder_test.cpp.o"
+  "CMakeFiles/finder_test.dir/finder_test.cpp.o.d"
+  "finder_test"
+  "finder_test.pdb"
+  "finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jar_test.dir/jar_test.cpp.o"
+  "CMakeFiles/jar_test.dir/jar_test.cpp.o.d"
+  "jar_test"
+  "jar_test.pdb"
+  "jar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jir_test.dir/jir_test.cpp.o"
+  "CMakeFiles/jir_test.dir/jir_test.cpp.o.d"
+  "jir_test"
+  "jir_test.pdb"
+  "jir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

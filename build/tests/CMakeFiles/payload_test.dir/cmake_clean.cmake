@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payload_test.dir/payload_test.cpp.o"
+  "CMakeFiles/payload_test.dir/payload_test.cpp.o.d"
+  "payload_test"
+  "payload_test.pdb"
+  "payload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planter_test.dir/planter_test.cpp.o"
+  "CMakeFiles/planter_test.dir/planter_test.cpp.o.d"
+  "planter_test"
+  "planter_test.pdb"
+  "planter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenes_property_test.dir/scenes_property_test.cpp.o"
+  "CMakeFiles/scenes_property_test.dir/scenes_property_test.cpp.o.d"
+  "scenes_property_test"
+  "scenes_property_test.pdb"
+  "scenes_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenes_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

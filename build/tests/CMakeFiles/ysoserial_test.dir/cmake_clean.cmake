@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ysoserial_test.dir/ysoserial_test.cpp.o"
+  "CMakeFiles/ysoserial_test.dir/ysoserial_test.cpp.o.d"
+  "ysoserial_test"
+  "ysoserial_test.pdb"
+  "ysoserial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ysoserial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/jir_test[1]_include.cmake")
+include("/root/repo/build/tests/jar_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/cpg_test[1]_include.cmake")
+include("/root/repo/build/tests/finder_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/evalkit_test[1]_include.cmake")
+include("/root/repo/build/tests/cypher_test[1]_include.cmake")
+include("/root/repo/build/tests/payload_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/ysoserial_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/planter_test[1]_include.cmake")
+include("/root/repo/build/tests/scenes_property_test[1]_include.cmake")
