@@ -7,12 +7,14 @@
 // and build time.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "corpus/noise.hpp"
 #include "cpg/builder.hpp"
 #include "jar/archive.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace tabby;
@@ -65,5 +67,45 @@ int main() {
               "us (paper: \"approximately linear correlation between the execution time and the "
               "count of class/method\")\n",
               first_ratio, last_ratio);
+
+  // Thread sweep: the same build fanned across the --jobs worker pool. The
+  // parallel stages (controllability waves, call/alias payloads, index
+  // back-fills) produce a bit-identical CPG at every job count, so this only
+  // measures wall clock. Speedup is relative to jobs=1 (the serial pipeline).
+  std::printf("\nThread sweep — parallel CPG build (50-row corpus, median of 3)\n");
+  std::size_t sweep_actual = 0;
+  std::vector<jar::Archive> sweep_jars =
+      corpus::make_scaled_corpus(50 * 100 * 1024, /*seed=*/0xCAFE + 50, &sweep_actual);
+  jir::Program sweep_program = jar::link(sweep_jars);
+
+  std::vector<unsigned> job_counts{1, 2, 4, util::ThreadPool::default_jobs()};
+  std::sort(job_counts.begin(), job_counts.end());
+  job_counts.erase(std::unique(job_counts.begin(), job_counts.end()), job_counts.end());
+
+  util::Table sweep({"Jobs", "Time(s)", "Speedup", "Mode"});
+  double serial_time = 0.0;
+  for (unsigned jobs : job_counts) {
+    std::unique_ptr<util::ThreadPool> pool;
+    cpg::CpgOptions options;
+    if (jobs > 1) {
+      pool = std::make_unique<util::ThreadPool>(jobs);
+      options.executor = pool.get();
+    }
+    double times[3];
+    for (double& t : times) {
+      util::Stopwatch watch;
+      cpg::Cpg cpg = cpg::build_cpg(sweep_program, options);
+      t = watch.elapsed_seconds();
+    }
+    std::sort(std::begin(times), std::end(times));
+    double median = times[1];
+    if (jobs == 1) serial_time = median;
+    double speedup = median > 0.0 ? serial_time / median : 0.0;
+    sweep.add_row({std::to_string(jobs), util::format_double(median, 3),
+                   util::format_double(speedup, 2) + "x",
+                   jobs > 1 ? "wave-scheduled" : "serial (demand-driven)"});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+  std::printf("hardware threads available: %u\n", util::ThreadPool::default_jobs());
   return 0;
 }

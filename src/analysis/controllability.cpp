@@ -1,12 +1,25 @@
 #include "analysis/controllability.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "cfg/cfg.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tabby::analysis {
 
 namespace {
+
+/// Source of callee Action summaries for the transfer function. The serial
+/// path resolves them by recursive demand (memoized, cycles bottom out at
+/// identity); the parallel path reads a snapshot table that the wave
+/// scheduler guarantees is fully populated for every callee.
+class ActionProvider {
+ public:
+  virtual ~ActionProvider() = default;
+  /// Only called for resolved callees that have a body.
+  virtual const Action& callee_action_of(jir::MethodId id) = 0;
+};
 
 /// The per-program-point variable state of Algorithm 1 ("localMap"): local
 /// and parameter variables, one-level field entries ("a.f", "@this.f") and
@@ -84,9 +97,8 @@ void copy_fields(LocalMap& state, const std::string& target, const std::string& 
 /// lines 8-15). Shared between the fixpoint and the collection pass.
 class Transfer {
  public:
-  Transfer(ControllabilityAnalysis& analysis, const jir::Program& program,
-           const AnalysisOptions& options)
-      : analysis_(analysis), program_(program), options_(options) {}
+  Transfer(ActionProvider& provider, const jir::Program& program, const AnalysisOptions& options)
+      : provider_(provider), program_(program), options_(options) {}
 
   /// When non-null, call sites encountered are appended (collection pass).
   void set_call_collector(std::vector<CallSite>* collector) { collector_ = collector; }
@@ -187,7 +199,7 @@ class Transfer {
       in["init-param-" + std::to_string(i + 1)] = pp[i + 1];
     }
 
-    Action action = analysis_.options().interprocedural
+    Action action = options_.interprocedural
                         ? callee_action(s, resolved, receiver, arg_origins)
                         : bodyless_action(s, receiver, arg_origins);
     std::map<std::string, Weight> out = calc(action, in);
@@ -246,7 +258,7 @@ class Transfer {
   Action callee_action(const jir::InvokeStmt& s, std::optional<jir::MethodId> resolved,
                        const Origin& receiver, const std::vector<Origin>& args) {
     if (resolved && program_.method(*resolved).has_body()) {
-      return analysis_.summary(*resolved).action;
+      return provider_.callee_action_of(*resolved);
     }
     return bodyless_action(s, receiver, args);
   }
@@ -274,7 +286,7 @@ class Transfer {
     return action;
   }
 
-  ControllabilityAnalysis& analysis_;
+  ActionProvider& provider_;
   const jir::Program& program_;
   const AnalysisOptions& options_;
   std::vector<CallSite>* collector_ = nullptr;
@@ -325,40 +337,15 @@ void accumulate_exit(Action& action, const LocalMap& state, const jir::Method& m
   }
 }
 
-}  // namespace
-
-ControllabilityAnalysis::ControllabilityAnalysis(const jir::Program& program,
-                                                 const jir::Hierarchy& hierarchy,
-                                                 AnalysisOptions options)
-    : program_(&program), hierarchy_(&hierarchy), options_(options) {}
-
-const MethodSummary& ControllabilityAnalysis::summary(jir::MethodId id) {
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
-  }
-  if (in_progress_.count(id) != 0) {
-    // Recursive cycle: bottom out at the identity summary. Inserted into the
-    // cache so the whole cycle sees a consistent value; overwritten by the
-    // full result when the outer computation finishes.
-    const jir::Method& m = program_->method(id);
-    MethodSummary bottom;
-    bottom.action = Action::identity(m.nargs(), m.mods.is_static);
-    return cache_.emplace(id, std::move(bottom)).first->second;
-  }
-  in_progress_.insert(id);
-  MethodSummary result = compute(id);
-  in_progress_.erase(id);
-  // A recursive cycle may have inserted a bottom summary meanwhile;
-  // overwrite it with the final result.
-  MethodSummary& slot = cache_[id];
-  slot = std::move(result);
-  return slot;
-}
-
-MethodSummary ControllabilityAnalysis::compute(jir::MethodId id) {
-  const jir::Method& method = program_->method(id);
+/// The per-method analysis of Algorithm 1, parameterized over the callee
+/// summary source. Pure: given the same body and the same provider answers it
+/// returns the same summary, which is what lets the wave scheduler run it on
+/// any thread. `prebuilt` reuses a CFG constructed elsewhere (nullptr builds
+/// one locally, the historical behavior).
+MethodSummary compute_summary(const jir::Program& program, const AnalysisOptions& options,
+                              jir::MethodId id, ActionProvider& provider,
+                              const cfg::ControlFlowGraph* prebuilt) {
+  const jir::Method& method = program.method(id);
   MethodSummary summary;
 
   if (!method.has_body() || method.body.empty()) {
@@ -367,11 +354,13 @@ MethodSummary ControllabilityAnalysis::compute(jir::MethodId id) {
     return summary;
   }
 
-  cfg::ControlFlowGraph graph(method);
+  std::optional<cfg::ControlFlowGraph> local_graph;
+  if (prebuilt == nullptr) local_graph.emplace(method);
+  const cfg::ControlFlowGraph& graph = prebuilt != nullptr ? *prebuilt : *local_graph;
   const auto& blocks = graph.blocks();
   std::vector<cfg::BlockId> order = graph.reverse_post_order();
 
-  Transfer transfer(*this, *program_, options_);
+  Transfer transfer(provider, program, options);
 
   // Fixpoint over block input states.
   std::vector<LocalMap> in_states(blocks.size());
@@ -381,7 +370,7 @@ MethodSummary ControllabilityAnalysis::compute(jir::MethodId id) {
     has_in[graph.entry()] = true;
   }
 
-  for (int round = 0; round < options_.max_block_iterations; ++round) {
+  for (int round = 0; round < options.max_block_iterations; ++round) {
     bool changed = false;
     for (cfg::BlockId block_id : order) {
       if (!has_in[block_id]) continue;
@@ -440,6 +429,261 @@ MethodSummary ControllabilityAnalysis::compute(jir::MethodId id) {
     summary.action.entries.emplace("this", Origin::unknown());
   }
   return summary;
+}
+
+/// Serial provider: recursive memoized demand through summary(), with the
+/// in_progress set bottoming out cycles.
+class RecursiveProvider final : public ActionProvider {
+ public:
+  explicit RecursiveProvider(ControllabilityAnalysis& analysis) : analysis_(analysis) {}
+  const Action& callee_action_of(jir::MethodId id) override { return analysis_.summary(id).action; }
+
+ private:
+  ControllabilityAnalysis& analysis_;
+};
+
+/// Parallel provider: reads the published snapshot table. A self-call (direct
+/// recursion) yields the same identity bottom the serial path produces.
+class TableProvider final : public ActionProvider {
+ public:
+  TableProvider(const std::vector<std::uint32_t>& class_offset,
+                const std::vector<MethodSummary>& table, std::uint32_t self,
+                const jir::Method& self_method)
+      : class_offset_(class_offset),
+        table_(table),
+        self_(self),
+        bottom_(Action::identity(self_method.nargs(), self_method.mods.is_static)) {}
+
+  const Action& callee_action_of(jir::MethodId id) override {
+    std::uint32_t index = class_offset_[id.class_index] + id.method_index;
+    if (index == self_) return bottom_;
+    return table_[index].action;
+  }
+
+ private:
+  const std::vector<std::uint32_t>& class_offset_;
+  const std::vector<MethodSummary>& table_;
+  std::uint32_t self_;
+  Action bottom_;
+};
+
+}  // namespace
+
+ControllabilityAnalysis::ControllabilityAnalysis(const jir::Program& program,
+                                                 const jir::Hierarchy& hierarchy,
+                                                 AnalysisOptions options)
+    : program_(&program), hierarchy_(&hierarchy), options_(options) {}
+
+const MethodSummary& ControllabilityAnalysis::summary(jir::MethodId id) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  if (in_progress_.count(id) != 0) {
+    // Recursive cycle: bottom out at the identity summary. Inserted into the
+    // cache so the whole cycle sees a consistent value; overwritten by the
+    // full result when the outer computation finishes.
+    const jir::Method& m = program_->method(id);
+    MethodSummary bottom;
+    bottom.action = Action::identity(m.nargs(), m.mods.is_static);
+    return cache_.emplace(id, std::move(bottom)).first->second;
+  }
+  in_progress_.insert(id);
+  MethodSummary result = compute(id);
+  in_progress_.erase(id);
+  // A recursive cycle may have inserted a bottom summary meanwhile;
+  // overwrite it with the final result.
+  MethodSummary& slot = cache_[id];
+  slot = std::move(result);
+  return slot;
+}
+
+MethodSummary ControllabilityAnalysis::compute(jir::MethodId id) {
+  RecursiveProvider provider(*this);
+  return compute_summary(*program_, options_, id, provider, nullptr);
+}
+
+void ControllabilityAnalysis::precompute(util::Executor* executor) {
+  const jir::Program& program = *program_;
+  const std::vector<jir::MethodId> methods = program.all_methods();
+  const std::size_t n = methods.size();
+  precompute_stats_ = {};
+  if (n == 0) return;
+
+  // Dense method numbering: flat index = class_offset[class] + method index,
+  // matching the all_methods() enumeration order.
+  std::vector<std::uint32_t> class_offset(program.class_count() + 1, 0);
+  for (std::size_t ci = 0; ci < program.class_count(); ++ci) {
+    class_offset[ci + 1] =
+        class_offset[ci] + static_cast<std::uint32_t>(program.classes()[ci].methods.size());
+  }
+  auto dense = [&class_offset](jir::MethodId id) {
+    return class_offset[id.class_index] + id.method_index;
+  };
+
+  // Phase 0: per-method CFGs, fanned out across workers.
+  std::vector<std::optional<cfg::ControlFlowGraph>> cfgs = cfg::build_graphs(program, executor);
+
+  // Phase 1 (parallel): call-graph scan. callees[i] over-approximates the set
+  // of summaries compute_summary() may demand for method i — every invoke in
+  // the body, resolved exactly as the transfer function resolves it. The
+  // over-approximation only affects scheduling, never results.
+  std::vector<std::vector<std::uint32_t>> callees(n);
+  util::run_indexed(executor, n, [&](std::size_t i) {
+    if (!options_.interprocedural) return;  // no callee summary is ever demanded
+    const jir::Method& m = program.method(methods[i]);
+    if (!m.has_body()) return;
+    std::vector<std::uint32_t>& out = callees[i];
+    for (const jir::Stmt& stmt : m.body) {
+      const auto* invoke = std::get_if<jir::InvokeStmt>(&stmt);
+      if (invoke == nullptr) continue;
+      std::optional<jir::MethodId> resolved =
+          program.resolve_method(invoke->callee.owner, invoke->callee.name, invoke->callee.nargs);
+      if (!resolved || !program.method(*resolved).has_body()) continue;
+      std::uint32_t target = dense(*resolved);
+      if (std::find(out.begin(), out.end(), target) == out.end()) out.push_back(target);
+    }
+  });
+
+  // Phase 2 (serial, cheap): Tarjan SCC condensation of the call graph.
+  constexpr std::uint32_t kUnvisited = UINT32_MAX;
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<std::uint32_t> comp(n, kUnvisited);
+  std::vector<std::uint32_t> comp_size;
+  {
+    std::vector<std::uint32_t> tarjan_stack;
+    std::vector<bool> on_stack(n, false);
+    struct Frame {
+      std::uint32_t node;
+      std::size_t next_child;
+    };
+    std::vector<Frame> dfs;
+    std::uint32_t timer = 0;
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (disc[root] != kUnvisited) continue;
+      dfs.push_back({root, 0});
+      disc[root] = low[root] = timer++;
+      tarjan_stack.push_back(root);
+      on_stack[root] = true;
+      while (!dfs.empty()) {
+        Frame& frame = dfs.back();
+        if (frame.next_child < callees[frame.node].size()) {
+          std::uint32_t child = callees[frame.node][frame.next_child++];
+          if (disc[child] == kUnvisited) {
+            dfs.push_back({child, 0});
+            disc[child] = low[child] = timer++;
+            tarjan_stack.push_back(child);
+            on_stack[child] = true;
+          } else if (on_stack[child]) {
+            low[frame.node] = std::min(low[frame.node], disc[child]);
+          }
+          continue;
+        }
+        std::uint32_t node = frame.node;
+        dfs.pop_back();
+        if (low[node] == disc[node]) {
+          std::uint32_t id = static_cast<std::uint32_t>(comp_size.size());
+          std::uint32_t size = 0;
+          while (true) {
+            std::uint32_t member = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[member] = false;
+            comp[member] = id;
+            ++size;
+            if (member == node) break;
+          }
+          comp_size.push_back(size);
+        }
+        if (!dfs.empty()) low[dfs.back().node] = std::min(low[dfs.back().node], low[node]);
+      }
+    }
+  }
+
+  // Phase 3 (serial): taint multi-method cycles and everything that
+  // transitively calls into one. Those summaries depend on the serial
+  // algorithm's demand order, so they are delegated to it verbatim; direct
+  // self-recursion is order-independent (the one entry always bottoms out at
+  // identity) and stays wave-schedulable.
+  std::vector<std::vector<std::uint32_t>> callers(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j : callees[i]) {
+      if (j != i) callers[j].push_back(i);
+    }
+  }
+  std::vector<bool> tainted(n, false);
+  std::vector<std::uint32_t> work;
+  std::size_t cyclic = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (comp_size[comp[i]] > 1) {
+      tainted[i] = true;
+      ++cyclic;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    std::uint32_t current = work.back();
+    work.pop_back();
+    for (std::uint32_t caller : callers[current]) {
+      if (!tainted[caller]) {
+        tainted[caller] = true;
+        work.push_back(caller);
+      }
+    }
+  }
+
+  // Phase 4: Kahn wave schedule over the untainted (acyclic) subgraph, then
+  // one parallel_for per wave. Workers write disjoint slots of `table`; they
+  // read only slots published by earlier waves (plus the self bottom), so
+  // the table acts as an immutable snapshot and no reader ever locks.
+  std::vector<std::uint32_t> remaining(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (tainted[i]) continue;
+    for (std::uint32_t j : callees[i]) {
+      if (j != i) ++remaining[i];  // untainted => every callee is untainted
+    }
+  }
+  std::vector<std::uint32_t> wave;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!tainted[i] && remaining[i] == 0) wave.push_back(i);
+  }
+
+  std::vector<MethodSummary> table(n);
+  while (!wave.empty()) {
+    ++precompute_stats_.waves;
+    precompute_stats_.wave_methods += wave.size();
+    util::run_indexed(executor, wave.size(), [&](std::size_t k) {
+      std::uint32_t i = wave[k];
+      TableProvider provider(class_offset, table, i, program.method(methods[i]));
+      const std::optional<cfg::ControlFlowGraph>& prebuilt = cfgs[i];
+      table[i] = compute_summary(program, options_, methods[i], provider,
+                                 prebuilt ? &*prebuilt : nullptr);
+    });
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t i : wave) {
+      for (std::uint32_t caller : callers[i]) {
+        if (!tainted[caller] && --remaining[caller] == 0) next.push_back(caller);
+      }
+    }
+    wave = std::move(next);
+  }
+
+  // Publish the wave results into the demand cache, then drive the tainted
+  // remainder through the serial path in all_methods() order — the same
+  // order the CPG builder has always demanded summaries in, so the cycle
+  // entries (and with them every downstream result) match a pure serial run
+  // bit for bit.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!tainted[i]) cache_.emplace(methods[i], std::move(table[i]));
+  }
+  precompute_stats_.cyclic_methods = cyclic;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tainted[i]) {
+      ++precompute_stats_.serial_methods;
+      summary(methods[i]);
+    }
+  }
 }
 
 }  // namespace tabby::analysis

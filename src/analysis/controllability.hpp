@@ -16,6 +16,10 @@
 #include "jir/hierarchy.hpp"
 #include "jir/model.hpp"
 
+namespace tabby::util {
+class Executor;
+}
+
 namespace tabby::analysis {
 
 struct AnalysisOptions {
@@ -46,6 +50,22 @@ struct MethodSummary {
   std::vector<CallSite> call_sites;
 };
 
+/// Scheduling telemetry of a precompute() run (see docs/CONCURRENCY.md).
+struct PrecomputeStats {
+  /// Number of parallel waves the acyclic portion of the call graph was
+  /// scheduled into (the longest callee-chain among wave-scheduled methods).
+  std::size_t waves = 0;
+  /// Methods computed inside parallel waves.
+  std::size_t wave_methods = 0;
+  /// Methods that are members of a multi-method recursion cycle. Their
+  /// summaries depend on the order the serial algorithm first entered the
+  /// cycle, so they are delegated to the demand-driven serial path.
+  std::size_t cyclic_methods = 0;
+  /// Methods left to the serial path: cycle members plus every transitive
+  /// caller of one (their values depend on the cycle's values).
+  std::size_t serial_methods = 0;
+};
+
 class ControllabilityAnalysis {
  public:
   ControllabilityAnalysis(const jir::Program& program, const jir::Hierarchy& hierarchy,
@@ -53,6 +73,26 @@ class ControllabilityAnalysis {
 
   /// Analysis result for one method; computed on first request, cached after.
   const MethodSummary& summary(jir::MethodId id);
+
+  /// Computes every method summary ahead of demand, fanning out across
+  /// `executor` (nullptr runs the identical schedule inline). The call graph
+  /// is condensed into SCCs; acyclic methods are scheduled bottom-up in
+  /// dependency waves — a wave only starts once every callee summary from
+  /// earlier waves is published in an immutable snapshot table, so workers
+  /// read summaries without any locking. Directly self-recursive methods
+  /// bottom out at the identity summary exactly like the serial algorithm.
+  /// Methods involved in (or depending on) multi-method cycles fall back to
+  /// the demand-driven serial path in all_methods() order, which is the
+  /// historical compute order — making the cache contents, and everything
+  /// built from them, bit-identical to a pure serial run at any job count.
+  void precompute(util::Executor* executor);
+
+  const PrecomputeStats& precompute_stats() const { return precompute_stats_; }
+
+  /// Cache lookup without computing (throws if absent). Requires the summary
+  /// to already be cached — precompute() or an earlier summary() call. Pure
+  /// read: safe to call from concurrent threads, unlike summary().
+  const MethodSummary& cached_summary(jir::MethodId id) const { return cache_.at(id); }
 
   const AnalysisOptions& options() const { return options_; }
   const jir::Program& program() const { return *program_; }
@@ -69,6 +109,7 @@ class ControllabilityAnalysis {
   std::unordered_map<jir::MethodId, MethodSummary, jir::MethodIdHash> cache_;
   std::unordered_set<jir::MethodId, jir::MethodIdHash> in_progress_;
   std::size_t cache_hits_ = 0;
+  PrecomputeStats precompute_stats_;
 };
 
 }  // namespace tabby::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
+
 namespace tabby::cfg {
 
 namespace {
@@ -117,6 +119,17 @@ bool ControlFlowGraph::is_conditional(BlockId block) const {
     if (std::holds_alternative<jir::IfStmt>(last)) return true;
   }
   return false;
+}
+
+std::vector<std::optional<ControlFlowGraph>> build_graphs(const jir::Program& program,
+                                                          util::Executor* executor) {
+  std::vector<jir::MethodId> methods = program.all_methods();
+  std::vector<std::optional<ControlFlowGraph>> graphs(methods.size());
+  util::run_indexed(executor, methods.size(), [&](std::size_t i) {
+    const jir::Method& m = program.method(methods[i]);
+    if (m.has_body()) graphs[i].emplace(m);
+  });
+  return graphs;
 }
 
 std::string ControlFlowGraph::to_string() const {

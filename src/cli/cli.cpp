@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 
 #include "corpus/components.hpp"
 #include "corpus/jdk.hpp"
@@ -13,6 +14,7 @@
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tabby::cli {
 
@@ -25,10 +27,20 @@ struct Args {
   std::string store;
   std::string out_dir;
   int depth = 12;
+  int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
   bool verify = false;
   bool with_jdk = true;
   std::string error;
 };
+
+/// The worker pool behind --jobs. Returns null for an effective job count of
+/// 1: every stage treats a null Executor* as "run inline in index order",
+/// which is exactly the pre-parallel pipeline.
+std::unique_ptr<util::ThreadPool> make_pool(int jobs) {
+  unsigned n = jobs > 0 ? static_cast<unsigned>(jobs) : util::ThreadPool::default_jobs();
+  if (n <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(n);
+}
 
 Args parse_args(const std::vector<std::string>& raw) {
   Args args;
@@ -51,6 +63,11 @@ Args parse_args(const std::vector<std::string>& raw) {
       if (!take_value(v)) return args;
       args.depth = std::atoi(v.c_str());
       if (args.depth <= 0) args.error = "bad --depth value: " + v;
+    } else if (a == "--jobs") {
+      std::string v;
+      if (!take_value(v)) return args;
+      args.jobs = std::atoi(v.c_str());
+      if (args.jobs <= 0) args.error = "bad --jobs value: " + v;
     } else if (a == "--verify") {
       args.verify = true;
     } else if (a == "--no-jdk") {
@@ -69,25 +86,30 @@ int usage(std::ostream& err) {
   err << "usage:\n"
          "  tabby list\n"
          "  tabby gen <component-or-scene> --out DIR\n"
-         "  tabby analyze JAR... [--store FILE] [--no-jdk]\n"
-         "  tabby find JAR... [--depth N] [--verify] [--no-jdk]\n"
-         "  tabby query JAR... \"MATCH ... RETURN ...\" [--no-jdk]\n"
-         "  tabby query --store FILE \"MATCH ... RETURN ...\"\n";
+         "  tabby analyze JAR... [--store FILE] [--no-jdk] [--jobs N]\n"
+         "  tabby find JAR... [--depth N] [--verify] [--no-jdk] [--jobs N]\n"
+         "  tabby query JAR... \"MATCH ... RETURN ...\" [--no-jdk] [--jobs N]\n"
+         "  tabby query --store FILE \"MATCH ... RETURN ...\"\n"
+         "\n"
+         "  --jobs N  worker threads for the parallel stages (default: all\n"
+         "            hardware threads; 1 = serial). Output is identical at\n"
+         "            any job count.\n";
   return 2;
 }
 
 /// Load .tjar paths and link, optionally prefixing the simulated JDK.
-bool load_program(const std::vector<std::string>& paths, bool with_jdk, jir::Program& program,
-                  std::ostream& err) {
+bool load_program(const std::vector<std::string>& paths, bool with_jdk, util::Executor* executor,
+                  jir::Program& program, std::ostream& err) {
   std::vector<jar::Archive> classpath;
   if (with_jdk) classpath.push_back(corpus::jdk_base_archive());
-  for (const std::string& path : paths) {
-    auto archive = jar::read_archive_file(path);
-    if (!archive.ok()) {
-      err << "error: " << path << ": " << archive.error().to_string() << "\n";
+  std::vector<std::filesystem::path> files(paths.begin(), paths.end());
+  std::vector<util::Result<jar::Archive>> archives = jar::read_archive_files(files, executor);
+  for (std::size_t i = 0; i < archives.size(); ++i) {
+    if (!archives[i].ok()) {
+      err << "error: " << paths[i] << ": " << archives[i].error().to_string() << "\n";
       return false;
     }
-    classpath.push_back(std::move(archive.value()));
+    classpath.push_back(std::move(archives[i].value()));
   }
   program = jar::link(classpath);
   return true;
@@ -146,12 +168,15 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: tabby analyze JAR... [--store FILE]\n";
     return 2;
   }
+  std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
   jir::Program program;
-  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk, program,
-                    err)) {
+  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk,
+                    pool.get(), program, err)) {
     return 1;
   }
-  cpg::Cpg cpg = cpg::build_cpg(program);
+  cpg::CpgOptions cpg_options;
+  cpg_options.executor = pool.get();
+  cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
   out << "classes:  " << cpg.stats.class_nodes << "\n"
       << "methods:  " << cpg.stats.method_nodes << "\n"
       << "edges:    " << cpg.stats.relationship_edges << " (" << cpg.stats.call_edges << " CALL, "
@@ -176,14 +201,18 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: tabby find JAR... [--depth N] [--verify]\n";
     return 2;
   }
+  std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
   jir::Program program;
-  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk, program,
-                    err)) {
+  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk,
+                    pool.get(), program, err)) {
     return 1;
   }
-  cpg::Cpg cpg = cpg::build_cpg(program);
+  cpg::CpgOptions cpg_options;
+  cpg_options.executor = pool.get();
+  cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
   finder::FinderOptions options;
   options.max_depth = args.depth;
+  options.executor = pool.get();
   finder::GadgetChainFinder finder(cpg.db, options);
   finder::FinderReport report = finder.find_all();
 
@@ -224,12 +253,15 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
       err << "usage: tabby query JAR... \"MATCH ...\"\n";
       return 2;
     }
+    std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
     jir::Program program;
     if (!load_program({args.positional.begin() + 1, args.positional.end() - 1}, args.with_jdk,
-                      program, err)) {
+                      pool.get(), program, err)) {
       return 1;
     }
-    db = cpg::build_cpg(program).db;
+    cpg::CpgOptions cpg_options;
+    cpg_options.executor = pool.get();
+    db = std::move(cpg::build_cpg(program, cpg_options).db);
   }
   auto result = cypher::run_query(db, query_text);
   if (!result.ok()) {

@@ -6,6 +6,10 @@
 //   tabby find JAR... [--depth N] [--verify] find gadget chains (+ §V-C auto-verify)
 //   tabby query (JAR...|--store FILE) QUERY  run a Cypher query over the CPG
 //
+// analyze/find/query accept --jobs N to fan the pipeline's parallel stages
+// (archive decode, controllability analysis, CPG payloads, per-sink search)
+// across N worker threads; output is bit-identical at any job count.
+//
 // The entry point is a plain function so the test suite can drive it.
 #pragma once
 

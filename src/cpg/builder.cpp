@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "cpg/schema.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace tabby::cpg {
@@ -131,102 +132,168 @@ class Builder {
 
   // --- PCG: CALL edges with Polluted_Position ---------------------------
 
+  /// One outgoing CALL edge of a method, with repeated calls of the same
+  /// callee already folded to the position-wise most controllable PP — the
+  /// merge add_call_edge() used to perform against the live edge. Folding
+  /// per method is equivalent: edges from different methods never share a
+  /// `from` node, so the historical find_edge() merge only ever combined
+  /// sites of one method.
+  struct CallPayload {
+    std::optional<jir::MethodId> resolved;
+    jir::MethodRef declared;              // phantom target when !resolved
+    std::vector<std::int64_t> pp;         // merged Polluted_Position
+    std::size_t stmt_index = 0;           // first surviving site (edge prop)
+    jir::InvokeKind kind = jir::InvokeKind::Virtual;
+  };
+
+  struct MethodPayload {
+    Value action;                         // Action summary node property
+    std::vector<CallPayload> calls;       // first-occurrence order
+    std::size_t pruned = 0;
+  };
+
   void build_pcg() {
     analysis::ControllabilityAnalysis analysis(program_, hierarchy_, options_.analysis);
-    for (jir::MethodId id : program_.all_methods()) {
-      const jir::Method& m = program_.method(id);
-      if (!m.has_body()) continue;
-      const analysis::MethodSummary& summary = analysis.summary(id);
+    util::Executor* executor = options_.executor;
+    bool parallel = executor != nullptr && executor->concurrency() > 1;
+    if (parallel) analysis.precompute(executor);
 
-      NodeId from = method_nodes_.at(id);
-      db_.set_node_prop(from, std::string(kPropAction),
-                        Value{summary.action.to_strings()});
-
+    // Payload phase: per-method, side-effect free. In parallel mode every
+    // summary is already cached (pure reads); serially summary() computes on
+    // demand in all_methods() order, the historical compute order.
+    std::vector<jir::MethodId> methods = program_.all_methods();
+    std::vector<MethodPayload> payloads(methods.size());
+    util::run_indexed(parallel ? executor : nullptr, methods.size(), [&](std::size_t i) {
+      jir::MethodId id = methods[i];
+      if (!program_.method(id).has_body()) return;
+      const analysis::MethodSummary& summary =
+          parallel ? analysis.cached_summary(id) : analysis.summary(id);
+      MethodPayload& payload = payloads[i];
+      payload.action = Value{summary.action.to_strings()};
       for (const analysis::CallSite& site : summary.call_sites) {
         if (options_.prune_uncontrollable_calls && analysis::all_uncontrollable(site.pp)) {
-          ++stats_.pruned_call_sites;
+          ++payload.pruned;
           continue;
         }
-        NodeId to = site.resolved
-                        ? method_node_for(*site.resolved)
-                        : phantom_method_node(site.declared.owner, site.declared.name,
-                                              site.declared.nargs);
-        add_call_edge(from, to, site);
+        add_call_payload(payload.calls, site);
+      }
+    });
+
+    // Instantiation phase: serial graph mutation, same order as ever.
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      jir::MethodId id = methods[i];
+      if (!program_.method(id).has_body()) continue;
+      MethodPayload& payload = payloads[i];
+      stats_.pruned_call_sites += payload.pruned;
+
+      NodeId from = method_nodes_.at(id);
+      db_.set_node_prop(from, std::string(kPropAction), std::move(payload.action));
+
+      for (CallPayload& call : payload.calls) {
+        NodeId to = call.resolved ? method_node_for(*call.resolved)
+                                  : phantom_method_node(call.declared.owner, call.declared.name,
+                                                        call.declared.nargs);
+        PropertyMap props;
+        props[std::string(kPropPollutedPosition)] = std::move(call.pp);
+        props[std::string(kPropStmtIndex)] = static_cast<std::int64_t>(call.stmt_index);
+        props[std::string(kPropInvokeKind)] = std::string(jir::to_string(call.kind));
+        db_.add_edge(from, to, std::string(kCallEdge), std::move(props));
       }
     }
   }
 
-  void add_call_edge(NodeId from, NodeId to, const analysis::CallSite& site) {
+  static void add_call_payload(std::vector<CallPayload>& calls, const analysis::CallSite& site) {
     // Merge repeated calls of the same callee into one edge with the
-    // position-wise most controllable PP.
-    if (auto existing = db_.find_edge(from, to, kCallEdge)) {
-      const Value* prop = db_.edge(*existing).prop(std::string(kPropPollutedPosition));
-      if (const auto* old_pp = std::get_if<std::vector<std::int64_t>>(prop)) {
-        std::vector<std::int64_t> merged = *old_pp;
-        merged.resize(std::max(merged.size(), site.pp.size()), analysis::kUncontrollable);
-        for (std::size_t i = 0; i < site.pp.size(); ++i) {
-          merged[i] = std::min(merged[i], site.pp[i]);
-        }
-        db_.set_edge_prop(*existing, std::string(kPropPollutedPosition), Value{std::move(merged)});
+    // position-wise most controllable PP. Callee identity matches graph-node
+    // identity: resolved ids and phantom signatures map to distinct nodes.
+    for (CallPayload& existing : calls) {
+      bool same_callee = site.resolved
+                             ? (existing.resolved && *existing.resolved == *site.resolved)
+                             : (!existing.resolved && existing.declared.owner == site.declared.owner &&
+                                existing.declared.name == site.declared.name &&
+                                existing.declared.nargs == site.declared.nargs);
+      if (!same_callee) continue;
+      existing.pp.resize(std::max(existing.pp.size(), site.pp.size()), analysis::kUncontrollable);
+      for (std::size_t i = 0; i < site.pp.size(); ++i) {
+        existing.pp[i] = std::min(existing.pp[i], site.pp[i]);
       }
       return;
     }
-    PropertyMap props;
-    props[std::string(kPropPollutedPosition)] =
-        std::vector<std::int64_t>(site.pp.begin(), site.pp.end());
-    props[std::string(kPropStmtIndex)] = static_cast<std::int64_t>(site.stmt_index);
-    props[std::string(kPropInvokeKind)] = std::string(jir::to_string(site.kind));
-    db_.add_edge(from, to, std::string(kCallEdge), std::move(props));
+    CallPayload fresh;
+    fresh.resolved = site.resolved;
+    fresh.declared = site.declared;
+    fresh.pp.assign(site.pp.begin(), site.pp.end());
+    fresh.stmt_index = site.stmt_index;
+    fresh.kind = site.kind;
+    calls.push_back(std::move(fresh));
   }
 
   // --- MAG: ALIAS edges (Formula 1, generalised to nearest declaration) --
 
   void build_mag() {
-    for (jir::MethodId id : program_.all_methods()) {
-      const jir::ClassDecl& cls = program_.class_of(id);
-      const jir::Method& m = program_.method(id);
-      if (m.name == "<init>" || m.name == "<clinit>") continue;  // constructors never alias
-      NodeId from = method_nodes_.at(id);
+    // Payload phase: the supertype BFS per method is a pure read of the
+    // program and hierarchy, so it fans out; targets come back in BFS visit
+    // order. Edge creation stays serial below.
+    std::vector<jir::MethodId> methods = program_.all_methods();
+    std::vector<std::vector<jir::MethodId>> targets(methods.size());
+    util::run_indexed(options_.executor, methods.size(),
+                      [&](std::size_t i) { targets[i] = alias_targets(methods[i]); });
 
-      // BFS up the supertype lattice; link to the nearest declaration on
-      // each path and stop exploring past it (transitive aliasing is then a
-      // chain of ALIAS edges).
-      auto supertypes_of = [this](const std::string& name) {
-        if (!options_.alias_superclass_only) return hierarchy_.direct_supertypes(name);
-        const jir::ClassDecl* decl = program_.find_class(name);
-        std::vector<std::string> out;
-        if (decl != nullptr && !decl->super.empty()) out.push_back(decl->super);
-        return out;
-      };
-
-      std::deque<std::string> work;
-      std::unordered_set<std::string> seen{cls.name};
-      for (const std::string& super : supertypes_of(cls.name)) work.push_back(super);
-      while (!work.empty()) {
-        std::string current = std::move(work.front());
-        work.pop_front();
-        if (!seen.insert(current).second) continue;
-        if (auto target = program_.find_method(current, m.name, m.nargs())) {
-          NodeId to = method_node_for(*target);
-          if (!db_.find_edge(from, to, kAliasEdge)) {
-            db_.add_edge(from, to, std::string(kAliasEdge));
-          }
-          continue;  // nearest declaration on this path found
-        }
-        for (const std::string& super : supertypes_of(current)) {
-          work.push_back(super);
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+      if (targets[i].empty()) continue;
+      NodeId from = method_nodes_.at(methods[i]);
+      for (jir::MethodId target : targets[i]) {
+        NodeId to = method_node_for(target);
+        if (!db_.find_edge(from, to, kAliasEdge)) {
+          db_.add_edge(from, to, std::string(kAliasEdge));
         }
       }
     }
   }
 
+  /// Methods `id` overrides, nearest declaration on each supertype path
+  /// (Formula 1, generalised). BFS up the lattice; stop exploring past a
+  /// declaration (transitive aliasing is then a chain of ALIAS edges).
+  std::vector<jir::MethodId> alias_targets(jir::MethodId id) const {
+    const jir::ClassDecl& cls = program_.class_of(id);
+    const jir::Method& m = program_.method(id);
+    std::vector<jir::MethodId> out;
+    if (m.name == "<init>" || m.name == "<clinit>") return out;  // constructors never alias
+
+    auto supertypes_of = [this](const std::string& name) {
+      if (!options_.alias_superclass_only) return hierarchy_.direct_supertypes(name);
+      const jir::ClassDecl* decl = program_.find_class(name);
+      std::vector<std::string> supers;
+      if (decl != nullptr && !decl->super.empty()) supers.push_back(decl->super);
+      return supers;
+    };
+
+    std::deque<std::string> work;
+    std::unordered_set<std::string> seen{cls.name};
+    for (const std::string& super : supertypes_of(cls.name)) work.push_back(super);
+    while (!work.empty()) {
+      std::string current = std::move(work.front());
+      work.pop_front();
+      if (!seen.insert(current).second) continue;
+      if (auto target = program_.find_method(current, m.name, m.nargs())) {
+        out.push_back(*target);
+        continue;  // nearest declaration on this path found
+      }
+      for (const std::string& super : supertypes_of(current)) {
+        work.push_back(super);
+      }
+    }
+    return out;
+  }
+
   void create_indexes() {
-    db_.create_index(std::string(kMethodLabel), std::string(kPropName));
-    db_.create_index(std::string(kMethodLabel), std::string(kPropClassName));
-    db_.create_index(std::string(kMethodLabel), std::string(kPropSignature));
-    db_.create_index(std::string(kMethodLabel), std::string(kPropIsSink));
-    db_.create_index(std::string(kMethodLabel), std::string(kPropIsSource));
-    db_.create_index(std::string(kClassLabel), std::string(kPropName));
+    db_.create_indexes({{std::string(kMethodLabel), std::string(kPropName)},
+                        {std::string(kMethodLabel), std::string(kPropClassName)},
+                        {std::string(kMethodLabel), std::string(kPropSignature)},
+                        {std::string(kMethodLabel), std::string(kPropIsSink)},
+                        {std::string(kMethodLabel), std::string(kPropIsSource)},
+                        {std::string(kClassLabel), std::string(kPropName)}},
+                       options_.executor);
   }
 
   void collect_stats() {

@@ -14,6 +14,10 @@
 #include "jir/hierarchy.hpp"
 #include "jir/model.hpp"
 
+namespace tabby::util {
+class Executor;
+}
+
 namespace tabby::cpg {
 
 struct CpgOptions {
@@ -32,6 +36,14 @@ struct CpgOptions {
   bool create_indexes = true;
   /// Jar/archive name recorded on class nodes (provenance).
   std::string jar_name;
+
+  /// When set (and offering >1 worker), the side-effect-free stages fan out
+  /// across it: controllability summaries (SCC waves), per-method call/alias
+  /// payloads, and index back-fills. Graph mutation stays serial in the
+  /// historical order, so the built CPG is bit-identical at any worker
+  /// count — including to a run with no executor at all. Borrowed, not
+  /// owned; must outlive build_cpg().
+  util::Executor* executor = nullptr;
 
   analysis::AnalysisOptions analysis;
   SinkRegistry sinks = SinkRegistry::defaults();

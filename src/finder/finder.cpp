@@ -5,6 +5,7 @@
 
 #include "analysis/domain.hpp"
 #include "cpg/schema.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace tabby::finder {
@@ -85,12 +86,26 @@ FinderReport GadgetChainFinder::find_all() {
   std::sort(sinks.begin(), sinks.end());
   report.sinks_considered = sinks.size();
 
-  for (NodeId sink : sinks) {
-    for (GadgetChain& chain : find_from_sink(sink)) {
+  // Sink-partitioned search: every sink's traversal is independent (const
+  // reads of the CPG, per-sink expansion budget), so the per-sink payloads
+  // fan out across the executor. The merge below walks sinks in ascending id
+  // order with the same first-wins dedup the serial loop applied, making the
+  // report identical at any worker count.
+  auto is_source = [](const graph::Node& n) {
+    return n.prop_bool(std::string(cpg::kPropIsSource));
+  };
+  std::vector<SinkSearch> searches(sinks.size());
+  util::run_indexed(options_.executor, sinks.size(),
+                    [&](std::size_t i) { searches[i] = search_sink(sinks[i], is_source); });
+
+  for (SinkSearch& search : searches) {
+    for (GadgetChain& chain : search.chains) {
       if (seen.insert(chain.key()).second) report.chains.push_back(std::move(chain));
     }
-    report.expansions += last_expansions_;
-    report.budget_exhausted = report.budget_exhausted || last_exhausted_;
+    report.expansions += search.expansions;
+    report.budget_exhausted = report.budget_exhausted || search.exhausted;
+    last_expansions_ = search.expansions;
+    last_exhausted_ = search.exhausted;
   }
   report.search_seconds = watch.elapsed_seconds();
   return report;
@@ -104,6 +119,14 @@ std::vector<GadgetChain> GadgetChainFinder::find_from_sink(graph::NodeId sink) {
 
 std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
     graph::NodeId sink, const std::function<bool(const graph::Node&)>& is_source) {
+  SinkSearch search = search_sink(sink, is_source);
+  last_expansions_ = search.expansions;
+  last_exhausted_ = search.exhausted;
+  return std::move(search.chains);
+}
+
+GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink(
+    graph::NodeId sink, const std::function<bool(const graph::Node&)>& is_source) const {
   const graph::Node& sink_node = db_->node(sink);
   std::string sink_type = sink_node.prop_string(std::string(cpg::kPropSinkType));
 
@@ -175,11 +198,11 @@ std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
   graph::Traverser<TcState> traverser(*db_, expand, evaluate, graph::Uniqueness::NodePath,
                                       limits);
   std::vector<graph::TraversalResult<TcState>> paths = traverser.run(sink, std::move(initial));
-  last_expansions_ = traverser.expansions();
-  last_exhausted_ = traverser.exhausted_budget();
 
-  std::vector<GadgetChain> chains;
-  chains.reserve(paths.size());
+  SinkSearch search;
+  search.expansions = traverser.expansions();
+  search.exhausted = traverser.exhausted_budget();
+  search.chains.reserve(paths.size());
   for (const auto& result : paths) {
     GadgetChain chain;
     chain.sink_type = sink_type;
@@ -188,9 +211,9 @@ std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
     for (NodeId n : chain.nodes) {
       chain.signatures.push_back(db_->node(n).prop_string(std::string(cpg::kPropSignature)));
     }
-    chains.push_back(std::move(chain));
+    search.chains.push_back(std::move(chain));
   }
-  return chains;
+  return search;
 }
 
 }  // namespace tabby::finder

@@ -14,6 +14,10 @@
 #include "graph/graph.hpp"
 #include "graph/traversal.hpp"
 
+namespace tabby::util {
+class Executor;
+}
+
 namespace tabby::finder {
 
 /// One discovered gadget chain, source-first (the order the paper prints,
@@ -52,6 +56,12 @@ struct FinderOptions {
   /// off degenerates into plain backward reachability — the Serianalyzer
   /// behaviour).
   bool check_trigger_conditions = true;
+  /// When set (and offering >1 worker), find_all() partitions the search by
+  /// sink and traverses sinks concurrently; per-sink results are merged
+  /// serially in ascending sink-id order with the same dedup, so the report
+  /// is bit-identical to the serial search. Each sink keeps its own
+  /// max_expansions budget either way. Borrowed, not owned.
+  util::Executor* executor = nullptr;
 };
 
 struct FinderReport {
@@ -84,6 +94,17 @@ class GadgetChainFinder {
   bool last_exhausted() const { return last_exhausted_; }
 
  private:
+  /// Result of one sink's traversal, self-contained so sinks can be searched
+  /// on any thread (the const search never touches finder state).
+  struct SinkSearch {
+    std::vector<GadgetChain> chains;
+    std::size_t expansions = 0;
+    bool exhausted = false;
+  };
+
+  SinkSearch search_sink(graph::NodeId sink,
+                         const std::function<bool(const graph::Node&)>& is_source) const;
+
   const graph::GraphDb* db_;
   FinderOptions options_;
   std::size_t last_expansions_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace tabby::graph {
 
 NodeId GraphDb::add_node(std::string label, PropertyMap props) {
@@ -157,6 +159,31 @@ void GraphDb::create_index(const std::string& label, const std::string& key) {
 
 bool GraphDb::has_index(const std::string& label, const std::string& key) const {
   return indexes_.count(index_name(label, key)) != 0;
+}
+
+void GraphDb::create_indexes(const std::vector<std::pair<std::string, std::string>>& specs,
+                             util::Executor* executor) {
+  // Back-fill each index into a local map first (pure reads of the node
+  // store), then install serially in spec order. Skips already-existing
+  // indexes like create_index() does.
+  std::vector<std::unordered_map<std::string, std::vector<NodeId>>> built(specs.size());
+  std::vector<bool> fresh(specs.size(), false);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    fresh[i] = indexes_.count(index_name(specs[i].first, specs[i].second)) == 0;
+  }
+  util::run_indexed(executor, specs.size(), [&](std::size_t i) {
+    if (!fresh[i]) return;
+    const auto& [label, key] = specs[i];
+    for (NodeId id : nodes_with_label(label)) {
+      const Value* v = nodes_[id].prop(key);
+      if (v == nullptr) continue;
+      std::string vk = index_key(*v);
+      if (!vk.empty()) built[i][vk].push_back(id);
+    }
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (fresh[i]) indexes_.emplace(index_name(specs[i].first, specs[i].second), std::move(built[i]));
+  }
 }
 
 std::vector<NodeId> GraphDb::find_nodes(const std::string& label, const std::string& key,

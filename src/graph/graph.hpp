@@ -14,6 +14,10 @@
 
 #include "graph/value.hpp"
 
+namespace tabby::util {
+class Executor;
+}
+
 namespace tabby::graph {
 
 using NodeId = std::uint64_t;
@@ -127,6 +131,13 @@ class GraphDb {
   /// back-filled; future mutations keep it current. Idempotent.
   void create_index(const std::string& label, const std::string& key);
   bool has_index(const std::string& label, const std::string& key) const;
+
+  /// Creates several indexes at once. Each back-fill only reads the node
+  /// store, so with an executor the per-index scans fan out across workers;
+  /// the finished maps are installed serially in spec order, leaving the
+  /// database in exactly the state repeated create_index() calls produce.
+  void create_indexes(const std::vector<std::pair<std::string, std::string>>& specs,
+                      util::Executor* executor = nullptr);
 
   /// Index-accelerated equality lookup; falls back to a label scan when no
   /// index exists.

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/bytes.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tabby::jar {
 
@@ -648,6 +649,18 @@ util::Result<Archive> read_archive_file(const std::filesystem::path& path) {
   in.read(reinterpret_cast<char*>(bytes.data()), size);
   if (!in) return Error{"read failed: " + path.string()};
   return read_archive(bytes);
+}
+
+std::vector<util::Result<Archive>> read_archive_files(
+    const std::vector<std::filesystem::path>& paths, util::Executor* executor) {
+  std::vector<util::Result<Archive>> results;
+  results.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    results.push_back(Error{"not read"});
+  }
+  util::run_indexed(executor, paths.size(),
+                    [&](std::size_t i) { results[i] = read_archive_file(paths[i]); });
+  return results;
 }
 
 jir::Program link(const std::vector<Archive>& classpath, std::size_t* duplicates_skipped) {

@@ -20,6 +20,10 @@
 #include "jir/model.hpp"
 #include "util/result.hpp"
 
+namespace tabby::util {
+class Executor;
+}
+
 namespace tabby::jar {
 
 struct ArchiveMeta {
@@ -50,6 +54,13 @@ util::Result<Archive> read_archive(std::span<const std::byte> data);
 /// File convenience wrappers.
 util::Status write_archive_file(const Archive& archive, const std::filesystem::path& path);
 util::Result<Archive> read_archive_file(const std::filesystem::path& path);
+
+/// Reads several archive files, one result per path in input order. Each
+/// file is read and decoded independently, so with an executor the decode
+/// work fans out across workers (classpath loading is the first pipeline
+/// stage and embarrassingly parallel).
+std::vector<util::Result<Archive>> read_archive_files(
+    const std::vector<std::filesystem::path>& paths, util::Executor* executor = nullptr);
 
 /// Links archives into one closed-world Program, classpath style: when two
 /// archives define the same class, the first archive on the path wins.

@@ -1,0 +1,158 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace tabby::util {
+
+namespace {
+
+/// Set while a pool worker is running a task; parallel_for uses it to detect
+/// nested calls (which run inline instead of waiting on their own workers).
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+unsigned ThreadPool::default_jobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned count = threads == 0 ? default_jobs() : threads;
+  count = std::max(1u, count);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t slot = next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
+    workers_[slot]->tasks.push_back(std::move(task));
+  }
+  // Pairing the notify with the wake mutex closes the "checked empty, then
+  // slept" race in worker_loop.
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::queues_empty() const {
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    if (!w->tasks.empty()) return false;
+  }
+  return true;
+}
+
+bool ThreadPool::take_task(unsigned self, std::function<void()>& out) {
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());  // LIFO on the owner side
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t offset = 1; offset < workers_.size(); ++offset) {
+    Worker& victim = *workers_[(self + offset) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());  // FIFO on the thief side
+      victim.tasks.pop_front();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  t_inside_pool_worker = true;
+  std::function<void()> task;
+  while (true) {
+    if (take_task(self, task)) {
+      task();
+      task = nullptr;
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_) return;
+    wake_cv_.wait(lock, [this] { return stop_ || !queues_empty(); });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (t_inside_pool_worker || workers_.size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunk so each worker sees several chunks (stealing can rebalance) while
+  // keeping per-task overhead negligible.
+  std::size_t chunks = std::min<std::size_t>(n, workers_.size() * 4);
+  std::size_t grain = (n + chunks - 1) / chunks;
+  chunks = (n + grain - 1) / grain;
+
+  struct Batch {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining.store(chunks, std::memory_order_relaxed);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t first = c * grain;
+    std::size_t last = std::min(n, first + grain);
+    submit([batch, first, last, &fn] {
+      try {
+        for (std::size_t i = first; i < last; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(batch->mutex);
+        batch->done.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&] { return batch->remaining.load(std::memory_order_acquire) == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace tabby::util

@@ -1,0 +1,125 @@
+// The parallel execution substrate for the pipeline. Two pieces:
+//
+//   - Executor: the minimal interface the analysis/cpg/finder stages program
+//     against. `parallel_for(n, fn)` runs fn(0..n-1) and returns when every
+//     index finished. A null Executor* (or SerialExecutor) means "run inline
+//     in index order" — the `--jobs 1` path, byte-identical to the historical
+//     single-threaded pipeline.
+//   - ThreadPool: a work-stealing implementation. Each worker owns a deque;
+//     it pops its own work LIFO (cache-warm) and steals FIFO from the other
+//     workers when dry (the classic Chase–Lev discipline, here with a plain
+//     mutex per deque — the pipeline's tasks are coarse enough that lock
+//     traffic is noise).
+//
+// Every parallel stage in the pipeline is written as: compute immutable
+// per-item results with parallel_for, then publish/instantiate them in a
+// deterministic serial order. The Executor therefore never needs futures or
+// task dependencies; parallel_for's barrier is the only synchronisation
+// primitive the callers use. See docs/CONCURRENCY.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tabby::util {
+
+/// Abstract parallel-for provider. Stages accept `Executor*` and treat
+/// nullptr as "serial"; use `run_indexed` for the common call pattern.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Number of threads that may run tasks concurrently (>= 1).
+  virtual unsigned concurrency() const = 0;
+
+  /// Runs fn(i) for every i in [0, n) and returns once all completed.
+  /// Index-to-thread assignment is unspecified; fn must not assume order.
+  /// Exceptions thrown by fn are rethrown (one of them) in the caller.
+  virtual void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// Runs a loop through `executor` when present, inline (in index order)
+/// otherwise. The universal "maybe parallel" entry point.
+inline void run_indexed(Executor* executor, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (executor != nullptr && executor->concurrency() > 1 && n > 1) {
+    executor->parallel_for(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+/// Inline executor: parallel_for degenerates to an ordered serial loop.
+class SerialExecutor final : public Executor {
+ public:
+  unsigned concurrency() const override { return 1; }
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) override {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+/// Work-stealing thread pool.
+class ThreadPool final : public Executor {
+ public:
+  /// Spawns `threads` workers; 0 means default_jobs().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned concurrency() const override { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one fire-and-forget task (round-robin across worker deques,
+  /// stolen freely afterwards). The task must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by tasks)
+  /// has finished.
+  void wait_idle();
+
+  /// Chunked parallel loop with a completion barrier. Called from a pool
+  /// worker thread it runs inline (serially) instead of deadlocking on its
+  /// own barrier — nested parallelism degrades gracefully.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) override;
+
+  /// The `--jobs` default: hardware_concurrency, floored at 1.
+  static unsigned default_jobs();
+
+  /// Total tasks executed since construction (telemetry for tests/benches).
+  std::size_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
+  /// How many of those were taken from another worker's deque.
+  std::size_t tasks_stolen() const { return tasks_stolen_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned self);
+  /// Pops own-deque back, else steals another deque's front.
+  bool take_task(unsigned self, std::function<void()>& out);
+  bool queues_empty() const;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;  // workers sleep here when all deques dry
+  std::condition_variable idle_cv_;  // wait_idle sleeps here
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> tasks_executed_{0};
+  std::atomic<std::size_t> tasks_stolen_{0};
+  bool stop_ = false;  // guarded by wake_mutex_
+};
+
+}  // namespace tabby::util
