@@ -4,9 +4,19 @@
 #include <cstdint>
 
 #include "cfg/cfg.hpp"
+#include "util/digest.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tabby::analysis {
+
+std::uint64_t options_fingerprint(const AnalysisOptions& options) {
+  util::Fnv1a h;
+  h.update("analysis-options-v1");
+  h.update_u64(static_cast<std::uint64_t>(options.max_block_iterations));
+  h.update_bool(options.interprocedural);
+  h.update_bool(options.unknown_return_controllable);
+  return h.digest();
+}
 
 namespace {
 

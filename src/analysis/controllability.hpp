@@ -36,6 +36,11 @@ struct AnalysisOptions {
   bool unknown_return_controllable = false;
 };
 
+/// Stable digest of every field that can change an analysis result. Folded
+/// into the incremental cache's snapshot key so flipping any option (e.g. an
+/// ablation run) invalidates snapshots computed under different settings.
+std::uint64_t options_fingerprint(const AnalysisOptions& options);
+
 /// One call site inside a method body, with its computed PP.
 struct CallSite {
   std::size_t stmt_index = 0;

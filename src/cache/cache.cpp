@@ -1,0 +1,276 @@
+#include "cache/cache.hpp"
+
+#include <fstream>
+
+#include "graph/serialize.hpp"
+#include "jir/printer.hpp"
+#include "util/bytes.hpp"
+#include "util/digest.hpp"
+
+namespace tabby::cache {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Error;
+using util::Result;
+
+Result<std::vector<std::byte>> read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Error{"cannot open for read: " + path.string()};
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return Error{"read failed: " + path.string()};
+  return bytes;
+}
+
+/// Atomic publish: a half-written cache entry must never be observable, so
+/// concurrent runs either see a whole entry or none.
+util::Status write_file_atomic(const fs::path& path, const std::vector<std::byte>& bytes) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Error{"cannot open for write: " + tmp.string()};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Error{"write failed: " + tmp.string()};
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Error{"cannot publish cache entry: " + path.string()};
+  }
+  return util::Status::ok_status();
+}
+
+/// Shared entry framing: magic + version + body + FNV-1a64 checksum. The
+/// same fail-closed discipline as the graph store, except a bad entry is a
+/// cache miss, not an error.
+std::vector<std::byte> frame_entry(std::uint32_t magic, std::uint16_t version,
+                                   const ByteWriter& body) {
+  ByteWriter out;
+  out.u32(magic);
+  out.u16(version);
+  for (std::byte b : body.data()) out.u8(static_cast<std::uint8_t>(b));
+  out.u64(util::fnv1a(out.data()));
+  return std::vector<std::byte>(out.data());
+}
+
+/// Validates the frame and returns the body span, or nullopt (miss).
+std::optional<std::span<const std::byte>> open_entry(std::span<const std::byte> data,
+                                                     std::uint32_t magic,
+                                                     std::uint16_t version) {
+  constexpr std::size_t kFrameOverhead = 4 + 2 + 8;
+  if (data.size() < kFrameOverhead) return std::nullopt;
+  ByteReader head(data);
+  auto m = head.u32();
+  auto v = head.u16();
+  if (!m.ok() || !v.ok() || m.value() != magic || v.value() != version) return std::nullopt;
+  ByteReader tail(data.subspan(data.size() - 8));
+  auto stored = tail.u64();
+  if (!stored.ok()) return std::nullopt;
+  if (stored.value() != util::fnv1a(data.first(data.size() - 8))) return std::nullopt;
+  return data.subspan(4 + 2, data.size() - kFrameOverhead);
+}
+
+void write_stats(ByteWriter& out, const cpg::CpgStats& stats) {
+  out.uvarint(stats.class_nodes);
+  out.uvarint(stats.method_nodes);
+  out.uvarint(stats.relationship_edges);
+  out.uvarint(stats.call_edges);
+  out.uvarint(stats.alias_edges);
+  out.uvarint(stats.pruned_call_sites);
+  out.uvarint(stats.source_methods);
+  out.uvarint(stats.sink_methods);
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof stats.build_seconds);
+  __builtin_memcpy(&bits, &stats.build_seconds, sizeof bits);
+  out.u64(bits);
+}
+
+std::optional<cpg::CpgStats> read_stats(ByteReader& in) {
+  cpg::CpgStats stats;
+  std::size_t* fields[] = {&stats.class_nodes,       &stats.method_nodes,
+                           &stats.relationship_edges, &stats.call_edges,
+                           &stats.alias_edges,        &stats.pruned_call_sites,
+                           &stats.source_methods,     &stats.sink_methods};
+  for (std::size_t* field : fields) {
+    auto v = in.uvarint();
+    if (!v.ok()) return std::nullopt;
+    *field = static_cast<std::size_t>(v.value());
+  }
+  auto bits = in.u64();
+  if (!bits.ok()) return std::nullopt;
+  std::uint64_t raw = bits.value();
+  __builtin_memcpy(&stats.build_seconds, &raw, sizeof raw);
+  return stats;
+}
+
+}  // namespace
+
+std::string CacheStats::to_line() const {
+  std::string line = "cache: ";
+  if (snapshot_checked) {
+    line += std::string("snapshot ") + (snapshot_hit ? "hit" : "miss") + " (key " +
+            util::digest_hex(snapshot_key) + ")";
+  } else {
+    line += "snapshot not consulted";
+  }
+  std::size_t total = fragment_hits + fragment_misses;
+  if (total > 0) {
+    line += ", fragments " + std::to_string(fragment_hits) + "/" + std::to_string(total) + " hit";
+  }
+  return line;
+}
+
+Result<AnalysisCache> AnalysisCache::open(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir / "fragments", ec);
+  if (ec) return Error{"cannot create cache directory: " + (dir / "fragments").string()};
+  fs::create_directories(dir / "snapshots", ec);
+  if (ec) return Error{"cannot create cache directory: " + (dir / "snapshots").string()};
+  return AnalysisCache(dir);
+}
+
+Result<std::uint64_t> AnalysisCache::digest_file(const fs::path& file) {
+  auto bytes = read_file_bytes(file);
+  if (!bytes.ok()) return bytes.error();
+  return util::fnv1a(bytes.value());
+}
+
+std::uint64_t AnalysisCache::snapshot_key(std::uint64_t options_fp,
+                                          const std::vector<std::uint64_t>& archive_digests) {
+  util::Fnv1a h;
+  h.update("tabby-snapshot-key-v1");
+  h.update_u64(graph::kGraphStoreVersion);
+  h.update_u64(options_fp);
+  h.update_u64(archive_digests.size());
+  for (std::uint64_t digest : archive_digests) h.update_u64(digest);
+  return h.digest();
+}
+
+fs::path AnalysisCache::fragment_path(std::uint64_t digest) const {
+  return dir_ / "fragments" / (util::digest_hex(digest) + ".tfrag");
+}
+
+fs::path AnalysisCache::snapshot_path(std::uint64_t key) const {
+  return dir_ / "snapshots" / (util::digest_hex(key) + ".tsnp");
+}
+
+Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
+  auto raw = read_file_bytes(file);
+  if (!raw.ok()) return raw.error();
+  LoadedArchive loaded;
+  loaded.digest = util::fnv1a(raw.value());
+
+  // Fragment hit: decode the canonical re-encoding instead of the original.
+  fs::path frag = fragment_path(loaded.digest);
+  if (auto frag_bytes = read_file_bytes(frag); frag_bytes.ok()) {
+    if (auto body = open_entry(frag_bytes.value(), kFragmentMagic, kFragmentVersion)) {
+      ByteReader in(*body);
+      auto source_digest = in.u64();
+      auto n_classes = in.count("fragment class fingerprint");
+      bool intact = source_digest.ok() && source_digest.value() == loaded.digest && n_classes.ok();
+      for (std::size_t i = 0; intact && i < n_classes.value(); ++i) intact = in.uvarint().ok();
+      if (intact) {
+        if (auto len = in.count("fragment archive blob"); len.ok() && len.value() <= in.remaining()) {
+          auto archive = jar::read_archive(body->subspan(in.position(), len.value()));
+          if (archive.ok()) {
+            ++stats_.fragment_hits;
+            loaded.archive = std::move(archive.value());
+            loaded.from_fragment = true;
+            return loaded;
+          }
+        }
+      }
+    }
+  }
+
+  // Miss: decode the original bytes and publish the fragment (best effort —
+  // a read-only cache directory degrades to a plain cold run).
+  auto archive = jar::read_archive(raw.value());
+  if (!archive.ok()) return archive.error();
+  ++stats_.fragment_misses;
+  loaded.archive = std::move(archive.value());
+
+  ByteWriter body;
+  body.u64(loaded.digest);
+  body.uvarint(loaded.archive.classes.size());
+  for (const jir::ClassDecl& cls : loaded.archive.classes) {
+    body.uvarint(jir::stable_fingerprint(cls));
+  }
+  std::vector<std::byte> encoded = jar::write_archive(loaded.archive);
+  body.uvarint(encoded.size());
+  for (std::byte b : encoded) body.u8(static_cast<std::uint8_t>(b));
+  (void)write_file_atomic(frag, frame_entry(kFragmentMagic, kFragmentVersion, body));
+  return loaded;
+}
+
+std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key) {
+  stats_.snapshot_checked = true;
+  stats_.snapshot_key = key;
+  stats_.snapshot_hit = false;
+
+  auto bytes = read_file_bytes(snapshot_path(key));
+  if (!bytes.ok()) return std::nullopt;
+
+  // Snapshot layout differs from the shared frame: the checksum covers only
+  // the header (magic .. blob length), because the graph blob that follows
+  // is a complete self-checksummed graph store — deserialize() rejects any
+  // corruption in it, so hashing those megabytes twice buys nothing.
+  ByteReader in(bytes.value());
+  auto magic = in.u32();
+  auto version = in.u16();
+  if (!magic.ok() || !version.ok() || magic.value() != kSnapshotMagic ||
+      version.value() != kSnapshotVersion) {
+    return std::nullopt;
+  }
+  auto stored_key = in.u64();
+  if (!stored_key.ok() || stored_key.value() != key) return std::nullopt;
+  auto stats = read_stats(in);
+  if (!stats) return std::nullopt;
+  auto len = in.count("snapshot graph blob");
+  if (!len.ok()) return std::nullopt;
+  std::uint64_t header_sum =
+      util::fnv1a(std::span<const std::byte>(bytes.value()).first(in.position()));
+  auto stored_sum = in.u64();
+  if (!stored_sum.ok() || stored_sum.value() != header_sum) return std::nullopt;
+  if (len.value() != in.remaining()) return std::nullopt;
+
+  CachedCpg cached;
+  cached.stats = *stats;
+  // Reuse the file buffer instead of copying the multi-megabyte blob: shear
+  // off the header so what remains is exactly the embedded graph store.
+  std::size_t blob_offset = in.position();
+  cached.graph_bytes = std::move(bytes.value());
+  cached.graph_bytes.erase(cached.graph_bytes.begin(),
+                           cached.graph_bytes.begin() + static_cast<std::ptrdiff_t>(blob_offset));
+  auto db = graph::deserialize(cached.graph_bytes);
+  if (!db.ok()) return std::nullopt;
+  cached.db = std::move(db.value());
+  stats_.snapshot_hit = true;
+  return cached;
+}
+
+util::Status AnalysisCache::store_snapshot(std::uint64_t key, const cpg::CpgStats& stats,
+                                           const std::vector<std::byte>& graph_bytes) {
+  ByteWriter header;
+  header.u32(kSnapshotMagic);
+  header.u16(kSnapshotVersion);
+  header.u64(key);
+  write_stats(header, stats);
+  header.uvarint(graph_bytes.size());
+  header.u64(util::fnv1a(header.data()));
+  std::vector<std::byte> file = header.take();
+  file.insert(file.end(), graph_bytes.begin(), graph_bytes.end());
+  return write_file_atomic(snapshot_path(key), file);
+}
+
+}  // namespace tabby::cache

@@ -1,0 +1,121 @@
+// Incremental analysis cache (the ROADMAP's "not doing the work at all"
+// multiplier). Real deployments re-scan near-identical classpaths; the
+// paper's Neo4j store exists precisely so a graph built once can be
+// re-queried. This module persists two kinds of artifacts under a cache
+// directory, both keyed by content digests (util/digest.hpp):
+//
+//   fragments/<digest>.tfrag   per-archive fragment: the decoded archive
+//                              re-encoded in canonical TJAR form plus the
+//                              per-class stable fingerprints. Keyed by the
+//                              FNV-1a64 of the raw .tjar file bytes, so a
+//                              changed archive simply misses and only it is
+//                              re-read — unchanged neighbours warm-start
+//                              before the (cheap) cross-archive link step.
+//   snapshots/<key>.tsnp       whole-classpath CPG snapshot: CpgStats plus
+//                              the graph::serialize (version-2, checksummed)
+//                              bytes, embedded verbatim so a warm
+//                              `analyze --store` reproduces the cold store
+//                              byte for byte. Keyed by snapshot_key(): the
+//                              cpg::options_fingerprint folded with every
+//                              archive digest in classpath order (order
+//                              matters — the linker's first-wins rule).
+//
+// Invalidation is purely structural: there are no timestamps and no
+// in-place updates. A changed input or option produces a different key and
+// therefore a different file; stale entries are never read again. Corrupt,
+// truncated or version-skewed cache entries are detected via the same
+// magic/version/checksum discipline as the graph store and are treated as
+// misses (the cache self-heals by recomputing and overwriting), never as
+// errors and never as data. Fragments carry a whole-entry checksum; a
+// snapshot checksums only its header and lets the embedded graph store's
+// own checksum cover the blob, so the warm path hashes the megabytes once.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpg/builder.hpp"
+#include "graph/graph.hpp"
+#include "jar/archive.hpp"
+#include "util/result.hpp"
+
+namespace tabby::cache {
+
+inline constexpr std::uint32_t kFragmentMagic = 0x54465247;  // "TFRG"
+inline constexpr std::uint16_t kFragmentVersion = 1;
+inline constexpr std::uint32_t kSnapshotMagic = 0x54534E50;  // "TSNP"
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+/// Hit/miss telemetry for one pipeline run, rendered as the CLI's
+/// "cache:" stats line.
+struct CacheStats {
+  std::size_t fragment_hits = 0;
+  std::size_t fragment_misses = 0;
+  bool snapshot_checked = false;
+  bool snapshot_hit = false;
+  std::uint64_t snapshot_key = 0;
+
+  std::string to_line() const;
+};
+
+/// One classpath entry after cache-aware loading.
+struct LoadedArchive {
+  jar::Archive archive;
+  std::uint64_t digest = 0;  // FNV-1a64 of the raw .tjar file bytes
+  bool from_fragment = false;
+};
+
+/// A warm-started CPG: the deserialized graph plus the cold run's stats and
+/// the exact store bytes the snapshot embeds.
+struct CachedCpg {
+  cpg::CpgStats stats;
+  graph::GraphDb db;
+  std::vector<std::byte> graph_bytes;
+};
+
+class AnalysisCache {
+ public:
+  /// Opens the cache rooted at `dir`, creating the directory layout on
+  /// first use. Fails only when the directories cannot be created.
+  static util::Result<AnalysisCache> open(const std::filesystem::path& dir);
+
+  /// Digest of a .tjar on disk (reads the file; no decode).
+  static util::Result<std::uint64_t> digest_file(const std::filesystem::path& file);
+
+  /// Combined snapshot key for a classpath: `options_fp` (see
+  /// cpg::options_fingerprint) folded with the archive digests in classpath
+  /// order. Pure function — stable across job counts and process restarts.
+  static std::uint64_t snapshot_key(std::uint64_t options_fp,
+                                    const std::vector<std::uint64_t>& archive_digests);
+
+  /// Cache-aware decode of one archive file: digests the raw bytes, loads
+  /// the matching fragment when present (and intact), otherwise decodes the
+  /// original bytes and writes the fragment back. Updates stats().
+  util::Result<LoadedArchive> load_archive(const std::filesystem::path& file);
+
+  /// Warm-start lookup. nullopt on miss (absent, corrupt, truncated or
+  /// version-skewed snapshot). Updates stats().
+  std::optional<CachedCpg> load_snapshot(std::uint64_t key);
+
+  /// Persists a snapshot: `graph_bytes` must be graph::serialize(db) of the
+  /// CPG the stats describe. Written atomically (temp file + rename).
+  util::Status store_snapshot(std::uint64_t key, const cpg::CpgStats& stats,
+                              const std::vector<std::byte>& graph_bytes);
+
+  CacheStats& stats() { return stats_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  explicit AnalysisCache(std::filesystem::path dir) : dir_(std::move(dir)) {}
+
+  std::filesystem::path fragment_path(std::uint64_t digest) const;
+  std::filesystem::path snapshot_path(std::uint64_t key) const;
+
+  std::filesystem::path dir_;
+  CacheStats stats_;
+};
+
+}  // namespace tabby::cache

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
+#include "cache/cache.hpp"
 #include "corpus/components.hpp"
 #include "corpus/jdk.hpp"
 #include "corpus/scenes.hpp"
@@ -13,6 +15,7 @@
 #include "finder/payload.hpp"
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
+#include "util/digest.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,6 +29,7 @@ struct Args {
   std::vector<std::string> positional;
   std::string store;
   std::string out_dir;
+  std::string cache_dir;
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
   bool verify = false;
@@ -56,6 +60,8 @@ Args parse_args(const std::vector<std::string>& raw) {
     };
     if (a == "--store") {
       if (!take_value(args.store)) return args;
+    } else if (a == "--cache") {
+      if (!take_value(args.cache_dir)) return args;
     } else if (a == "--out") {
       if (!take_value(args.out_dir)) return args;
     } else if (a == "--depth") {
@@ -86,14 +92,18 @@ int usage(std::ostream& err) {
   err << "usage:\n"
          "  tabby list\n"
          "  tabby gen <component-or-scene> --out DIR\n"
-         "  tabby analyze JAR... [--store FILE] [--no-jdk] [--jobs N]\n"
-         "  tabby find JAR... [--depth N] [--verify] [--no-jdk] [--jobs N]\n"
-         "  tabby query JAR... \"MATCH ... RETURN ...\" [--no-jdk] [--jobs N]\n"
+         "  tabby analyze JAR... [--store FILE] [--cache DIR] [--no-jdk] [--jobs N]\n"
+         "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-jdk] [--jobs N]\n"
+         "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\"\n"
          "\n"
-         "  --jobs N  worker threads for the parallel stages (default: all\n"
-         "            hardware threads; 1 = serial). Output is identical at\n"
-         "            any job count.\n";
+         "  --jobs N     worker threads for the parallel stages (default: all\n"
+         "               hardware threads; 1 = serial). Output is identical at\n"
+         "               any job count.\n"
+         "  --cache DIR  incremental analysis cache: per-archive fragments plus\n"
+         "               whole-classpath CPG snapshots, keyed by content digests.\n"
+         "               A warm run on an unchanged classpath skips recomputation\n"
+         "               and produces identical output.\n";
   return 2;
 }
 
@@ -112,6 +122,117 @@ bool load_program(const std::vector<std::string>& paths, bool with_jdk, util::Ex
     classpath.push_back(std::move(archives[i].value()));
   }
   program = jar::link(classpath);
+  return true;
+}
+
+/// The CPG for one analyze/find/query invocation, however it was obtained
+/// (cold build or cache snapshot).
+struct CpgOutcome {
+  graph::GraphDb db;
+  cpg::CpgStats stats;
+  /// graph::serialize(db), the exact bytes `--store` writes. Always present
+  /// on a cache run (snapshots embed them); on a cache-less run only when
+  /// requested via need_graph_bytes.
+  std::vector<std::byte> graph_bytes;
+  /// The "cache:" stats line; empty when --cache is off.
+  std::string cache_line;
+  bool warm = false;
+};
+
+bool write_bytes(const std::vector<std::byte>& bytes, const fs::path& path, std::ostream& err) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    err << "error: cannot write " << path.string() << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Cache-aware pipeline front end shared by analyze/find/query: digest the
+/// classpath, warm-start from a snapshot when one matches, otherwise load
+/// archives through per-archive fragments, build the CPG and publish a new
+/// snapshot. Without --cache this is the plain cold pipeline. When
+/// `need_program` is set (find --verify, or any cache miss) the linked
+/// program is left in `program_out`.
+bool obtain_cpg(const Args& args, const std::vector<std::string>& jar_paths,
+                util::Executor* executor, bool need_program, bool need_graph_bytes,
+                jir::Program* program_out, CpgOutcome& outcome, std::ostream& err) {
+  cpg::CpgOptions options;
+  options.executor = executor;
+
+  if (args.cache_dir.empty()) {
+    jir::Program program;
+    if (!load_program(jar_paths, args.with_jdk, executor, program, err)) return false;
+    cpg::Cpg cpg = cpg::build_cpg(program, options);
+    outcome.db = std::move(cpg.db);
+    outcome.stats = cpg.stats;
+    if (need_graph_bytes) outcome.graph_bytes = graph::serialize(outcome.db);
+    if (need_program && program_out != nullptr) *program_out = std::move(program);
+    return true;
+  }
+
+  auto opened = cache::AnalysisCache::open(args.cache_dir);
+  if (!opened.ok()) {
+    err << "error: " << opened.error().to_string() << "\n";
+    return false;
+  }
+  cache::AnalysisCache& cache = opened.value();
+
+  // Classpath digests in link order: the simulated JDK (when included) is
+  // part of the analyzed world, so its content is part of the key.
+  std::vector<std::uint64_t> digests;
+  if (args.with_jdk) {
+    digests.push_back(util::fnv1a(jar::write_archive(corpus::jdk_base_archive())));
+  }
+  for (const std::string& path : jar_paths) {
+    auto digest = cache::AnalysisCache::digest_file(path);
+    if (!digest.ok()) {
+      err << "error: " << path << ": " << digest.error().to_string() << "\n";
+      return false;
+    }
+    digests.push_back(digest.value());
+  }
+  std::uint64_t key = cache::AnalysisCache::snapshot_key(cpg::options_fingerprint(options), digests);
+
+  std::optional<cache::CachedCpg> snapshot = cache.load_snapshot(key);
+  if (!snapshot.has_value() || need_program) {
+    // Load the program through per-archive fragments: unchanged archives
+    // warm-start, only changed ones are re-decoded from the original bytes.
+    std::vector<jar::Archive> classpath;
+    if (args.with_jdk) classpath.push_back(corpus::jdk_base_archive());
+    for (const std::string& path : jar_paths) {
+      auto loaded = cache.load_archive(path);
+      if (!loaded.ok()) {
+        err << "error: " << path << ": " << loaded.error().to_string() << "\n";
+        return false;
+      }
+      classpath.push_back(std::move(loaded.value().archive));
+    }
+    jir::Program program = jar::link(classpath);
+    if (!snapshot.has_value()) {
+      cpg::Cpg cpg = cpg::build_cpg(program, options);
+      outcome.db = std::move(cpg.db);
+      outcome.stats = cpg.stats;
+      outcome.graph_bytes = graph::serialize(outcome.db);
+      auto stored = cache.store_snapshot(key, outcome.stats, outcome.graph_bytes);
+      if (!stored.ok()) {
+        err << "warning: " << stored.error().to_string() << " (continuing without snapshot)\n";
+      }
+    }
+    if (need_program && program_out != nullptr) *program_out = std::move(program);
+  }
+  if (snapshot.has_value()) {
+    outcome.db = std::move(snapshot->db);
+    outcome.stats = snapshot->stats;
+    outcome.graph_bytes = std::move(snapshot->graph_bytes);
+    outcome.warm = true;
+    // Persistence stores data, not index structures; recreate the standard
+    // set so lookups behave exactly as on a freshly built CPG.
+    cpg::create_standard_indexes(outcome.db, executor);
+  }
+  outcome.cache_line = cache.stats().to_line();
   return true;
 }
 
@@ -169,28 +290,25 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
-  jir::Program program;
-  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk,
-                    pool.get(), program, err)) {
+  CpgOutcome outcome;
+  if (!obtain_cpg(args, {args.positional.begin() + 1, args.positional.end()}, pool.get(),
+                  /*need_program=*/false, /*need_graph_bytes=*/!args.store.empty(), nullptr,
+                  outcome, err)) {
     return 1;
   }
-  cpg::CpgOptions cpg_options;
-  cpg_options.executor = pool.get();
-  cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
-  out << "classes:  " << cpg.stats.class_nodes << "\n"
-      << "methods:  " << cpg.stats.method_nodes << "\n"
-      << "edges:    " << cpg.stats.relationship_edges << " (" << cpg.stats.call_edges << " CALL, "
-      << cpg.stats.alias_edges << " ALIAS)\n"
-      << "sources:  " << cpg.stats.source_methods << "\n"
-      << "sinks:    " << cpg.stats.sink_methods << "\n"
-      << "pruned:   " << cpg.stats.pruned_call_sites << " uncontrollable call sites\n"
-      << "build:    " << util::format_double(cpg.stats.build_seconds, 3) << " s\n";
+  if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
+  out << "classes:  " << outcome.stats.class_nodes << "\n"
+      << "methods:  " << outcome.stats.method_nodes << "\n"
+      << "edges:    " << outcome.stats.relationship_edges << " (" << outcome.stats.call_edges
+      << " CALL, " << outcome.stats.alias_edges << " ALIAS)\n"
+      << "sources:  " << outcome.stats.source_methods << "\n"
+      << "sinks:    " << outcome.stats.sink_methods << "\n"
+      << "pruned:   " << outcome.stats.pruned_call_sites << " uncontrollable call sites\n"
+      << "build:    " << util::format_double(outcome.stats.build_seconds, 3) << " s\n";
   if (!args.store.empty()) {
-    auto status = graph::save(cpg.db, args.store);
-    if (!status.ok()) {
-      err << "error: " << status.error().to_string() << "\n";
-      return 1;
-    }
+    // Write the serialized bytes directly: on a warm run these are the
+    // snapshot's embedded store, byte-identical to the cold run's output.
+    if (!write_bytes(outcome.graph_bytes, args.store, err)) return 1;
     out << "graph store written to " << args.store << "\n";
   }
   return 0;
@@ -203,17 +321,17 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   }
   std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
   jir::Program program;
-  if (!load_program({args.positional.begin() + 1, args.positional.end()}, args.with_jdk,
-                    pool.get(), program, err)) {
+  CpgOutcome outcome;
+  if (!obtain_cpg(args, {args.positional.begin() + 1, args.positional.end()}, pool.get(),
+                  /*need_program=*/args.verify, /*need_graph_bytes=*/false, &program, outcome,
+                  err)) {
     return 1;
   }
-  cpg::CpgOptions cpg_options;
-  cpg_options.executor = pool.get();
-  cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
+  if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
   finder::FinderOptions options;
   options.max_depth = args.depth;
   options.executor = pool.get();
-  finder::GadgetChainFinder finder(cpg.db, options);
+  finder::GadgetChainFinder finder(outcome.db, options);
   finder::FinderReport report = finder.find_all();
 
   out << report.chains.size() << " gadget chain(s), "
@@ -222,7 +340,7 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   for (const finder::GadgetChain& chain : report.chains) {
     out << chain.to_string();
     if (args.verify) {
-      finder::AutoVerifyResult verdict = finder::auto_verify(program, cpg.db, chain);
+      finder::AutoVerifyResult verdict = finder::auto_verify(program, outcome.db, chain);
       out << "  auto-verify: " << (verdict.effective ? "EFFECTIVE" : "refuted") << "\n";
       confirmed += verdict.effective ? 1 : 0;
     }
@@ -254,14 +372,13 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
       return 2;
     }
     std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
-    jir::Program program;
-    if (!load_program({args.positional.begin() + 1, args.positional.end() - 1}, args.with_jdk,
-                      pool.get(), program, err)) {
+    CpgOutcome outcome;
+    if (!obtain_cpg(args, {args.positional.begin() + 1, args.positional.end() - 1}, pool.get(),
+                    /*need_program=*/false, /*need_graph_bytes=*/false, nullptr, outcome, err)) {
       return 1;
     }
-    cpg::CpgOptions cpg_options;
-    cpg_options.executor = pool.get();
-    db = std::move(cpg::build_cpg(program, cpg_options).db);
+    if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
+    db = std::move(outcome.db);
   }
   auto result = cypher::run_query(db, query_text);
   if (!result.ok()) {

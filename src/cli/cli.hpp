@@ -10,6 +10,13 @@
 // (archive decode, controllability analysis, CPG payloads, per-sink search)
 // across N worker threads; output is bit-identical at any job count.
 //
+// analyze/find/query also accept --cache DIR: the incremental analysis
+// cache (src/cache). Unchanged archives warm-start from per-archive
+// fragments and an unchanged classpath warm-starts from a whole-classpath
+// CPG snapshot, skipping decode/link/analysis entirely while producing the
+// same stats, the same chains and a byte-identical --store file. A
+// "cache:" stats line reports snapshot/fragment hits and the snapshot key.
+//
 // The entry point is a plain function so the test suite can drive it.
 #pragma once
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "cpg/schema.hpp"
+#include "util/digest.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -286,15 +287,7 @@ class Builder {
     return out;
   }
 
-  void create_indexes() {
-    db_.create_indexes({{std::string(kMethodLabel), std::string(kPropName)},
-                        {std::string(kMethodLabel), std::string(kPropClassName)},
-                        {std::string(kMethodLabel), std::string(kPropSignature)},
-                        {std::string(kMethodLabel), std::string(kPropIsSink)},
-                        {std::string(kMethodLabel), std::string(kPropIsSource)},
-                        {std::string(kClassLabel), std::string(kPropName)}},
-                       options_.executor);
-  }
+  void create_indexes() { create_standard_indexes(db_, options_.executor); }
 
   void collect_stats() {
     graph::GraphStats gs = db_.stats();
@@ -322,6 +315,38 @@ class Builder {
 };
 
 }  // namespace
+
+void create_standard_indexes(graph::GraphDb& db, util::Executor* executor) {
+  db.create_indexes({{std::string(kMethodLabel), std::string(kPropName)},
+                     {std::string(kMethodLabel), std::string(kPropClassName)},
+                     {std::string(kMethodLabel), std::string(kPropSignature)},
+                     {std::string(kMethodLabel), std::string(kPropIsSink)},
+                     {std::string(kMethodLabel), std::string(kPropIsSource)},
+                     {std::string(kClassLabel), std::string(kPropName)}},
+                    executor);
+}
+
+std::uint64_t options_fingerprint(const CpgOptions& options) {
+  util::Fnv1a h;
+  h.update("cpg-options-v1");
+  h.update_bool(options.prune_uncontrollable_calls);
+  h.update_bool(options.build_alias_edges);
+  h.update_bool(options.alias_superclass_only);
+  h.update_bool(options.create_indexes);
+  h.update_sized(options.jar_name);
+  h.update_u64(analysis::options_fingerprint(options.analysis));
+  h.update_u64(options.sinks.size());
+  for (const SinkSpec& sink : options.sinks.all()) {
+    h.update_sized(sink.owner);
+    h.update_sized(sink.name);
+    h.update_sized(sink.type);
+    h.update_u64(sink.trigger.size());
+    for (int pos : sink.trigger) h.update_u64(static_cast<std::uint64_t>(pos));
+  }
+  h.update_u64(options.sources.names().size());
+  for (const std::string& name : options.sources.names()) h.update_sized(name);
+  return h.digest();
+}
 
 Cpg build_cpg(const jir::Program& program, const CpgOptions& options) {
   return Builder(program, options).run();

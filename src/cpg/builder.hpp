@@ -70,4 +70,16 @@ struct Cpg {
 /// Builds the full CPG for a linked program.
 Cpg build_cpg(const jir::Program& program, const CpgOptions& options = {});
 
+/// (Re)creates the standard CPG indexes on a GraphDb — the exact set
+/// build_cpg installs when `create_indexes` is on. Needed after a graph
+/// store or cache-snapshot load: persistence stores data, not index
+/// structures (like a fresh Neo4j store after import).
+void create_standard_indexes(graph::GraphDb& db, util::Executor* executor = nullptr);
+
+/// Stable digest of every CpgOptions field that can change the built graph
+/// (flags, jar name, analysis options, sink/source registries). Part of the
+/// incremental cache's snapshot key: two runs share a snapshot only if they
+/// would build the identical CPG.
+std::uint64_t options_fingerprint(const CpgOptions& options);
+
 }  // namespace tabby::cpg

@@ -7,6 +7,13 @@
 
 namespace tabby::graph {
 
+void GraphDb::reserve(std::size_t nodes, std::size_t edges) {
+  nodes_.reserve(nodes);
+  out_.reserve(nodes);
+  in_.reserve(nodes);
+  edges_.reserve(edges);
+}
+
 NodeId GraphDb::add_node(std::string label, PropertyMap props) {
   NodeId id = nodes_.size();
   Node n;
@@ -149,11 +156,22 @@ void GraphDb::create_index(const std::string& label, const std::string& key) {
   std::string name = index_name(label, key);
   if (indexes_.count(name) != 0) return;
   auto& index = indexes_[name];
-  for (NodeId id : nodes_with_label(label)) {
+  backfill_index(label, key, index);
+}
+
+void GraphDb::backfill_index(const std::string& label, const std::string& key,
+                             std::unordered_map<std::string, std::vector<NodeId>>& index) const {
+  auto bucket = by_label_.find(label);
+  if (bucket == by_label_.end()) return;
+  // Worst case every node maps to a distinct key (NAME/SIGNATURE indexes do);
+  // reserving up front avoids the rehash ladder during bulk loads.
+  index.reserve(bucket->second.size());
+  for (NodeId id : bucket->second) {
     const Value* v = nodes_[id].prop(key);
     if (v == nullptr) continue;
     std::string vk = index_key(*v);
-    if (!vk.empty()) index[vk].push_back(id);
+    if (vk.empty()) continue;
+    index.try_emplace(std::move(vk)).first->second.push_back(id);
   }
 }
 
@@ -173,13 +191,7 @@ void GraphDb::create_indexes(const std::vector<std::pair<std::string, std::strin
   }
   util::run_indexed(executor, specs.size(), [&](std::size_t i) {
     if (!fresh[i]) return;
-    const auto& [label, key] = specs[i];
-    for (NodeId id : nodes_with_label(label)) {
-      const Value* v = nodes_[id].prop(key);
-      if (v == nullptr) continue;
-      std::string vk = index_key(*v);
-      if (!vk.empty()) built[i][vk].push_back(id);
-    }
+    backfill_index(specs[i].first, specs[i].second, built[i]);
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (fresh[i]) indexes_.emplace(index_name(specs[i].first, specs[i].second), std::move(built[i]));

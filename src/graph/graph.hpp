@@ -85,6 +85,10 @@ class GraphDb {
 
   // --- Mutation -------------------------------------------------------------
 
+  /// Pre-sizes the node/edge stores (deserialize knows both counts up
+  /// front; growth-doubling dominates bulk loads otherwise).
+  void reserve(std::size_t nodes, std::size_t edges);
+
   NodeId add_node(std::string label, PropertyMap props = {});
   EdgeId add_edge(NodeId from, NodeId to, std::string type, PropertyMap props = {});
 
@@ -152,6 +156,10 @@ class GraphDb {
   }
   void index_insert(const Node& n);
   void index_erase_key(const Node& n, const std::string& key);
+  /// Scans `label`'s nodes once and fills `index` (value key -> ids);
+  /// shared back-fill for create_index and create_indexes.
+  void backfill_index(const std::string& label, const std::string& key,
+                      std::unordered_map<std::string, std::vector<NodeId>>& index) const;
 
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;

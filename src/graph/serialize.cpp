@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "util/bytes.hpp"
+#include "util/digest.hpp"
 
 namespace tabby::graph {
 
@@ -13,8 +14,9 @@ using util::ByteWriter;
 using util::Error;
 using util::Result;
 
-constexpr std::uint32_t kMagic = 0x54474442;  // "TGDB"
-constexpr std::uint16_t kVersion = 1;
+// Header: magic + version + payload length; the checksum trails the payload.
+constexpr std::size_t kHeaderSize = 4 + 2 + 8;
+constexpr std::size_t kChecksumSize = 8;
 
 void write_value(ByteWriter& out, const Value& v) {
   struct Visitor {
@@ -123,12 +125,15 @@ Result<PropertyMap> read_props(ByteReader& in) {
   auto n = in.count("property");
   if (!n.ok()) return n.error();
   PropertyMap props;
+  props.reserve(n.value());
   for (std::size_t i = 0; i < n.value(); ++i) {
     auto key = in.bytes();
     if (!key.ok()) return key.error();
     auto value = read_value(in);
     if (!value.ok()) return value.error();
-    props.emplace(std::move(key.value()), std::move(value.value()));
+    // Keys were emitted in map order, so appending at the end is O(1); a
+    // corrupt out-of-order key degrades to a normal insert, not an error.
+    props.emplace_hint(props.end(), std::move(key.value()), std::move(value.value()));
   }
   return props;
 }
@@ -136,9 +141,8 @@ Result<PropertyMap> read_props(ByteReader& in) {
 }  // namespace
 
 std::vector<std::byte> serialize(const GraphDb& db) {
+  // Payload first: the header needs its size, the trailer its checksum.
   ByteWriter out;
-  out.u32(kMagic);
-  out.u16(kVersion);
 
   // Live elements only; ids are re-assigned densely on load. Build the
   // old-id -> new-id mapping while emitting nodes.
@@ -163,21 +167,68 @@ std::vector<std::byte> serialize(const GraphDb& db) {
     out.bytes(e->type);
     write_props(out, e->props);
   }
-  return out.take();
+  std::vector<std::byte> payload = out.take();
+
+  ByteWriter store;
+  store.u32(kGraphStoreMagic);
+  store.u16(kGraphStoreVersion);
+  store.u64(payload.size());
+  for (std::byte b : payload) store.u8(static_cast<std::uint8_t>(b));
+  store.u64(util::fnv1a(store.data()));
+  return store.take();
 }
 
 util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
-  ByteReader in(data);
-  auto magic = in.u32();
+  if (data.size() < kHeaderSize + kChecksumSize) {
+    return Error{"graph store truncated: " + std::to_string(data.size()) +
+                     " byte(s), smaller than the fixed header",
+                 data.size()};
+  }
+  ByteReader header(data);
+  auto magic = header.u32();
   if (!magic.ok()) return magic.error();
-  if (magic.value() != kMagic) return Error{"bad graph store magic", 0};
-  auto version = in.u16();
+  if (magic.value() != kGraphStoreMagic) {
+    return Error{"not a tabby graph store (bad magic)", 0};
+  }
+  auto version = header.u16();
   if (!version.ok()) return version.error();
-  if (version.value() != kVersion) return Error{"unsupported graph store version", 4};
+  if (version.value() != kGraphStoreVersion) {
+    if (version.value() < kGraphStoreVersion) {
+      return Error{"graph store version " + std::to_string(version.value()) +
+                       " predates the checksummed format (this build reads version " +
+                       std::to_string(kGraphStoreVersion) +
+                       "); regenerate it with `tabby analyze --store`",
+                   4};
+    }
+    return Error{"unsupported graph store version " + std::to_string(version.value()) +
+                     " (this build reads version " + std::to_string(kGraphStoreVersion) + ")",
+                 4};
+  }
+  auto declared = header.u64();
+  if (!declared.ok()) return declared.error();
+  std::size_t body = data.size() - kHeaderSize - kChecksumSize;
+  if (declared.value() != body) {
+    return Error{"graph store truncated or oversized: header declares " +
+                     std::to_string(declared.value()) + " payload byte(s) but " +
+                     std::to_string(body) + " are present",
+                 kHeaderSize};
+  }
+  ByteReader trailer(data.subspan(data.size() - kChecksumSize));
+  auto stored_sum = trailer.u64();
+  if (!stored_sum.ok()) return stored_sum.error();
+  std::uint64_t actual_sum = util::fnv1a(data.first(data.size() - kChecksumSize));
+  if (stored_sum.value() != actual_sum) {
+    return Error{"graph store checksum mismatch (corrupt or tampered store): expected " +
+                     util::digest_hex(stored_sum.value()) + ", computed " +
+                     util::digest_hex(actual_sum),
+                 data.size() - kChecksumSize};
+  }
 
+  ByteReader in(data.subspan(kHeaderSize, body));
   GraphDb db;
   auto node_count = in.count("node");
   if (!node_count.ok()) return node_count.error();
+  db.reserve(node_count.value(), 0);
   for (std::size_t i = 0; i < node_count.value(); ++i) {
     auto label = in.bytes();
     if (!label.ok()) return label.error();
@@ -187,6 +238,7 @@ util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
   }
   auto edge_count = in.count("edge");
   if (!edge_count.ok()) return edge_count.error();
+  db.reserve(node_count.value(), edge_count.value());
   for (std::size_t i = 0; i < edge_count.value(); ++i) {
     auto from = in.uvarint();
     if (!from.ok()) return from.error();
@@ -201,7 +253,7 @@ util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
     if (!props.ok()) return props.error();
     db.add_edge(from.value(), to.value(), std::move(type.value()), std::move(props.value()));
   }
-  if (!in.at_end()) return Error{"trailing bytes after graph store", in.position()};
+  if (!in.at_end()) return Error{"trailing bytes after graph store payload", in.position()};
   return db;
 }
 

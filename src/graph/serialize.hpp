@@ -12,6 +12,18 @@
 
 namespace tabby::graph {
 
+// Store layout (little-endian, version 2 — the checksummed format):
+//   magic    u32  = 0x54474442 ("TGDB")
+//   version  u16  = 2
+//   length   u64  payload size in bytes
+//   payload       node and edge records (see serialize.cpp)
+//   checksum u64  FNV-1a64 over every byte before it (header + payload)
+// deserialize() validates magic, version, declared length and checksum
+// before touching the payload, so truncated, corrupted or pre-versioning
+// stores fail closed with a diagnostic instead of undefined behavior.
+inline constexpr std::uint32_t kGraphStoreMagic = 0x54474442;
+inline constexpr std::uint16_t kGraphStoreVersion = 2;
+
 std::vector<std::byte> serialize(const GraphDb& db);
 util::Result<GraphDb> deserialize(std::span<const std::byte> data);
 

@@ -25,6 +25,10 @@ class ByteWriter {
     u16(static_cast<std::uint16_t>(v & 0xFFFF));
     u16(static_cast<std::uint16_t>(v >> 16));
   }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFF));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
   /// LEB128-style unsigned varint.
   void uvarint(std::uint64_t v) {
     while (v >= 0x80) {
@@ -76,17 +80,27 @@ class ByteReader {
     if (!hi.ok()) return hi.error();
     return static_cast<std::uint32_t>(lo.value()) | (static_cast<std::uint32_t>(hi.value()) << 16);
   }
+  util::Result<std::uint64_t> u64() {
+    auto lo = u32();
+    if (!lo.ok()) return lo.error();
+    auto hi = u32();
+    if (!hi.ok()) return hi.error();
+    return static_cast<std::uint64_t>(lo.value()) | (static_cast<std::uint64_t>(hi.value()) << 32);
+  }
   util::Result<std::uint64_t> uvarint() {
+    // Hand-rolled rather than layered on u8(): varints are the hottest read
+    // in store/archive parsing, and the per-byte Result round trips cost
+    // real time on multi-megabyte loads.
     std::uint64_t out = 0;
     int shift = 0;
-    while (true) {
-      auto b = u8();
-      if (!b.ok()) return b.error();
+    while (pos_ < data_.size()) {
+      std::uint8_t b = static_cast<std::uint8_t>(data_[pos_++]);
       if (shift >= 64) return err("varint overflow");
-      out |= static_cast<std::uint64_t>(b.value() & 0x7F) << shift;
-      if ((b.value() & 0x80) == 0) return out;
+      out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return out;
       shift += 7;
     }
+    return err("unexpected end of archive");
   }
   util::Result<std::int64_t> svarint() {
     auto raw = uvarint();
@@ -98,10 +112,7 @@ class ByteReader {
     auto len = uvarint();
     if (!len.ok()) return len.error();
     if (len.value() > remaining()) return err("string length exceeds archive size");
-    std::string out(len.value(), '\0');
-    for (std::size_t i = 0; i < len.value(); ++i) {
-      out[i] = static_cast<char>(data_[pos_ + i]);
-    }
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len.value());
     pos_ += len.value();
     return out;
   }

@@ -1,0 +1,76 @@
+// Content digests for the incremental analysis cache. FNV-1a (64-bit) over
+// raw bytes: fast, dependency-free, and — because every step (xor with a
+// byte, multiply by an odd prime) is a bijection on the 64-bit state — any
+// single-byte change to an input of the same length is *guaranteed* to
+// change the digest. That makes it a sound cache key for "did this archive
+// change", which only ever compares contents of controlled provenance; it is
+// not a cryptographic hash and offers no collision resistance against an
+// adversary crafting inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace tabby::util {
+
+/// Streaming FNV-1a 64-bit hasher. Feed bytes/values in a fixed order; the
+/// digest is a pure function of the fed byte sequence (job counts, thread
+/// interleavings and wall clocks can never influence it).
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  void update_byte(std::uint8_t b) {
+    state_ ^= b;
+    state_ *= kPrime;
+  }
+  void update(std::span<const std::byte> data) {
+    for (std::byte b : data) update_byte(static_cast<std::uint8_t>(b));
+  }
+  void update(std::string_view s) {
+    for (char c : s) update_byte(static_cast<std::uint8_t>(c));
+  }
+  /// Length-prefixed string: distinguishes ("ab","c") from ("a","bc").
+  void update_sized(std::string_view s) {
+    update_u64(s.size());
+    update(s);
+  }
+  void update_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) update_byte(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+  void update_bool(bool b) { update_byte(b ? 1 : 0); }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+inline std::uint64_t fnv1a(std::span<const std::byte> data) {
+  Fnv1a h;
+  h.update(data);
+  return h.digest();
+}
+
+inline std::uint64_t fnv1a(std::string_view s) {
+  Fnv1a h;
+  h.update(s);
+  return h.digest();
+}
+
+/// Fixed-width lowercase hex rendering, the cache's file-name alphabet.
+inline std::string digest_hex(std::uint64_t digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace tabby::util

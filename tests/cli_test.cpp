@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "cli/cli.hpp"
@@ -134,6 +135,78 @@ TEST_F(CliFixture, QueryParseErrorReported) {
 TEST_F(CliFixture, BadDepthRejected) {
   CliRun r = run({"find", "x.tjar", "--depth", "zero"});
   EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, CacheFlagMissingValueFails) {
+  CliRun r = run({"analyze", "x.tjar", "--cache"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("missing value for --cache"), std::string::npos);
+}
+
+TEST_F(CliFixture, CacheDirCreationFailureReported) {
+  // A path below a regular file cannot be created as a directory.
+  { std::ofstream block(path("blocker")); }
+  CliRun r = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(r.code, 0);
+  CliRun bad = run({"analyze", path("BeanShell1.tjar"), "--cache", path("blocker/cache")});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("cache"), std::string::npos) << bad.err;
+}
+
+TEST_F(CliFixture, CacheStatsLineReportsMissThenHit) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  CliRun cold = run({"analyze", path("BeanShell1.tjar"), "--cache", path("cache")});
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.out.find("cache: snapshot miss"), std::string::npos) << cold.out;
+  EXPECT_NE(cold.out.find("fragments 0/1 hit"), std::string::npos) << cold.out;
+
+  CliRun warm = run({"analyze", path("BeanShell1.tjar"), "--cache", path("cache")});
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_NE(warm.out.find("cache: snapshot hit"), std::string::npos) << warm.out;
+  // Warm stats are the cold run's stats, byte for byte.
+  EXPECT_EQ(cold.out.substr(cold.out.find("classes:")), warm.out.substr(warm.out.find("classes:")));
+}
+
+TEST_F(CliFixture, CachedAnalyzeStoreQueryRoundTrip) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  // Cold analyze populates the cache and writes a store.
+  CliRun cold = run({"analyze", path("BeanShell1.tjar"), "--cache", path("cache"), "--store",
+                     path("cold.tgdb")});
+  ASSERT_EQ(cold.code, 0) << cold.err;
+
+  // Warm analyze writes a byte-identical store.
+  CliRun warm = run({"analyze", path("BeanShell1.tjar"), "--cache", path("cache"), "--store",
+                     path("warm.tgdb")});
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(slurp(path("cold.tgdb")), slurp(path("warm.tgdb")));
+
+  // Both stores answer queries; the warm-cached direct query matches too.
+  CliRun via_store = run({"query", "--store", path("warm.tgdb"),
+                          "MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE"});
+  ASSERT_EQ(via_store.code, 0) << via_store.err;
+  CliRun via_cache = run({"query", path("BeanShell1.tjar"), "--cache", path("cache"),
+                          "MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE"});
+  ASSERT_EQ(via_cache.code, 0) << via_cache.err;
+  EXPECT_NE(via_cache.out.find("cache: snapshot hit"), std::string::npos) << via_cache.out;
+  // Identical rows once the cache line is stripped.
+  std::string cached_rows = via_cache.out.substr(via_cache.out.find('\n') + 1);
+  EXPECT_EQ(via_store.out, cached_rows);
+
+  // find --verify on a warm cache still auto-verifies (needs the program).
+  CliRun verify = run({"find", path("BeanShell1.tjar"), "--cache", path("cache"), "--verify"});
+  ASSERT_EQ(verify.code, 0) << verify.err;
+  EXPECT_NE(verify.out.find("cache: snapshot hit"), std::string::npos) << verify.out;
+  EXPECT_NE(verify.out.find("1/3 chains confirmed effective"), std::string::npos) << verify.out;
 }
 
 }  // namespace

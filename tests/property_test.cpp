@@ -12,6 +12,8 @@
 #include "graph/serialize.hpp"
 #include "jir/parser.hpp"
 #include "jir/printer.hpp"
+#include "util/digest.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tabby {
 namespace {
@@ -157,6 +159,60 @@ TEST_P(ComponentProperty, PrunedGraphIsSubsetOfUnpruned) {
   for (const auto& c : on_pruned.find_all().chains) a.insert(c.key());
   for (const auto& c : on_raw.find_all().chains) b.insert(c.key());
   EXPECT_EQ(a, b);
+}
+
+// --- Content-digest properties backing the incremental cache keys ---------
+
+/// The digest of an archive is a pure function of its bytes: computing it
+/// serially, in reverse enumeration order, or concurrently across a worker
+/// pool yields the same value per archive. (Archive *ordering* still matters
+/// to the combined snapshot key — the linker's first-wins rule — but never
+/// to the per-archive digests the key is folded from.)
+TEST(DigestProperty, StableAcrossOrderingsAndJobCounts) {
+  const std::vector<std::string>& names = corpus::component_names();
+  std::vector<std::vector<std::byte>> archives;
+  for (const std::string& name : names) {
+    archives.push_back(jar::write_archive(corpus::build_component(name).jar));
+  }
+
+  std::vector<std::uint64_t> forward(archives.size()), reverse(archives.size()),
+      parallel(archives.size());
+  for (std::size_t i = 0; i < archives.size(); ++i) forward[i] = util::fnv1a(archives[i]);
+  for (std::size_t i = archives.size(); i-- > 0;) reverse[i] = util::fnv1a(archives[i]);
+  util::ThreadPool pool(4);
+  pool.parallel_for(archives.size(),
+                    [&](std::size_t i) { parallel[i] = util::fnv1a(archives[i]); });
+
+  EXPECT_EQ(forward, reverse);
+  EXPECT_EQ(forward, parallel);
+
+  // Distinct components produce distinct digests (no accidental aliasing
+  // that would let one component's snapshot answer for another).
+  std::set<std::uint64_t> unique(forward.begin(), forward.end());
+  EXPECT_EQ(unique.size(), forward.size());
+}
+
+/// Every FNV-1a step (xor a byte, multiply by an odd prime) is a bijection
+/// on the 64-bit state, so for equal-length inputs a single-byte change
+/// *always* changes the digest — exhaustively checked at every offset. A
+/// stale fragment or snapshot can therefore never be served for a .tjar
+/// that was mutated in place.
+TEST(DigestProperty, AnySingleByteMutationChangesTheDigest) {
+  std::vector<std::byte> bytes = jar::write_archive(corpus::build_component("BeanShell1").jar);
+  ASSERT_FALSE(bytes.empty());
+  std::uint64_t original = util::fnv1a(bytes);
+  for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+    std::byte saved = bytes[offset];
+    bytes[offset] ^= std::byte{0x01};
+    EXPECT_NE(util::fnv1a(bytes), original) << "digest collision at offset " << offset;
+    bytes[offset] = saved;
+  }
+}
+
+TEST(DigestProperty, HexRenderingIsFixedWidthAndDistinct) {
+  EXPECT_EQ(util::digest_hex(0), "0000000000000000");
+  EXPECT_EQ(util::digest_hex(0xDEADBEEFCAFEF00DULL), "deadbeefcafef00d");
+  EXPECT_NE(util::digest_hex(util::fnv1a("a")), util::digest_hex(util::fnv1a("b")));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllComponents, ComponentProperty,
