@@ -8,6 +8,7 @@
 
 #include "corpus/components.hpp"
 #include "evalkit/evalkit.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/strings.hpp"
 
 using namespace tabby;
@@ -31,8 +32,14 @@ int main(int argc, char** argv) {
               component.truths.size(), component.known_in_dataset(), component.fakes.size());
 
   jir::Program program = component.link();
-  std::printf("linked program: %zu classes, %zu methods\n\n", program.class_count(),
+  std::printf("linked program: %zu classes, %zu methods\n", program.class_count(),
               program.method_count());
+
+  // Tabby's own view of the component, through the public pipeline facade.
+  pipeline::Outcome cpg = pipeline::run(program, pipeline::Options{});
+  std::printf("CPG: %zu classes, %zu methods, %zu edges, %zu sinks, %zu call sites pruned\n\n",
+              cpg.stats.class_nodes, cpg.stats.method_nodes, cpg.stats.relationship_edges,
+              cpg.stats.sink_methods, cpg.stats.pruned_call_sites);
 
   for (evalkit::Tool tool : {evalkit::Tool::GadgetInspector, evalkit::Tool::Tabby,
                              evalkit::Tool::Serianalyzer}) {

@@ -8,10 +8,10 @@
 // Run:  ./quickstart
 #include <cstdio>
 
-#include "cpg/builder.hpp"
 #include "finder/finder.hpp"
 #include "jir/builder.hpp"
 #include "jir/parser.hpp"
+#include "pipeline/pipeline.hpp"
 #include "runtime/objectgraph.hpp"
 #include "runtime/vm.hpp"
 
@@ -66,16 +66,19 @@ int main() {
   // Merge: quickest path is to re-add the parsed classes onto the core.
   for (const jir::ClassDecl& cls : parsed.value().classes()) core_program.add_class(cls);
 
-  // Build the CPG (ORG + PCG + MAG, §III-B).
-  cpg::Cpg cpg = cpg::build_cpg(core_program);
+  // Build the CPG (ORG + PCG + MAG, §III-B) through the public pipeline
+  // facade — the same entry point the `tabby` CLI uses.
+  pipeline::Outcome outcome = pipeline::run(core_program, pipeline::Options{});
   std::printf("CPG: %zu class nodes, %zu method nodes, %zu edges (%zu CALL, %zu ALIAS)\n",
-              cpg.stats.class_nodes, cpg.stats.method_nodes, cpg.stats.relationship_edges,
-              cpg.stats.call_edges, cpg.stats.alias_edges);
+              outcome.stats.class_nodes, outcome.stats.method_nodes,
+              outcome.stats.relationship_edges, outcome.stats.call_edges,
+              outcome.stats.alias_edges);
   std::printf("     %zu sources, %zu sinks, %zu uncontrollable call sites pruned\n\n",
-              cpg.stats.source_methods, cpg.stats.sink_methods, cpg.stats.pruned_call_sites);
+              outcome.stats.source_methods, outcome.stats.sink_methods,
+              outcome.stats.pruned_call_sites);
 
   // Find gadget chains (§III-D).
-  finder::GadgetChainFinder finder(cpg.db);
+  finder::GadgetChainFinder finder(outcome.db);
   finder::FinderReport report = finder.find_all();
   std::printf("Found %zu gadget chain(s):\n\n", report.chains.size());
   for (const finder::GadgetChain& chain : report.chains) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "cfg/cfg.hpp"
+#include "obs/obs.hpp"
 #include "util/digest.hpp"
 #include "util/thread_pool.hpp"
 
@@ -515,11 +516,13 @@ MethodSummary ControllabilityAnalysis::compute(jir::MethodId id) {
 }
 
 void ControllabilityAnalysis::precompute(util::Executor* executor) {
+  obs::Span span("analysis.precompute");
   const jir::Program& program = *program_;
   const std::vector<jir::MethodId> methods = program.all_methods();
   const std::size_t n = methods.size();
   precompute_stats_ = {};
   if (n == 0) return;
+  span.attr("methods", static_cast<std::uint64_t>(n));
 
   // Dense method numbering: flat index = class_offset[class] + method index,
   // matching the all_methods() enumeration order.
@@ -661,6 +664,10 @@ void ControllabilityAnalysis::precompute(util::Executor* executor) {
 
   std::vector<MethodSummary> table(n);
   while (!wave.empty()) {
+    obs::Span wave_span("analysis.wave");
+    wave_span.attr("wave", static_cast<std::uint64_t>(precompute_stats_.waves));
+    wave_span.attr("methods", static_cast<std::uint64_t>(wave.size()));
+    obs::counter_add("analysis.scc_waves");
     ++precompute_stats_.waves;
     precompute_stats_.wave_methods += wave.size();
     util::run_indexed(executor, wave.size(), [&](std::size_t k) {
@@ -688,12 +695,14 @@ void ControllabilityAnalysis::precompute(util::Executor* executor) {
     if (!tainted[i]) cache_.emplace(methods[i], std::move(table[i]));
   }
   precompute_stats_.cyclic_methods = cyclic;
+  obs::Span serial_span("analysis.serial_tail");
   for (std::size_t i = 0; i < n; ++i) {
     if (tainted[i]) {
       ++precompute_stats_.serial_methods;
       summary(methods[i]);
     }
   }
+  serial_span.attr("methods", static_cast<std::uint64_t>(precompute_stats_.serial_methods));
 }
 
 }  // namespace tabby::analysis

@@ -4,6 +4,7 @@
 
 #include "graph/serialize.hpp"
 #include "jir/printer.hpp"
+#include "obs/obs.hpp"
 #include "util/bytes.hpp"
 #include "util/digest.hpp"
 
@@ -165,6 +166,8 @@ fs::path AnalysisCache::snapshot_path(std::uint64_t key) const {
 }
 
 Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
+  obs::Span span("cache.load_archive");
+  if (span.active()) span.attr("path", file.string());
   auto raw = read_file_bytes(file);
   if (!raw.ok()) return raw.error();
   LoadedArchive loaded;
@@ -184,6 +187,7 @@ Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
           auto archive = jar::read_archive(body->subspan(in.position(), len.value()));
           if (archive.ok()) {
             ++stats_.fragment_hits;
+            obs::counter_add("cache.fragment_hits");
             loaded.archive = std::move(archive.value());
             loaded.from_fragment = true;
             return loaded;
@@ -198,6 +202,7 @@ Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
   auto archive = jar::read_archive(raw.value());
   if (!archive.ok()) return archive.error();
   ++stats_.fragment_misses;
+  obs::counter_add("cache.fragment_misses");
   loaded.archive = std::move(archive.value());
 
   ByteWriter body;
@@ -214,9 +219,18 @@ Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
 }
 
 std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key) {
+  obs::Span span("cache.load_snapshot");
+  if (span.active()) span.attr("key", util::digest_hex(key));
   stats_.snapshot_checked = true;
   stats_.snapshot_key = key;
   stats_.snapshot_hit = false;
+
+  // Every early return below is a miss; count it on the way out so the
+  // hit/miss counters stay in lockstep with stats_.
+  struct MissCounter {
+    bool hit = false;
+    ~MissCounter() { obs::counter_add(hit ? "cache.snapshot_hits" : "cache.snapshot_misses"); }
+  } outcome;
 
   auto bytes = read_file_bytes(snapshot_path(key));
   if (!bytes.ok()) return std::nullopt;
@@ -256,11 +270,16 @@ std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key) {
   if (!db.ok()) return std::nullopt;
   cached.db = std::move(db.value());
   stats_.snapshot_hit = true;
+  outcome.hit = true;
   return cached;
 }
 
 util::Status AnalysisCache::store_snapshot(std::uint64_t key, const cpg::CpgStats& stats,
                                            const std::vector<std::byte>& graph_bytes) {
+  obs::Span span("cache.store_snapshot");
+  if (span.active()) span.attr("key", util::digest_hex(key));
+  span.attr("bytes", static_cast<std::uint64_t>(graph_bytes.size()));
+  obs::counter_add("cache.snapshots_published");
   ByteWriter header;
   header.u32(kSnapshotMagic);
   header.u16(kSnapshotVersion);

@@ -5,7 +5,6 @@
 #include <fstream>
 #include <memory>
 
-#include "cache/cache.hpp"
 #include "corpus/components.hpp"
 #include "corpus/jdk.hpp"
 #include "corpus/scenes.hpp"
@@ -15,7 +14,8 @@
 #include "finder/payload.hpp"
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
-#include "util/digest.hpp"
+#include "obs/obs.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,60 +30,89 @@ struct Args {
   std::string store;
   std::string out_dir;
   std::string cache_dir;
+  std::string trace_file;
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
   bool verify = false;
   bool with_jdk = true;
+  bool metrics = false;
   std::string error;
 };
 
-/// The worker pool behind --jobs. Returns null for an effective job count of
-/// 1: every stage treats a null Executor* as "run inline in index order",
-/// which is exactly the pre-parallel pipeline.
-std::unique_ptr<util::ThreadPool> make_pool(int jobs) {
-  unsigned n = jobs > 0 ? static_cast<unsigned>(jobs) : util::ThreadPool::default_jobs();
-  if (n <= 1) return nullptr;
-  return std::make_unique<util::ThreadPool>(n);
-}
+// --- Declarative flag table -----------------------------------------------
+//
+// One table shared by every subcommand. Each row binds a flag name to an
+// Args member; parse_args is a single loop over it, so adding a flag is one
+// line here plus a usage() row — no if/else ladder to extend.
+
+struct FlagSpec {
+  enum class Kind {
+    Text,    // --flag VALUE, stored verbatim
+    Count,   // --flag N, checked base-10 parse, must be >= min
+    Switch,  // --flag, stores `switch_value`
+  };
+  const char* name;
+  Kind kind;
+  std::string Args::* text = nullptr;
+  int Args::* count = nullptr;
+  int min = 1;
+  bool Args::* toggle = nullptr;
+  bool switch_value = true;
+};
+
+constexpr FlagSpec kFlags[] = {
+    {.name = "--store", .kind = FlagSpec::Kind::Text, .text = &Args::store},
+    {.name = "--out", .kind = FlagSpec::Kind::Text, .text = &Args::out_dir},
+    {.name = "--cache", .kind = FlagSpec::Kind::Text, .text = &Args::cache_dir},
+    {.name = "--trace", .kind = FlagSpec::Kind::Text, .text = &Args::trace_file},
+    {.name = "--depth", .kind = FlagSpec::Kind::Count, .count = &Args::depth, .min = 1},
+    {.name = "--jobs", .kind = FlagSpec::Kind::Count, .count = &Args::jobs, .min = 1},
+    {.name = "--verify", .kind = FlagSpec::Kind::Switch, .toggle = &Args::verify},
+    {.name = "--no-jdk",
+     .kind = FlagSpec::Kind::Switch,
+     .toggle = &Args::with_jdk,
+     .switch_value = false},
+    {.name = "--metrics", .kind = FlagSpec::Kind::Switch, .toggle = &Args::metrics},
+};
 
 Args parse_args(const std::vector<std::string>& raw) {
   Args args;
   for (std::size_t i = 0; i < raw.size(); ++i) {
     const std::string& a = raw[i];
-    auto take_value = [&](std::string& into) {
-      if (i + 1 >= raw.size()) {
-        args.error = "missing value for " + a;
-        return false;
+    if (!util::starts_with(a, "--")) {
+      args.positional.push_back(a);
+      continue;
+    }
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& candidate : kFlags) {
+      if (a == candidate.name) {
+        spec = &candidate;
+        break;
       }
-      into = raw[++i];
-      return true;
-    };
-    if (a == "--store") {
-      if (!take_value(args.store)) return args;
-    } else if (a == "--cache") {
-      if (!take_value(args.cache_dir)) return args;
-    } else if (a == "--out") {
-      if (!take_value(args.out_dir)) return args;
-    } else if (a == "--depth") {
-      std::string v;
-      if (!take_value(v)) return args;
-      args.depth = std::atoi(v.c_str());
-      if (args.depth <= 0) args.error = "bad --depth value: " + v;
-    } else if (a == "--jobs") {
-      std::string v;
-      if (!take_value(v)) return args;
-      args.jobs = std::atoi(v.c_str());
-      if (args.jobs <= 0) args.error = "bad --jobs value: " + v;
-    } else if (a == "--verify") {
-      args.verify = true;
-    } else if (a == "--no-jdk") {
-      args.with_jdk = false;
-    } else if (util::starts_with(a, "--")) {
+    }
+    if (spec == nullptr) {
       args.error = "unknown flag: " + a;
       return args;
-    } else {
-      args.positional.push_back(a);
     }
+    if (spec->kind == FlagSpec::Kind::Switch) {
+      args.*(spec->toggle) = spec->switch_value;
+      continue;
+    }
+    if (i + 1 >= raw.size()) {
+      args.error = "missing value for " + a;
+      return args;
+    }
+    const std::string& value = raw[++i];
+    if (spec->kind == FlagSpec::Kind::Text) {
+      args.*(spec->text) = value;
+      continue;
+    }
+    util::Result<int> parsed = util::parse_int(value);
+    if (!parsed.ok() || parsed.value() < spec->min) {
+      args.error = "bad " + a + " value: " + value;
+      return args;
+    }
+    args.*(spec->count) = parsed.value();
   }
   return args;
 }
@@ -97,47 +126,20 @@ int usage(std::ostream& err) {
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\"\n"
          "\n"
-         "  --jobs N     worker threads for the parallel stages (default: all\n"
-         "               hardware threads; 1 = serial). Output is identical at\n"
-         "               any job count.\n"
-         "  --cache DIR  incremental analysis cache: per-archive fragments plus\n"
-         "               whole-classpath CPG snapshots, keyed by content digests.\n"
-         "               A warm run on an unchanged classpath skips recomputation\n"
-         "               and produces identical output.\n";
+         "  --jobs N      worker threads for the parallel stages (default: all\n"
+         "                hardware threads; 1 = serial). Output is identical at\n"
+         "                any job count.\n"
+         "  --cache DIR   incremental analysis cache: per-archive fragments plus\n"
+         "                whole-classpath CPG snapshots, keyed by content digests.\n"
+         "                A warm run on an unchanged classpath skips recomputation\n"
+         "                and produces identical output.\n"
+         "  --trace FILE  write a Chrome trace-event JSON of the run (open in\n"
+         "                chrome://tracing or https://ui.perfetto.dev; one track\n"
+         "                per worker thread). Does not change any output.\n"
+         "  --metrics     print per-phase span timings and the counter catalog\n"
+         "                on stderr after the command.\n";
   return 2;
 }
-
-/// Load .tjar paths and link, optionally prefixing the simulated JDK.
-bool load_program(const std::vector<std::string>& paths, bool with_jdk, util::Executor* executor,
-                  jir::Program& program, std::ostream& err) {
-  std::vector<jar::Archive> classpath;
-  if (with_jdk) classpath.push_back(corpus::jdk_base_archive());
-  std::vector<std::filesystem::path> files(paths.begin(), paths.end());
-  std::vector<util::Result<jar::Archive>> archives = jar::read_archive_files(files, executor);
-  for (std::size_t i = 0; i < archives.size(); ++i) {
-    if (!archives[i].ok()) {
-      err << "error: " << paths[i] << ": " << archives[i].error().to_string() << "\n";
-      return false;
-    }
-    classpath.push_back(std::move(archives[i].value()));
-  }
-  program = jar::link(classpath);
-  return true;
-}
-
-/// The CPG for one analyze/find/query invocation, however it was obtained
-/// (cold build or cache snapshot).
-struct CpgOutcome {
-  graph::GraphDb db;
-  cpg::CpgStats stats;
-  /// graph::serialize(db), the exact bytes `--store` writes. Always present
-  /// on a cache run (snapshots embed them); on a cache-less run only when
-  /// requested via need_graph_bytes.
-  std::vector<std::byte> graph_bytes;
-  /// The "cache:" stats line; empty when --cache is off.
-  std::string cache_line;
-  bool warm = false;
-};
 
 bool write_bytes(const std::vector<std::byte>& bytes, const fs::path& path, std::ostream& err) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -150,90 +152,22 @@ bool write_bytes(const std::vector<std::byte>& bytes, const fs::path& path, std:
   return true;
 }
 
-/// Cache-aware pipeline front end shared by analyze/find/query: digest the
-/// classpath, warm-start from a snapshot when one matches, otherwise load
-/// archives through per-archive fragments, build the CPG and publish a new
-/// snapshot. Without --cache this is the plain cold pipeline. When
-/// `need_program` is set (find --verify, or any cache miss) the linked
-/// program is left in `program_out`.
-bool obtain_cpg(const Args& args, const std::vector<std::string>& jar_paths,
-                util::Executor* executor, bool need_program, bool need_graph_bytes,
-                jir::Program* program_out, CpgOutcome& outcome, std::ostream& err) {
-  cpg::CpgOptions options;
+/// pipeline::Options for one analyze/find/query invocation.
+pipeline::Options pipeline_options(const Args& args, util::Executor* executor, bool need_program,
+                                   bool need_graph_bytes) {
+  pipeline::Options options;
+  options.with_jdk = args.with_jdk;
+  options.cache_dir = args.cache_dir;
+  options.need_program = need_program;
+  options.need_graph_bytes = need_graph_bytes;
   options.executor = executor;
+  return options;
+}
 
-  if (args.cache_dir.empty()) {
-    jir::Program program;
-    if (!load_program(jar_paths, args.with_jdk, executor, program, err)) return false;
-    cpg::Cpg cpg = cpg::build_cpg(program, options);
-    outcome.db = std::move(cpg.db);
-    outcome.stats = cpg.stats;
-    if (need_graph_bytes) outcome.graph_bytes = graph::serialize(outcome.db);
-    if (need_program && program_out != nullptr) *program_out = std::move(program);
-    return true;
-  }
-
-  auto opened = cache::AnalysisCache::open(args.cache_dir);
-  if (!opened.ok()) {
-    err << "error: " << opened.error().to_string() << "\n";
-    return false;
-  }
-  cache::AnalysisCache& cache = opened.value();
-
-  // Classpath digests in link order: the simulated JDK (when included) is
-  // part of the analyzed world, so its content is part of the key.
-  std::vector<std::uint64_t> digests;
-  if (args.with_jdk) {
-    digests.push_back(util::fnv1a(jar::write_archive(corpus::jdk_base_archive())));
-  }
-  for (const std::string& path : jar_paths) {
-    auto digest = cache::AnalysisCache::digest_file(path);
-    if (!digest.ok()) {
-      err << "error: " << path << ": " << digest.error().to_string() << "\n";
-      return false;
-    }
-    digests.push_back(digest.value());
-  }
-  std::uint64_t key = cache::AnalysisCache::snapshot_key(cpg::options_fingerprint(options), digests);
-
-  std::optional<cache::CachedCpg> snapshot = cache.load_snapshot(key);
-  if (!snapshot.has_value() || need_program) {
-    // Load the program through per-archive fragments: unchanged archives
-    // warm-start, only changed ones are re-decoded from the original bytes.
-    std::vector<jar::Archive> classpath;
-    if (args.with_jdk) classpath.push_back(corpus::jdk_base_archive());
-    for (const std::string& path : jar_paths) {
-      auto loaded = cache.load_archive(path);
-      if (!loaded.ok()) {
-        err << "error: " << path << ": " << loaded.error().to_string() << "\n";
-        return false;
-      }
-      classpath.push_back(std::move(loaded.value().archive));
-    }
-    jir::Program program = jar::link(classpath);
-    if (!snapshot.has_value()) {
-      cpg::Cpg cpg = cpg::build_cpg(program, options);
-      outcome.db = std::move(cpg.db);
-      outcome.stats = cpg.stats;
-      outcome.graph_bytes = graph::serialize(outcome.db);
-      auto stored = cache.store_snapshot(key, outcome.stats, outcome.graph_bytes);
-      if (!stored.ok()) {
-        err << "warning: " << stored.error().to_string() << " (continuing without snapshot)\n";
-      }
-    }
-    if (need_program && program_out != nullptr) *program_out = std::move(program);
-  }
-  if (snapshot.has_value()) {
-    outcome.db = std::move(snapshot->db);
-    outcome.stats = snapshot->stats;
-    outcome.graph_bytes = std::move(snapshot->graph_bytes);
-    outcome.warm = true;
-    // Persistence stores data, not index structures; recreate the standard
-    // set so lookups behave exactly as on a freshly built CPG.
-    cpg::create_standard_indexes(outcome.db, executor);
-  }
-  outcome.cache_line = cache.stats().to_line();
-  return true;
+/// Renders a pipeline outcome's preamble (warnings to err, cache line to out).
+void report_outcome(const pipeline::Outcome& outcome, std::ostream& out, std::ostream& err) {
+  for (const std::string& warning : outcome.warnings) err << "warning: " << warning << "\n";
+  if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
 }
 
 int cmd_list(std::ostream& out) {
@@ -289,14 +223,16 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: tabby analyze JAR... [--store FILE]\n";
     return 2;
   }
-  std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
-  CpgOutcome outcome;
-  if (!obtain_cpg(args, {args.positional.begin() + 1, args.positional.end()}, pool.get(),
-                  /*need_program=*/false, /*need_graph_bytes=*/!args.store.empty(), nullptr,
-                  outcome, err)) {
+  std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+  auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()},
+                              pipeline_options(args, pool.get(), /*need_program=*/false,
+                                               /*need_graph_bytes=*/!args.store.empty()));
+  if (!result.ok()) {
+    err << "error: " << result.error().to_string() << "\n";
     return 1;
   }
-  if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
+  pipeline::Outcome& outcome = result.value();
+  report_outcome(outcome, out, err);
   out << "classes:  " << outcome.stats.class_nodes << "\n"
       << "methods:  " << outcome.stats.method_nodes << "\n"
       << "edges:    " << outcome.stats.relationship_edges << " (" << outcome.stats.call_edges
@@ -319,15 +255,17 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: tabby find JAR... [--depth N] [--verify]\n";
     return 2;
   }
-  std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
-  jir::Program program;
-  CpgOutcome outcome;
-  if (!obtain_cpg(args, {args.positional.begin() + 1, args.positional.end()}, pool.get(),
-                  /*need_program=*/args.verify, /*need_graph_bytes=*/false, &program, outcome,
-                  err)) {
+  std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+  auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()},
+                              pipeline_options(args, pool.get(), /*need_program=*/args.verify,
+                                               /*need_graph_bytes=*/false));
+  if (!result.ok()) {
+    err << "error: " << result.error().to_string() << "\n";
     return 1;
   }
-  if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
+  pipeline::Outcome& outcome = result.value();
+  report_outcome(outcome, out, err);
+
   finder::FinderOptions options;
   options.max_depth = args.depth;
   options.executor = pool.get();
@@ -340,7 +278,7 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   for (const finder::GadgetChain& chain : report.chains) {
     out << chain.to_string();
     if (args.verify) {
-      finder::AutoVerifyResult verdict = finder::auto_verify(program, outcome.db, chain);
+      finder::AutoVerifyResult verdict = finder::auto_verify(*outcome.program, outcome.db, chain);
       out << "  auto-verify: " << (verdict.effective ? "EFFECTIVE" : "refuted") << "\n";
       confirmed += verdict.effective ? 1 : 0;
     }
@@ -371,22 +309,38 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
       err << "usage: tabby query JAR... \"MATCH ...\"\n";
       return 2;
     }
-    std::unique_ptr<util::ThreadPool> pool = make_pool(args.jobs);
-    CpgOutcome outcome;
-    if (!obtain_cpg(args, {args.positional.begin() + 1, args.positional.end() - 1}, pool.get(),
-                    /*need_program=*/false, /*need_graph_bytes=*/false, nullptr, outcome, err)) {
+    std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+    auto result = pipeline::run({args.positional.begin() + 1, args.positional.end() - 1},
+                                pipeline_options(args, pool.get(), /*need_program=*/false,
+                                                 /*need_graph_bytes=*/false));
+    if (!result.ok()) {
+      err << "error: " << result.error().to_string() << "\n";
       return 1;
     }
-    if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
-    db = std::move(outcome.db);
+    report_outcome(result.value(), out, err);
+    db = std::move(result.value().db);
   }
-  auto result = cypher::run_query(db, query_text);
-  if (!result.ok()) {
-    err << "query error: " << result.error().to_string() << "\n";
+  auto query_result = cypher::run_query(db, query_text);
+  if (!query_result.ok()) {
+    err << "query error: " << query_result.error().to_string() << "\n";
     return 1;
   }
-  out << result.value().to_string(db) << "(" << result.value().rows.size() << " row(s))\n";
+  out << query_result.value().to_string(db) << "(" << query_result.value().rows.size()
+      << " row(s))\n";
   return 0;
+}
+
+int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string& command = args.positional[0];
+  obs::Span span("cli.command");
+  if (span.active()) span.attr("command", command);
+  if (command == "list") return cmd_list(out);
+  if (command == "gen") return cmd_gen(args, out, err);
+  if (command == "analyze") return cmd_analyze(args, out, err);
+  if (command == "find") return cmd_find(args, out, err);
+  if (command == "query") return cmd_query(args, out, err);
+  err << "error: unknown command: " << command << "\n";
+  return usage(err);
 }
 
 }  // namespace
@@ -398,14 +352,27 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     return 2;
   }
   if (parsed.positional.empty()) return usage(err);
-  const std::string& command = parsed.positional[0];
-  if (command == "list") return cmd_list(out);
-  if (command == "gen") return cmd_gen(parsed, out, err);
-  if (command == "analyze") return cmd_analyze(parsed, out, err);
-  if (command == "find") return cmd_find(parsed, out, err);
-  if (command == "query") return cmd_query(parsed, out, err);
-  err << "error: unknown command: " << command << "\n";
-  return usage(err);
+
+  // Observability is strictly additive: the tracer only records timings and
+  // counts, so every byte of out/err (and any --store file) is identical
+  // with and without --trace/--metrics.
+  bool observing = parsed.metrics || !parsed.trace_file.empty();
+  if (observing) obs::Tracer::instance().enable();
+  int code = dispatch(parsed, out, err);
+  if (observing) {
+    obs::TraceReport report = obs::Tracer::instance().flush();
+    obs::Tracer::instance().disable();
+    if (parsed.metrics) err << report.metrics_summary();
+    if (!parsed.trace_file.empty()) {
+      std::ofstream trace(parsed.trace_file, std::ios::trunc);
+      trace << report.to_chrome_json();
+      if (!trace) {
+        err << "error: cannot write trace file " << parsed.trace_file << "\n";
+        if (code == 0) code = 1;
+      }
+    }
+  }
+  return code;
 }
 
 }  // namespace tabby::cli

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "cpg/schema.hpp"
+#include "obs/obs.hpp"
 #include "util/digest.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -23,17 +24,37 @@ class Builder {
       : program_(program), hierarchy_(program), options_(options) {}
 
   Cpg run() {
+    obs::Span span("cpg.build");
     util::Stopwatch watch;
-    build_org();
-    build_pcg();
-    if (options_.build_alias_edges) build_mag();
-    if (options_.create_indexes) create_indexes();
+    {
+      TABBY_SPAN("cpg.org");
+      build_org();
+    }
+    {
+      TABBY_SPAN("cpg.pcg");
+      build_pcg();
+    }
+    if (options_.build_alias_edges) {
+      TABBY_SPAN("cpg.mag");
+      build_mag();
+    }
+    if (options_.create_indexes) {
+      TABBY_SPAN("cpg.index");
+      create_indexes();
+    }
 
     Cpg result;
     collect_stats();
     stats_.build_seconds = watch.elapsed_seconds();
     result.stats = stats_;
     result.db = std::move(db_);
+    // Mirror the CpgStats the caller sees into the counter catalog, so a
+    // trace is self-describing and tests can cross-check the two.
+    obs::counter_add("cpg.class_nodes", stats_.class_nodes);
+    obs::counter_add("cpg.method_nodes", stats_.method_nodes);
+    obs::counter_add("cpg.call_edges", stats_.call_edges);
+    obs::counter_add("cpg.alias_edges", stats_.alias_edges);
+    obs::counter_add("cpg.call_sites_pruned", stats_.pruned_call_sites);
     return result;
   }
 
@@ -179,6 +200,8 @@ class Builder {
         add_call_payload(payload.calls, site);
       }
     });
+
+    obs::counter_add("analysis.methods_analyzed", analysis.analyzed_count());
 
     // Instantiation phase: serial graph mutation, same order as ever.
     for (std::size_t i = 0; i < methods.size(); ++i) {

@@ -5,6 +5,7 @@
 
 #include "analysis/domain.hpp"
 #include "cpg/schema.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -76,6 +77,7 @@ GadgetChainFinder::GadgetChainFinder(const graph::GraphDb& cpg, FinderOptions op
     : db_(&cpg), options_(options) {}
 
 FinderReport GadgetChainFinder::find_all() {
+  obs::Span span("finder.find_all");
   util::Stopwatch watch;
   FinderReport report;
   std::unordered_set<std::string> seen;
@@ -95,8 +97,14 @@ FinderReport GadgetChainFinder::find_all() {
     return n.prop_bool(std::string(cpg::kPropIsSource));
   };
   std::vector<SinkSearch> searches(sinks.size());
-  util::run_indexed(options_.executor, sinks.size(),
-                    [&](std::size_t i) { searches[i] = search_sink(sinks[i], is_source); });
+  util::run_indexed(options_.executor, sinks.size(), [&](std::size_t i) {
+    obs::Span sink_span("finder.sink");
+    sink_span.attr("sink", static_cast<std::uint64_t>(sinks[i]));
+    searches[i] = search_sink(sinks[i], is_source);
+    sink_span.attr("chains", static_cast<std::uint64_t>(searches[i].chains.size()));
+    sink_span.attr("expansions", static_cast<std::uint64_t>(searches[i].expansions));
+    obs::counter_add("finder.sinks_searched");
+  });
 
   for (SinkSearch& search : searches) {
     for (GadgetChain& chain : search.chains) {
@@ -108,6 +116,8 @@ FinderReport GadgetChainFinder::find_all() {
     last_exhausted_ = search.exhausted;
   }
   report.search_seconds = watch.elapsed_seconds();
+  obs::counter_add("finder.chains_found", report.chains.size());
+  obs::counter_add("finder.expansions", report.expansions);
   return report;
 }
 

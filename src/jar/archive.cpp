@@ -3,6 +3,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/bytes.hpp"
 #include "util/thread_pool.hpp"
 
@@ -658,12 +659,18 @@ std::vector<util::Result<Archive>> read_archive_files(
   for (std::size_t i = 0; i < paths.size(); ++i) {
     results.push_back(Error{"not read"});
   }
-  util::run_indexed(executor, paths.size(),
-                    [&](std::size_t i) { results[i] = read_archive_file(paths[i]); });
+  util::run_indexed(executor, paths.size(), [&](std::size_t i) {
+    obs::Span span("jar.decode");
+    if (span.active()) span.attr("path", paths[i].string());
+    results[i] = read_archive_file(paths[i]);
+    if (results[i].ok()) obs::counter_add("jar.archives_decoded");
+  });
   return results;
 }
 
 jir::Program link(const std::vector<Archive>& classpath, std::size_t* duplicates_skipped) {
+  obs::Span span("jar.link");
+  span.attr("archives", static_cast<std::uint64_t>(classpath.size()));
   jir::Program program;
   std::size_t skipped = 0;
   for (const Archive& archive : classpath) {
@@ -676,6 +683,7 @@ jir::Program link(const std::vector<Archive>& classpath, std::size_t* duplicates
     }
   }
   if (duplicates_skipped != nullptr) *duplicates_skipped = skipped;
+  obs::counter_add("jar.classes_linked", program.class_count());
   return program;
 }
 

@@ -1,0 +1,177 @@
+// Pipeline observability: structured tracing (RAII spans) and monotonic
+// counters, threaded through every pipeline stage (decode, link, analysis,
+// CPG build, chain finding, cache). Two exporters read the collected data:
+//
+//   - TraceReport::to_chrome_json(): Chrome trace-event JSON ("traceEvents"
+//     array format), viewable in chrome://tracing or https://ui.perfetto.dev,
+//     with one track per thread (the main thread plus one per ThreadPool
+//     worker) — the CLI's `--trace FILE` output.
+//   - TraceReport::metrics_summary(): a human per-phase summary (span
+//     aggregates plus the counter catalog) — the CLI's `--metrics` output on
+//     stderr.
+//
+// Design constraints, in order:
+//   1. Disabled is free. The process-wide Tracer starts disabled; a disabled
+//      TABBY_SPAN or counter_add is one relaxed atomic load and no
+//      allocation, so the instrumentation can stay in release builds.
+//   2. Observation never perturbs results. Spans and counters only *read*
+//      pipeline state; enabling tracing must leave every byte-stable output
+//      (graph stores, chain lists, query results) bit-identical.
+//   3. Recording is lock-free. Each thread appends to its own buffer; the
+//      only locks are on thread registration (once per thread lifetime) and
+//      in flush(). flush() requires quiescence: call it only between pipeline
+//      stages / after parallel_for barriers, never concurrently with
+//      recording threads.
+//
+// The span naming scheme ("stage.phase", e.g. "cpg.build" > "cpg.pcg") and
+// the counter catalog are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tabby::obs {
+
+/// One key=value attribute attached to a span (rendered into the Chrome
+/// trace event's "args" object).
+struct Attr {
+  std::string key;
+  std::string value;
+};
+
+/// A completed span as drained from a thread buffer.
+struct SpanRecord {
+  std::string name;          // static naming scheme, "stage.phase"
+  std::uint64_t start_ns = 0;  // monotonic, relative to Tracer::enable()
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;     // dense per-process track id (registration order)
+  std::vector<Attr> attrs;
+};
+
+/// Final value of one named monotonic counter.
+struct CounterTotal {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Everything one flush() drained: spans in ascending start order, counters
+/// merged across threads in ascending name order, and the track names.
+struct TraceReport {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterTotal> counters;
+  std::vector<std::string> thread_names;  // index = SpanRecord::tid
+
+  /// Chrome trace-event JSON: thread_name metadata + one "X" (complete)
+  /// event per span + one "C" (counter) event per counter total.
+  std::string to_chrome_json() const;
+
+  /// Human summary: one line per distinct span name (count, total, mean)
+  /// followed by the counter catalog. Every line is prefixed "metrics:".
+  std::string metrics_summary() const;
+
+  /// Total time attributed to a span name (sum over all records).
+  double total_seconds(const std::string& name) const;
+
+  /// Final value of a counter, 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+};
+
+/// The process-wide trace collector. Stages record through the free helpers
+/// below; only the CLI (and tests) enable/flush it.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts a collection epoch: clears previously drained/undrained data and
+  /// re-bases span timestamps at "now".
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_flag_.load(std::memory_order_relaxed); }
+
+  /// Drains every thread buffer into one report. Requires recording
+  /// quiescence (between stages / after barriers).
+  TraceReport flush();
+
+  // Recording back ends for Span/counter_add; callers must have checked
+  // enabled() first.
+  std::uint64_t now_ns() const;
+  void record_span(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+                   std::vector<Attr> attrs);
+  void record_counter(const char* name, std::uint64_t delta);
+
+  /// Names the calling thread's track ("worker-3"). Safe (and cheap) while
+  /// disabled; ThreadPool workers call it once at thread start.
+  void name_current_thread(std::string name);
+
+  /// Per-thread recording destination (defined in obs.cpp; public only so
+  /// the registry can own the buffers of exited threads).
+  struct ThreadBuffer;
+
+ private:
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+
+  // enabled_flag_ is the only member the disabled fast path touches.
+  std::atomic<bool> enabled_flag_{false};
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// True when spans/counters are being collected.
+inline bool enabled() { return Tracer::instance().enabled(); }
+
+/// Bumps a named monotonic counter. No-op (and allocation-free) when the
+/// tracer is disabled. `name` must be a static string.
+inline void counter_add(const char* name, std::uint64_t delta = 1) {
+  Tracer& tracer = Tracer::instance();
+  if (tracer.enabled()) tracer.record_counter(name, delta);
+}
+
+/// Names the calling thread's trace track.
+void set_thread_name(std::string name);
+
+/// RAII span: records [construction, destruction) on the calling thread's
+/// track. `name` must be a static string (the record copies it only when
+/// enabled). Attribute values that are expensive to build should be guarded
+/// with active() at the call site.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled()) return;
+    name_ = name;
+    start_ns_ = tracer.now_ns();
+    active_ = true;
+  }
+  ~Span() {
+    if (!active_) return;
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled()) return;  // disabled mid-span: drop it
+    tracer.record_span(name_, start_ns_, tracer.now_ns() - start_ns_, std::move(attrs_));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  void attr(const char* key, std::string value) {
+    if (active_) attrs_.push_back({key, std::move(value)});
+  }
+  void attr(const char* key, std::uint64_t value) {
+    if (active_) attrs_.push_back({key, std::to_string(value)});
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+  std::vector<Attr> attrs_;
+};
+
+#define TABBY_OBS_CONCAT2(a, b) a##b
+#define TABBY_OBS_CONCAT(a, b) TABBY_OBS_CONCAT2(a, b)
+/// Anonymous RAII span covering the rest of the enclosing scope.
+#define TABBY_SPAN(name) ::tabby::obs::Span TABBY_OBS_CONCAT(tabby_obs_span_, __LINE__)(name)
+
+}  // namespace tabby::obs

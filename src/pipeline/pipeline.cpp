@@ -1,0 +1,138 @@
+#include "pipeline/pipeline.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "corpus/jdk.hpp"
+#include "graph/serialize.hpp"
+#include "jar/archive.hpp"
+#include "obs/obs.hpp"
+#include "util/digest.hpp"
+
+namespace tabby::pipeline {
+
+namespace {
+
+/// Cold back half shared by both run() overloads: build the CPG and, when
+/// asked, the store bytes.
+void build_into(const jir::Program& program, const Options& options, cpg::CpgOptions cpg_options,
+                Outcome& outcome) {
+  cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
+  outcome.db = std::move(cpg.db);
+  outcome.stats = cpg.stats;
+  if (options.need_graph_bytes) {
+    TABBY_SPAN("graph.serialize");
+    outcome.graph_bytes = graph::serialize(outcome.db);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<util::ThreadPool> make_pool(int jobs) {
+  unsigned n = jobs > 0 ? static_cast<unsigned>(jobs) : util::ThreadPool::default_jobs();
+  if (n <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(n);
+}
+
+util::Result<jir::Program> load_program(const std::vector<std::string>& paths, bool with_jdk,
+                                        util::Executor* executor) {
+  TABBY_SPAN("pipeline.load_program");
+  std::vector<jar::Archive> classpath;
+  if (with_jdk) classpath.push_back(corpus::jdk_base_archive());
+  std::vector<std::filesystem::path> files(paths.begin(), paths.end());
+  std::vector<util::Result<jar::Archive>> archives = jar::read_archive_files(files, executor);
+  for (std::size_t i = 0; i < archives.size(); ++i) {
+    if (!archives[i].ok()) {
+      return util::Error{paths[i] + ": " + archives[i].error().message,
+                         archives[i].error().location};
+    }
+    classpath.push_back(std::move(archives[i].value()));
+  }
+  return jar::link(classpath);
+}
+
+util::Result<Outcome> run(const std::vector<std::string>& jar_paths, const Options& options) {
+  obs::Span span("pipeline.run");
+  span.attr("archives", static_cast<std::uint64_t>(jar_paths.size()));
+
+  cpg::CpgOptions cpg_options = options.cpg;
+  cpg_options.executor = options.executor;
+  Outcome outcome;
+
+  if (options.cache_dir.empty()) {
+    auto program = load_program(jar_paths, options.with_jdk, options.executor);
+    if (!program.ok()) return program.error();
+    build_into(program.value(), options, cpg_options, outcome);
+    if (options.need_program) outcome.program = std::move(program.value());
+    return outcome;
+  }
+
+  auto opened = cache::AnalysisCache::open(options.cache_dir);
+  if (!opened.ok()) return opened.error();
+  cache::AnalysisCache& cache = opened.value();
+
+  // Classpath digests in link order: the simulated JDK (when included) is
+  // part of the analyzed world, so its content is part of the key.
+  std::vector<std::uint64_t> digests;
+  if (options.with_jdk) {
+    digests.push_back(util::fnv1a(jar::write_archive(corpus::jdk_base_archive())));
+  }
+  for (const std::string& path : jar_paths) {
+    auto digest = cache::AnalysisCache::digest_file(path);
+    if (!digest.ok()) return util::Error{path + ": " + digest.error().message};
+    digests.push_back(digest.value());
+  }
+  std::uint64_t key =
+      cache::AnalysisCache::snapshot_key(cpg::options_fingerprint(cpg_options), digests);
+
+  std::optional<cache::CachedCpg> snapshot = cache.load_snapshot(key);
+  if (!snapshot.has_value() || options.need_program) {
+    // Load the program through per-archive fragments: unchanged archives
+    // warm-start, only changed ones are re-decoded from the original bytes.
+    std::vector<jar::Archive> classpath;
+    if (options.with_jdk) classpath.push_back(corpus::jdk_base_archive());
+    for (const std::string& path : jar_paths) {
+      auto loaded = cache.load_archive(path);
+      if (!loaded.ok()) return util::Error{path + ": " + loaded.error().message};
+      classpath.push_back(std::move(loaded.value().archive));
+    }
+    jir::Program program = jar::link(classpath);
+    if (!snapshot.has_value()) {
+      cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
+      outcome.db = std::move(cpg.db);
+      outcome.stats = cpg.stats;
+      {
+        TABBY_SPAN("graph.serialize");
+        outcome.graph_bytes = graph::serialize(outcome.db);
+      }
+      auto stored = cache.store_snapshot(key, outcome.stats, outcome.graph_bytes);
+      if (!stored.ok()) {
+        outcome.warnings.push_back(stored.error().to_string() +
+                                   " (continuing without snapshot)");
+      }
+    }
+    if (options.need_program) outcome.program = std::move(program);
+  }
+  if (snapshot.has_value()) {
+    outcome.db = std::move(snapshot->db);
+    outcome.stats = snapshot->stats;
+    outcome.graph_bytes = std::move(snapshot->graph_bytes);
+    outcome.warm = true;
+    // Persistence stores data, not index structures; recreate the standard
+    // set so lookups behave exactly as on a freshly built CPG.
+    cpg::create_standard_indexes(outcome.db, options.executor);
+  }
+  outcome.cache_line = cache.stats().to_line();
+  return outcome;
+}
+
+Outcome run(const jir::Program& program, const Options& options) {
+  obs::Span span("pipeline.run");
+  cpg::CpgOptions cpg_options = options.cpg;
+  cpg_options.executor = options.executor;
+  Outcome outcome;
+  build_into(program, options, cpg_options, outcome);
+  return outcome;
+}
+
+}  // namespace tabby::pipeline

@@ -1,0 +1,94 @@
+// The public pipeline facade: everything between "a classpath of .tjar
+// files" and "a queryable CPG" behind one call, so library consumers get the
+// exact orchestration the `tabby` CLI uses — archive decode (parallel),
+// classpath linking, the incremental cache's warm/cold logic, CPG
+// construction and snapshot publishing — without re-implementing it from the
+// module-level APIs. The CLI, examples/quickstart and
+// examples/audit_component are all thin callers of this header.
+//
+// Errors are structured (util::Result), never pre-formatted text on a
+// stream: callers decide how to render them. Everything here is observable
+// via src/obs — run() is wrapped in a "pipeline.run" span and each stage
+// records its own spans and counters (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cpg/builder.hpp"
+#include "graph/graph.hpp"
+#include "jir/model.hpp"
+#include "util/result.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tabby::pipeline {
+
+/// What to run and how. The zero-argument default is the plain cold
+/// pipeline: simulated JDK + archives, no cache, serial.
+struct Options {
+  /// Prefix the simulated JDK archive to the classpath (the analyzed world
+  /// normally includes it; baselines and tests may turn it off).
+  bool with_jdk = true;
+  /// Incremental analysis cache directory; empty = no cache (cold build).
+  std::string cache_dir;
+  /// Keep the linked jir::Program in the Outcome (needed for find --verify
+  /// and the runtime VM; costs the link step even on a snapshot hit).
+  bool need_program = false;
+  /// Populate Outcome::graph_bytes (the exact `--store` serialization) even
+  /// when no cache is in play. Cache runs always have them (snapshots embed
+  /// the store bytes).
+  bool need_graph_bytes = false;
+  /// Worker pool for the parallel stages; nullptr = serial. Borrowed, must
+  /// outlive run(). (make_pool() builds one from a --jobs-style count.)
+  util::Executor* executor = nullptr;
+  /// CPG construction knobs (sinks, sources, pruning, ablations). The
+  /// executor field inside is overwritten with `executor` by run().
+  cpg::CpgOptions cpg;
+};
+
+/// The CPG for one pipeline invocation, however it was obtained (cold build
+/// or cache snapshot) — the library-level equivalent of one analyze/find/
+/// query front half.
+struct Outcome {
+  graph::GraphDb db;
+  cpg::CpgStats stats;
+  /// graph::serialize(db), the exact bytes `--store` writes. Present on
+  /// every cache run and whenever Options::need_graph_bytes was set.
+  std::vector<std::byte> graph_bytes;
+  /// The linked program, when Options::need_program was set.
+  std::optional<jir::Program> program;
+  /// True when the CPG came from a cache snapshot rather than a cold build.
+  bool warm = false;
+  /// The "cache:" stats line; empty when no cache was used.
+  std::string cache_line;
+  /// Non-fatal degradations (e.g. a snapshot publish that failed on a
+  /// read-only cache directory), one message each. The run still succeeded.
+  std::vector<std::string> warnings;
+};
+
+/// The worker pool behind a --jobs-style count. Returns null for an
+/// effective job count of 1: every stage treats a null Executor* as "run
+/// inline in index order", which is exactly the serial pipeline. `jobs` <= 0
+/// means the hardware default.
+std::unique_ptr<util::ThreadPool> make_pool(int jobs);
+
+/// Reads .tjar files and links them into one closed-world program,
+/// optionally prefixing the simulated JDK. The error identifies the
+/// offending path.
+util::Result<jir::Program> load_program(const std::vector<std::string>& paths, bool with_jdk,
+                                        util::Executor* executor = nullptr);
+
+/// The full cache-aware front end shared by analyze/find/query: digest the
+/// classpath, warm-start from a snapshot when one matches, otherwise load
+/// archives (through per-archive cache fragments when caching), link, build
+/// the CPG and publish a new snapshot. Without a cache_dir this is the plain
+/// cold pipeline.
+util::Result<Outcome> run(const std::vector<std::string>& jar_paths, const Options& options);
+
+/// In-memory variant: build the CPG for an already-linked program (no
+/// archives, no cache). The path examples and embedding libraries use.
+Outcome run(const jir::Program& program, const Options& options);
+
+}  // namespace tabby::pipeline

@@ -1,6 +1,7 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace tabby::util {
@@ -64,6 +65,20 @@ std::string format_double(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
   return buf;
+}
+
+Result<int> parse_int(std::string_view text) {
+  int value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  std::from_chars_result parsed = std::from_chars(first, last, value, 10);
+  if (parsed.ec == std::errc::result_out_of_range) {
+    return Error{"integer out of range: '" + std::string(text) + "'"};
+  }
+  if (parsed.ec != std::errc{} || parsed.ptr != last) {
+    return Error{"not an integer: '" + std::string(text) + "'"};
+  }
+  return value;
 }
 
 }  // namespace tabby::util

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace tabby::util {
 
 /// Split on a single-character separator; empty fields are preserved.
@@ -29,5 +31,11 @@ std::string_view package_of(std::string_view qualified);
 
 /// Render a double with the given number of decimals (locale-independent).
 std::string format_double(double value, int decimals);
+
+/// Strict base-10 integer parse: the whole token must be a number (an
+/// optional minus and digits — "12abc", "", "+5", "0x1f" and out-of-range
+/// values are all errors). Unlike std::atoi, failure is reported, not
+/// folded to 0.
+Result<int> parse_int(std::string_view text);
 
 }  // namespace tabby::util

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/obs.hpp"
+
 namespace tabby::util {
 
 namespace {
@@ -87,6 +89,9 @@ bool ThreadPool::take_task(unsigned self, std::function<void()>& out) {
 
 void ThreadPool::worker_loop(unsigned self) {
   t_inside_pool_worker = true;
+  // One trace track per worker: spans recorded on this thread land on the
+  // "worker-N" track in the Chrome trace export.
+  obs::set_thread_name("worker-" + std::to_string(self));
   std::function<void()> task;
   while (true) {
     if (take_task(self, task)) {

@@ -3,11 +3,14 @@
 // persistent graph-store path).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "cli/cli.hpp"
+#include "support/json_lite.hpp"
 
 namespace tabby::cli {
 namespace {
@@ -137,6 +140,29 @@ TEST_F(CliFixture, BadDepthRejected) {
   EXPECT_EQ(r.code, 2);
 }
 
+TEST(Cli, PartialIntegerTokenRejectedAndNamed) {
+  // "12abc" must not silently truncate to 12; the error names the token.
+  CliRun r = run({"find", "x.tjar", "--depth", "12abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--depth"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("12abc"), std::string::npos) << r.err;
+}
+
+TEST(Cli, NonPositiveCountsRejected) {
+  CliRun depth = run({"find", "x.tjar", "--depth", "0"});
+  EXPECT_EQ(depth.code, 2);
+  EXPECT_NE(depth.err.find("bad --depth value: 0"), std::string::npos) << depth.err;
+  CliRun jobs = run({"analyze", "x.tjar", "--jobs", "-2"});
+  EXPECT_EQ(jobs.code, 2);
+  EXPECT_NE(jobs.err.find("bad --jobs value: -2"), std::string::npos) << jobs.err;
+}
+
+TEST(Cli, MissingTraceValueFails) {
+  CliRun r = run({"list", "--trace"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("missing value for --trace"), std::string::npos) << r.err;
+}
+
 TEST(Cli, CacheFlagMissingValueFails) {
   CliRun r = run({"analyze", "x.tjar", "--cache"});
   EXPECT_EQ(r.code, 2);
@@ -207,6 +233,146 @@ TEST_F(CliFixture, CachedAnalyzeStoreQueryRoundTrip) {
   ASSERT_EQ(verify.code, 0) << verify.err;
   EXPECT_NE(verify.out.find("cache: snapshot hit"), std::string::npos) << verify.out;
   EXPECT_NE(verify.out.find("1/3 chains confirmed effective"), std::string::npos) << verify.out;
+}
+
+std::string slurp_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST_F(CliFixture, TraceFileIsWellFormedChromeJsonWithNestedSpans) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  CliRun find = run({"find", path("BeanShell1.tjar"), "--jobs", "4", "--trace", path("trace.json")});
+  ASSERT_EQ(find.code, 0) << find.err;
+  ASSERT_TRUE(fs::exists(path("trace.json")));
+
+  auto doc = testsupport::parse_json(slurp_file(path("trace.json")));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_FALSE(doc->array.empty());
+
+  // Collect the complete ("X") events per track and the named tracks.
+  std::map<double, std::vector<const testsupport::JsonValue*>> by_tid;
+  std::vector<std::string> track_names;
+  std::vector<std::string> span_names;
+  for (const auto& event : doc->array) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_TRUE(event.has("ph"));
+    if (event.at("ph").string == "M" && event.at("name").string == "thread_name") {
+      track_names.push_back(event.at("args").at("name").string);
+    }
+    if (event.at("ph").string != "X") continue;
+    ASSERT_TRUE(event.has("ts"));
+    ASSERT_TRUE(event.has("dur"));
+    by_tid[event.at("tid").number].push_back(&event);
+    span_names.push_back(event.at("name").string);
+  }
+
+  // One track per ThreadPool worker plus the main thread.
+  EXPECT_NE(std::find(track_names.begin(), track_names.end(), "main"), track_names.end());
+  int workers = 0;
+  for (const std::string& name : track_names) {
+    if (name.rfind("worker-", 0) == 0) ++workers;
+  }
+  EXPECT_GE(workers, 4);
+
+  // Every pipeline stage shows up: decode, analysis, CPG phases, finder.
+  for (const char* expected : {"pipeline.run", "pipeline.load_program", "jar.decode", "jar.link",
+                               "analysis.precompute", "cpg.build", "cpg.pcg", "finder.find_all",
+                               "finder.sink", "cli.command"}) {
+    EXPECT_NE(std::find(span_names.begin(), span_names.end(), expected), span_names.end())
+        << "missing span: " << expected;
+  }
+
+  // Per track, spans obey stack discipline: sorted by start, each span either
+  // nests inside the enclosing open span or starts after it ended.
+  for (const auto& [tid, events] : by_tid) {
+    std::vector<std::pair<double, double>> stack;  // (start, end)
+    double last_start = -1;
+    for (const auto* event : events) {
+      double start = event->at("ts").number;
+      double end = start + event->at("dur").number;
+      EXPECT_GE(start, last_start) << "events not sorted on tid " << tid;
+      last_start = start;
+      while (!stack.empty() && start >= stack.back().second) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(end, stack.back().second)
+            << "span overlaps its parent on tid " << tid << ": " << event->at("name").string;
+      }
+      stack.emplace_back(start, end);
+    }
+  }
+}
+
+TEST_F(CliFixture, TracingAndMetricsDoNotPerturbOutputs) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  CliRun plain = run({"analyze", path("BeanShell1.tjar"), "--store", path("plain.tgdb")});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  CliRun traced = run({"analyze", path("BeanShell1.tjar"), "--store", path("traced.tgdb"),
+                       "--trace", path("trace.json"), "--metrics"});
+  ASSERT_EQ(traced.code, 0) << traced.err;
+
+  // stdout and the persistent store are byte-identical; the only differences
+  // are the metrics summary on stderr, the trace file on disk, the wall-clock
+  // "build:" line, and the store filename the test itself varies.
+  auto stable_lines = [](const std::string& text) {
+    std::istringstream in(text);
+    std::string out, line;
+    while (std::getline(in, line)) {
+      if (line.rfind("build:", 0) == 0) continue;
+      if (line.rfind("graph store written to", 0) == 0) continue;
+      out += line + "\n";
+    }
+    return out;
+  };
+  EXPECT_EQ(stable_lines(plain.out), stable_lines(traced.out));
+  EXPECT_FALSE(stable_lines(plain.out).empty());
+  EXPECT_EQ(slurp_file(path("plain.tgdb")), slurp_file(path("traced.tgdb")));
+  EXPECT_NE(traced.err.find("metrics: span "), std::string::npos) << traced.err;
+  EXPECT_NE(traced.err.find("metrics: counter "), std::string::npos) << traced.err;
+
+  // find output (the chains) is identical too, modulo its own timing line.
+  CliRun find_plain = run({"find", path("BeanShell1.tjar")});
+  CliRun find_traced = run({"find", path("BeanShell1.tjar"), "--trace", path("trace2.json")});
+  ASSERT_EQ(find_plain.code, 0);
+  ASSERT_EQ(find_traced.code, 0);
+  auto strip_timing = [](const std::string& text) {
+    std::size_t cut = text.find(" s search");
+    std::size_t comma = text.rfind(", ", cut);
+    return text.substr(0, comma) + text.substr(cut + 9);
+  };
+  EXPECT_EQ(strip_timing(find_plain.out), strip_timing(find_traced.out));
+}
+
+TEST_F(CliFixture, MetricsCountersReportCacheTraffic) {
+  CliRun gen = run({"gen", "BeanShell1", "--out", dir_.string()});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+
+  CliRun cold =
+      run({"analyze", path("BeanShell1.tjar"), "--cache", path("cache"), "--metrics"});
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("metrics: counter cache.snapshot_misses = 1"), std::string::npos)
+      << cold.err;
+  EXPECT_NE(cold.err.find("metrics: counter cache.snapshots_published = 1"), std::string::npos)
+      << cold.err;
+
+  CliRun warm =
+      run({"analyze", path("BeanShell1.tjar"), "--cache", path("cache"), "--metrics"});
+  ASSERT_EQ(warm.code, 0) << warm.err;
+  EXPECT_NE(warm.err.find("metrics: counter cache.snapshot_hits = 1"), std::string::npos)
+      << warm.err;
+}
+
+TEST_F(CliFixture, UnwritableTraceFileReported) {
+  CliRun r = run({"list", "--trace", (dir_ / "no" / "such" / "dir" / "t.json").string()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot write trace file"), std::string::npos) << r.err;
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Tests for the public pipeline facade (src/pipeline): structured errors,
+// cold builds, cache warm/cold equivalence and the in-memory overload — the
+// library-level contract the CLI and the examples are thin callers of.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "corpus/components.hpp"
+#include "graph/serialize.hpp"
+#include "jar/archive.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace tabby::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("tabby_pipeline_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    corpus::Component component = corpus::build_component("BeanShell1");
+    jar_path_ = (dir_ / "component.tjar").string();
+    ASSERT_TRUE(jar::write_archive_file(component.jar, jar_path_).ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& file) const { return (dir_ / file).string(); }
+  fs::path dir_;
+  std::string jar_path_;
+};
+
+TEST(Pipeline, LoadProgramReportsTheOffendingPath) {
+  auto result = load_program({"/no/such/archive.tjar"}, /*with_jdk=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("/no/such/archive.tjar"), std::string::npos)
+      << result.error().to_string();
+}
+
+TEST(Pipeline, RunReportsTheOffendingPathWithAndWithoutCache) {
+  Options options;
+  auto cold = run({"/no/such/archive.tjar"}, options);
+  ASSERT_FALSE(cold.ok());
+  EXPECT_NE(cold.error().message.find("/no/such/archive.tjar"), std::string::npos);
+
+  options.cache_dir = (fs::temp_directory_path() / "tabby_pipeline_test_cache_err").string();
+  auto cached = run({"/no/such/archive.tjar"}, options);
+  ASSERT_FALSE(cached.ok());
+  EXPECT_NE(cached.error().message.find("/no/such/archive.tjar"), std::string::npos);
+  fs::remove_all(options.cache_dir);
+}
+
+TEST_F(PipelineFixture, LoadProgramLinksTheClasspath) {
+  auto program = load_program({jar_path_}, /*with_jdk=*/true);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  EXPECT_GT(program.value().class_count(), 0u);
+}
+
+TEST_F(PipelineFixture, ColdRunBuildsACpg) {
+  Options options;
+  auto result = run({jar_path_}, options);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const Outcome& outcome = result.value();
+  EXPECT_FALSE(outcome.warm);
+  EXPECT_GT(outcome.stats.class_nodes, 0u);
+  EXPECT_GT(outcome.stats.sink_methods, 0u);
+  EXPECT_TRUE(outcome.cache_line.empty());
+  EXPECT_TRUE(outcome.graph_bytes.empty());  // not requested
+  EXPECT_FALSE(outcome.program.has_value());
+}
+
+TEST_F(PipelineFixture, GraphBytesAreTheExactStoreSerialization) {
+  Options options;
+  options.need_graph_bytes = true;
+  auto result = run({jar_path_}, options);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().graph_bytes, graph::serialize(result.value().db));
+}
+
+TEST_F(PipelineFixture, NeedProgramKeepsTheLinkedProgram) {
+  Options options;
+  options.need_program = true;
+  auto result = run({jar_path_}, options);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_TRUE(result.value().program.has_value());
+  EXPECT_GT(result.value().program->class_count(), 0u);
+}
+
+TEST_F(PipelineFixture, WarmRunIsByteIdenticalToCold) {
+  Options options;
+  options.cache_dir = path("cache");
+
+  auto cold = run({jar_path_}, options);
+  ASSERT_TRUE(cold.ok()) << cold.error().to_string();
+  EXPECT_FALSE(cold.value().warm);
+  EXPECT_NE(cold.value().cache_line.find("snapshot miss"), std::string::npos);
+  ASSERT_FALSE(cold.value().graph_bytes.empty());  // cache runs embed the store
+
+  auto warm = run({jar_path_}, options);
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  EXPECT_TRUE(warm.value().warm);
+  EXPECT_NE(warm.value().cache_line.find("snapshot hit"), std::string::npos);
+  EXPECT_EQ(cold.value().graph_bytes, warm.value().graph_bytes);
+  EXPECT_EQ(cold.value().stats.class_nodes, warm.value().stats.class_nodes);
+  EXPECT_EQ(cold.value().stats.relationship_edges, warm.value().stats.relationship_edges);
+}
+
+TEST_F(PipelineFixture, WarmRunWithNeedProgramStillLinks) {
+  Options options;
+  options.cache_dir = path("cache");
+  ASSERT_TRUE(run({jar_path_}, options).ok());  // populate
+
+  options.need_program = true;
+  auto warm = run({jar_path_}, options);
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  EXPECT_TRUE(warm.value().warm);
+  ASSERT_TRUE(warm.value().program.has_value());
+  EXPECT_GT(warm.value().program->class_count(), 0u);
+}
+
+TEST_F(PipelineFixture, InMemoryOverloadMatchesTheArchivePath) {
+  auto program = load_program({jar_path_}, /*with_jdk=*/true);
+  ASSERT_TRUE(program.ok());
+
+  Options options;
+  options.need_graph_bytes = true;
+  Outcome from_program = run(program.value(), options);
+  auto from_archives = run({jar_path_}, options);
+  ASSERT_TRUE(from_archives.ok());
+  EXPECT_EQ(from_program.graph_bytes, from_archives.value().graph_bytes);
+}
+
+TEST_F(PipelineFixture, MakePoolHonorsTheSerialContract) {
+  EXPECT_EQ(make_pool(1), nullptr);
+  auto pool = make_pool(3);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->concurrency(), 3u);
+}
+
+TEST_F(PipelineFixture, ParallelRunMatchesSerialByteForByte) {
+  Options serial;
+  serial.need_graph_bytes = true;
+  auto pool = make_pool(4);
+  Options parallel = serial;
+  parallel.executor = pool.get();
+
+  auto a = run({jar_path_}, serial);
+  auto b = run({jar_path_}, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().graph_bytes, b.value().graph_bytes);
+}
+
+}  // namespace
+}  // namespace tabby::pipeline

@@ -1,0 +1,178 @@
+// A deliberately tiny JSON reader for test assertions (trace-file
+// well-formedness, event field checks). Strict enough to reject malformed
+// documents; not a production parser — tests only.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tabby::testsupport {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole document; nullopt on any syntax error or trailing junk.
+  std::optional<JsonValue> parse() {
+    std::optional<JsonValue> value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) return std::nullopt;
+            }
+            out += '?';  // placeholder: tests never assert on escaped content
+            pos_ += 4;
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // raw control characters are invalid JSON
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::Object;
+      skip_ws();
+      if (eat('}')) return value;
+      while (true) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key || !eat(':')) return std::nullopt;
+        auto member = parse_value();
+        if (!member) return std::nullopt;
+        value.object.emplace(*key, std::move(*member));
+        if (eat(',')) continue;
+        if (eat('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::Array;
+      skip_ws();
+      if (eat(']')) return value;
+      while (true) {
+        auto element = parse_value();
+        if (!element) return std::nullopt;
+        value.array.push_back(std::move(*element));
+        if (eat(',')) continue;
+        if (eat(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      value.kind = JsonValue::Kind::String;
+      value.string = std::move(*s);
+      return value;
+    }
+    if (literal("true")) {
+      value.kind = JsonValue::Kind::Bool;
+      value.boolean = true;
+      return value;
+    }
+    if (literal("false")) {
+      value.kind = JsonValue::Kind::Bool;
+      return value;
+    }
+    if (literal("null")) return value;
+    // number
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    try {
+      value.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return std::nullopt;
+    }
+    value.kind = JsonValue::Kind::Number;
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace tabby::testsupport

@@ -186,5 +186,41 @@ TEST(Bytes, OversizedCountRejectedBeforeAllocation) {
   EXPECT_FALSE(r.count("thing").ok());
 }
 
+TEST(ParseInt, AcceptsPlainBase10) {
+  EXPECT_EQ(parse_int("0").value(), 0);
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_EQ(parse_int("2147483647").value(), 2147483647);
+}
+
+TEST(ParseInt, RejectsPartialParses) {
+  // The whole token must be digits: trailing garbage is an error, not a
+  // silent truncation to the leading digits.
+  EXPECT_FALSE(parse_int("12abc").ok());
+  EXPECT_FALSE(parse_int("1.5").ok());
+  EXPECT_FALSE(parse_int("1 ").ok());
+  EXPECT_FALSE(parse_int(" 1").ok());
+}
+
+TEST(ParseInt, RejectsNonNumbersAndExoticForms) {
+  EXPECT_FALSE(parse_int("").ok());
+  EXPECT_FALSE(parse_int("abc").ok());
+  EXPECT_FALSE(parse_int("+5").ok());
+  EXPECT_FALSE(parse_int("0x1f").ok());
+  EXPECT_FALSE(parse_int("--3").ok());
+}
+
+TEST(ParseInt, RejectsOutOfRange) {
+  auto r = parse_int("99999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(ParseInt, ErrorNamesTheOffendingToken) {
+  auto r = parse_int("12abc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("12abc"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tabby::util
