@@ -1,12 +1,17 @@
 #include "cache/cache.hpp"
 
+#include <chrono>
 #include <fstream>
+#include <thread>
 
 #include "graph/serialize.hpp"
 #include "jir/printer.hpp"
 #include "obs/obs.hpp"
 #include "util/bytes.hpp"
 #include "util/digest.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
 
 namespace tabby::cache {
 
@@ -20,19 +25,13 @@ using util::Error;
 using util::Result;
 
 Result<std::vector<std::byte>> read_file_bytes(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Error{"cannot open for read: " + path.string()};
-  std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) return Error{"read failed: " + path.string()};
-  return bytes;
+  return util::read_file(path);
 }
 
-/// Atomic publish: a half-written cache entry must never be observable, so
-/// concurrent runs either see a whole entry or none.
-util::Status write_file_atomic(const fs::path& path, const std::vector<std::byte>& bytes) {
+/// One write+rename attempt. The `cache.publish.rename` failpoint models a
+/// transient publish fault (NFS rename hiccup, AV scanner holding the
+/// target) — exactly what the retry loop below exists to absorb.
+util::Status write_file_atomic_once(const fs::path& path, const std::vector<std::byte>& bytes) {
   fs::path tmp = path;
   tmp += ".tmp";
   {
@@ -43,12 +42,40 @@ util::Status write_file_atomic(const fs::path& path, const std::vector<std::byte
     if (!out) return Error{"write failed: " + tmp.string()};
   }
   std::error_code ec;
+  if (util::failpoint::poll("cache.publish.rename")) {
+    fs::remove(tmp, ec);
+    return Error{"failpoint: injected publish failure: " + path.string()};
+  }
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return Error{"cannot publish cache entry: " + path.string()};
   }
   return util::Status::ok_status();
+}
+
+/// Atomic publish with bounded retry: a half-written cache entry must never
+/// be observable, so concurrent runs either see a whole entry or none.
+/// Transient IO faults are retried up to 3 attempts total with jittered
+/// backoff (~1ms, ~2ms); a still-failing publish returns the last error,
+/// which every caller downgrades (fragment: silent cold decode; snapshot: a
+/// warning) — cache publication is never a run failure.
+util::Status write_file_atomic(const fs::path& path, const std::vector<std::byte>& bytes) {
+  constexpr int kAttempts = 3;
+  // Jitter decorrelates concurrent runs retrying the same entry; it only
+  // shapes sleep times, never output, so a wall-clock seed is fine.
+  util::Rng jitter(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  util::Status status = util::Status::ok_status();
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    status = write_file_atomic_once(path, bytes);
+    if (status.ok()) return status;
+    if (attempt == kAttempts) break;
+    obs::counter_add("cache.publish_retries");
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        (1u << (attempt - 1)) * 1000 + jitter.next_below(500)));
+  }
+  return status;
 }
 
 /// Shared entry framing: magic + version + body + FNV-1a64 checksum. The
@@ -214,7 +241,11 @@ Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
   std::vector<std::byte> encoded = jar::write_archive(loaded.archive);
   body.uvarint(encoded.size());
   for (std::byte b : encoded) body.u8(static_cast<std::uint8_t>(b));
-  (void)write_file_atomic(frag, frame_entry(kFragmentMagic, kFragmentVersion, body));
+  // Best effort: a failed fragment publish (read-only cache dir, injected
+  // fault) only costs the next run a re-decode.
+  if (!util::failpoint::poll("cache.fragment.publish")) {
+    (void)write_file_atomic(frag, frame_entry(kFragmentMagic, kFragmentVersion, body));
+  }
   return loaded;
 }
 
@@ -289,6 +320,9 @@ util::Status AnalysisCache::store_snapshot(std::uint64_t key, const cpg::CpgStat
   header.u64(util::fnv1a(header.data()));
   std::vector<std::byte> file = header.take();
   file.insert(file.end(), graph_bytes.begin(), graph_bytes.end());
+  if (util::failpoint::poll("cache.snapshot.publish")) {
+    return util::Error{"failpoint: injected snapshot publish failure"};
+  }
   return write_file_atomic(snapshot_path(key), file);
 }
 

@@ -1,9 +1,11 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 
 #include "corpus/components.hpp"
 #include "corpus/jdk.hpp"
@@ -16,6 +18,7 @@
 #include "jar/archive.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
+#include "util/deadline.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -25,17 +28,30 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Wall-clock budgets, parsed but not yet anchored: Deadlines are created at
+/// the point the budgeted work starts, so a slow flag-parse never eats into
+/// the budget.
+struct BudgetSpec {
+  std::optional<std::chrono::milliseconds> run;     // --deadline
+  std::optional<std::chrono::milliseconds> load;    // --phase-budget load=
+  std::optional<std::chrono::milliseconds> finder;  // --phase-budget finder=
+};
+
 struct Args {
   std::vector<std::string> positional;
   std::string store;
   std::string out_dir;
   std::string cache_dir;
   std::string trace_file;
+  std::string deadline;                     // --deadline DUR (raw text)
+  std::vector<std::string> phase_budgets;   // --phase-budget PHASE=DUR, repeatable
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
   bool verify = false;
   bool with_jdk = true;
   bool metrics = false;
+  bool strict = false;  // promote degradation to failure (FailurePolicy::kStrict)
+  BudgetSpec budgets;   // validated form of deadline/phase_budgets
   std::string error;
 };
 
@@ -48,6 +64,7 @@ struct Args {
 struct FlagSpec {
   enum class Kind {
     Text,    // --flag VALUE, stored verbatim
+    Multi,   // --flag VALUE, repeatable, appended verbatim
     Count,   // --flag N, checked base-10 parse, must be >= min
     Switch,  // --flag, stores `switch_value`
   };
@@ -58,6 +75,7 @@ struct FlagSpec {
   int min = 1;
   bool Args::* toggle = nullptr;
   bool switch_value = true;
+  std::vector<std::string> Args::* multi = nullptr;
 };
 
 constexpr FlagSpec kFlags[] = {
@@ -73,7 +91,42 @@ constexpr FlagSpec kFlags[] = {
      .toggle = &Args::with_jdk,
      .switch_value = false},
     {.name = "--metrics", .kind = FlagSpec::Kind::Switch, .toggle = &Args::metrics},
+    {.name = "--deadline", .kind = FlagSpec::Kind::Text, .text = &Args::deadline},
+    {.name = "--phase-budget", .kind = FlagSpec::Kind::Multi, .multi = &Args::phase_budgets},
+    {.name = "--strict", .kind = FlagSpec::Kind::Switch, .toggle = &Args::strict},
 };
+
+/// Validates --deadline / --phase-budget text into a BudgetSpec. Returns a
+/// usage-class error message on malformed input, empty string on success.
+std::string parse_budgets(Args& args) {
+  if (!args.deadline.empty()) {
+    auto ms = util::parse_duration_ms(args.deadline);
+    if (!ms.ok()) return "bad --deadline value: " + args.deadline + " (" + ms.error().message + ")";
+    args.budgets.run = std::chrono::milliseconds{ms.value()};
+  }
+  for (const std::string& budget : args.phase_budgets) {
+    std::size_t eq = budget.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return "bad --phase-budget value: " + budget + " (expected PHASE=DURATION)";
+    }
+    std::string phase = budget.substr(0, eq);
+    auto ms = util::parse_duration_ms(budget.substr(eq + 1));
+    if (!ms.ok()) return "bad --phase-budget value: " + budget + " (" + ms.error().message + ")";
+    if (phase == "load") {
+      args.budgets.load = std::chrono::milliseconds{ms.value()};
+    } else if (phase == "finder") {
+      args.budgets.finder = std::chrono::milliseconds{ms.value()};
+    } else {
+      return "unknown --phase-budget phase: " + phase + " (known phases: load, finder)";
+    }
+  }
+  return "";
+}
+
+/// Anchors an optional budget as a Deadline starting now.
+util::Deadline maybe_after(const std::optional<std::chrono::milliseconds>& budget) {
+  return budget.has_value() ? util::Deadline::after(*budget) : util::Deadline{};
+}
 
 Args parse_args(const std::vector<std::string>& raw) {
   Args args;
@@ -107,6 +160,10 @@ Args parse_args(const std::vector<std::string>& raw) {
       args.*(spec->text) = value;
       continue;
     }
+    if (spec->kind == FlagSpec::Kind::Multi) {
+      (args.*(spec->multi)).push_back(value);
+      continue;
+    }
     util::Result<int> parsed = util::parse_int(value);
     if (!parsed.ok() || parsed.value() < spec->min) {
       args.error = "bad " + a + " value: " + value;
@@ -114,6 +171,7 @@ Args parse_args(const std::vector<std::string>& raw) {
     }
     args.*(spec->count) = parsed.value();
   }
+  args.error = parse_budgets(args);
   return args;
 }
 
@@ -137,7 +195,22 @@ int usage(std::ostream& err) {
          "                chrome://tracing or https://ui.perfetto.dev; one track\n"
          "                per worker thread). Does not change any output.\n"
          "  --metrics     print per-phase span timings and the counter catalog\n"
-         "                on stderr after the command.\n";
+         "                on stderr after the command.\n"
+         "  --deadline D  whole-run wall-clock budget (e.g. 500ms, 30s, 5m).\n"
+         "                Cooperative: stages stop at the next unit boundary and\n"
+         "                the run reports what it skipped.\n"
+         "  --phase-budget PHASE=D\n"
+         "                per-phase budget on top of --deadline; phases: load\n"
+         "                (archive decode), finder (per-sink search). Repeatable.\n"
+         "  --strict      fail on the first malformed input or expired deadline\n"
+         "                instead of quarantining it (exit 1 instead of 3).\n"
+         "\n"
+         "exit codes:\n"
+         "  0  clean run\n"
+         "  1  fatal error (nothing usable produced)\n"
+         "  2  usage error\n"
+         "  3  completed with degradation: quarantined inputs, an expired\n"
+         "     deadline, or partial sink searches (details on stderr)\n";
   return 2;
 }
 
@@ -152,7 +225,11 @@ bool write_bytes(const std::vector<std::byte>& bytes, const fs::path& path, std:
   return true;
 }
 
-/// pipeline::Options for one analyze/find/query invocation.
+/// pipeline::Options for one analyze/find/query invocation. The CLI defaults
+/// to quarantine (a partial answer with a degradation report and exit 3
+/// beats no answer on a big real-world classpath); --strict restores the
+/// library default of failing on the first malformed unit. Deadlines are
+/// anchored here, i.e. when the budgeted work is about to start.
 pipeline::Options pipeline_options(const Args& args, util::Executor* executor, bool need_program,
                                    bool need_graph_bytes) {
   pipeline::Options options;
@@ -161,13 +238,25 @@ pipeline::Options pipeline_options(const Args& args, util::Executor* executor, b
   options.need_program = need_program;
   options.need_graph_bytes = need_graph_bytes;
   options.executor = executor;
+  options.policy =
+      args.strict ? pipeline::FailurePolicy::kStrict : pipeline::FailurePolicy::kQuarantine;
+  options.deadline = maybe_after(args.budgets.run);
+  options.load_deadline = maybe_after(args.budgets.load);
   return options;
 }
 
-/// Renders a pipeline outcome's preamble (warnings to err, cache line to out).
+/// Renders a pipeline outcome's preamble (warnings and degradation lines to
+/// err, cache line to out).
 void report_outcome(const pipeline::Outcome& outcome, std::ostream& out, std::ostream& err) {
   for (const std::string& warning : outcome.warnings) err << "warning: " << warning << "\n";
+  err << outcome.degradation.to_string();
   if (!outcome.cache_line.empty()) out << outcome.cache_line << "\n";
+}
+
+/// Exit code for a command whose pipeline half succeeded: 3 when anything
+/// was degraded, else 0.
+int degradation_exit(const pipeline::Outcome& outcome) {
+  return outcome.degradation.degraded() ? 3 : 0;
 }
 
 int cmd_list(std::ostream& out) {
@@ -247,7 +336,7 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     if (!write_bytes(outcome.graph_bytes, args.store, err)) return 1;
     out << "graph store written to " << args.store << "\n";
   }
-  return 0;
+  return degradation_exit(outcome);
 }
 
 int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
@@ -256,9 +345,9 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
-  auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()},
-                              pipeline_options(args, pool.get(), /*need_program=*/args.verify,
-                                               /*need_graph_bytes=*/false));
+  pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/args.verify,
+                                             /*need_graph_bytes=*/false);
+  auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()}, popts);
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
     return 1;
@@ -269,6 +358,10 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   finder::FinderOptions options;
   options.max_depth = args.depth;
   options.executor = pool.get();
+  // The finder races whatever is left of the whole-run budget (the very
+  // Deadline the pipeline ran under), tightened with its own phase budget
+  // anchored now, at finder start.
+  options.deadline = popts.deadline.tightened(maybe_after(args.budgets.finder));
   finder::GadgetChainFinder finder(outcome.db, options);
   finder::FinderReport report = finder.find_all();
 
@@ -287,7 +380,20 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.verify) {
     out << confirmed << "/" << report.chains.size() << " chains confirmed effective\n";
   }
-  return 0;
+  if (report.partial()) {
+    if (args.strict) {
+      err << "error: finder deadline exceeded (" << report.partial_sinks.size()
+          << " sink search(es) incomplete)\n";
+      return 1;
+    }
+    for (const finder::PartialSink& sink : report.partial_sinks) {
+      err << "degraded: [finder-deadline] " << sink.signature << ": search cut short after "
+          << sink.expansions << " expansion(s)\n";
+    }
+    outcome.degradation.partial_sinks = report.partial_sinks.size();
+    return 3;
+  }
+  return degradation_exit(outcome);
 }
 
 int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
@@ -297,6 +403,7 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
   }
   std::string query_text = args.positional.back();
   graph::GraphDb db;
+  int degraded = 0;
   if (!args.store.empty()) {
     auto loaded = graph::load(args.store);
     if (!loaded.ok()) {
@@ -318,6 +425,7 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
       return 1;
     }
     report_outcome(result.value(), out, err);
+    degraded = degradation_exit(result.value());
     db = std::move(result.value().db);
   }
   auto query_result = cypher::run_query(db, query_text);
@@ -327,7 +435,7 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
   }
   out << query_result.value().to_string(db) << "(" << query_result.value().rows.size()
       << " row(s))\n";
-  return 0;
+  return degraded;
 }
 
 int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
@@ -358,7 +466,16 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   // with and without --trace/--metrics.
   bool observing = parsed.metrics || !parsed.trace_file.empty();
   if (observing) obs::Tracer::instance().enable();
-  int code = dispatch(parsed, out, err);
+  // Last-resort fail-soft seam: a stray exception anywhere below (worker
+  // task faults included) becomes a structured fatal error, never a crash —
+  // the invariant the chaos tests sweep for.
+  int code;
+  try {
+    code = dispatch(parsed, out, err);
+  } catch (const std::exception& e) {
+    err << "error: unhandled exception: " << e.what() << "\n";
+    code = 1;
+  }
   if (observing) {
     obs::TraceReport report = obs::Tracer::instance().flush();
     obs::Tracer::instance().disable();

@@ -17,6 +17,21 @@
 // same stats, the same chains and a byte-identical --store file. A
 // "cache:" stats line reports snapshot/fragment hits and the snapshot key.
 //
+// Failure handling (docs/ROBUSTNESS.md): the CLI runs the pipeline under
+// FailurePolicy::kQuarantine — malformed archives/classes are dropped with a
+// "degraded:" report on stderr and analysis continues on what survives.
+// --strict restores fail-on-first-error. --deadline D bounds the whole run
+// and --phase-budget PHASE=D (load, finder) bounds one phase; both are
+// cooperative and flag skipped work as degradation.
+//
+// Exit-code taxonomy (scriptable; asserted by the CLI tests):
+//   0  clean run, complete answer
+//   1  fatal error: nothing usable produced (bad cache dir, every archive
+//      quarantined, query error, --store write failure, --strict violation)
+//   2  usage error (unknown flag/command, malformed --deadline/--phase-budget)
+//   3  completed with degradation: quarantined inputs, an expired deadline,
+//      or partial sink searches — results are valid for the surviving subset
+//
 // The entry point is a plain function so the test suite can drive it.
 #pragma once
 

@@ -106,18 +106,28 @@ FinderReport GadgetChainFinder::find_all() {
     obs::counter_add("finder.sinks_searched");
   });
 
-  for (SinkSearch& search : searches) {
+  for (std::size_t i = 0; i < searches.size(); ++i) {
+    SinkSearch& search = searches[i];
     for (GadgetChain& chain : search.chains) {
       if (seen.insert(chain.key()).second) report.chains.push_back(std::move(chain));
     }
     report.expansions += search.expansions;
     report.budget_exhausted = report.budget_exhausted || search.exhausted;
+    if (search.partial) {
+      report.partial_sinks.push_back(PartialSink{
+          sinks[i], db_->node(sinks[i]).prop_string(std::string(cpg::kPropSignature)),
+          search.expansions});
+    }
     last_expansions_ = search.expansions;
     last_exhausted_ = search.exhausted;
+    last_partial_ = search.partial;
   }
   report.search_seconds = watch.elapsed_seconds();
   obs::counter_add("finder.chains_found", report.chains.size());
   obs::counter_add("finder.expansions", report.expansions);
+  if (!report.partial_sinks.empty()) {
+    obs::counter_add("finder.sinks_partial", report.partial_sinks.size());
+  }
   return report;
 }
 
@@ -132,6 +142,7 @@ std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
   SinkSearch search = search_sink(sink, is_source);
   last_expansions_ = search.expansions;
   last_exhausted_ = search.exhausted;
+  last_partial_ = search.partial;
   return std::move(search.chains);
 }
 
@@ -204,6 +215,7 @@ GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink(
   graph::TraversalLimits limits;
   limits.max_results = options_.max_results_per_sink;
   limits.max_expansions = options_.max_expansions;
+  limits.deadline = options_.deadline;
 
   graph::Traverser<TcState> traverser(*db_, expand, evaluate, graph::Uniqueness::NodePath,
                                       limits);
@@ -212,6 +224,7 @@ GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink(
   SinkSearch search;
   search.expansions = traverser.expansions();
   search.exhausted = traverser.exhausted_budget();
+  search.partial = traverser.deadline_expired();
   search.chains.reserve(paths.size());
   for (const auto& result : paths) {
     GadgetChain chain;

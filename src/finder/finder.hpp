@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/traversal.hpp"
+#include "util/deadline.hpp"
 
 namespace tabby::util {
 class Executor;
@@ -62,6 +63,21 @@ struct FinderOptions {
   /// is bit-identical to the serial search. Each sink keeps its own
   /// max_expansions budget either way. Borrowed, not owned.
   util::Executor* executor = nullptr;
+  /// Finder-phase wall-clock budget (--deadline / --phase-budget finder=).
+  /// Cooperative: each sink shard polls it every few expansions and, once
+  /// expired, stops with whatever chains it has and reports itself partial;
+  /// sinks that finished before expiry stay complete. The default never
+  /// expires, and a deadline that never fires leaves the report
+  /// byte-identical to an unbounded run.
+  util::Deadline deadline;
+};
+
+/// A sink whose search was cut short by the deadline: the chains it did
+/// find are in the report, but more may exist.
+struct PartialSink {
+  graph::NodeId sink = graph::kNoNode;
+  std::string signature;
+  std::size_t expansions = 0;
 };
 
 struct FinderReport {
@@ -70,6 +86,10 @@ struct FinderReport {
   std::size_t expansions = 0;
   bool budget_exhausted = false;
   double search_seconds = 0.0;
+  /// Deadline-truncated sinks, ascending sink id; empty on a full search.
+  std::vector<PartialSink> partial_sinks;
+
+  bool partial() const { return !partial_sinks.empty(); }
 };
 
 class GadgetChainFinder {
@@ -92,6 +112,8 @@ class GadgetChainFinder {
   const FinderOptions& options() const { return options_; }
   std::size_t last_expansions() const { return last_expansions_; }
   bool last_exhausted() const { return last_exhausted_; }
+  /// True when the last find_from_sink() was cut short by the deadline.
+  bool last_partial() const { return last_partial_; }
 
  private:
   /// Result of one sink's traversal, self-contained so sinks can be searched
@@ -100,6 +122,7 @@ class GadgetChainFinder {
     std::vector<GadgetChain> chains;
     std::size_t expansions = 0;
     bool exhausted = false;
+    bool partial = false;  // deadline expired mid-search
   };
 
   SinkSearch search_sink(graph::NodeId sink,
@@ -109,6 +132,7 @@ class GadgetChainFinder {
   FinderOptions options_;
   std::size_t last_expansions_ = 0;
   bool last_exhausted_ = false;
+  bool last_partial_ = false;
 };
 
 }  // namespace tabby::finder

@@ -4,6 +4,7 @@
 
 #include "util/bytes.hpp"
 #include "util/digest.hpp"
+#include "util/failpoint.hpp"
 
 namespace tabby::graph {
 
@@ -179,6 +180,9 @@ std::vector<std::byte> serialize(const GraphDb& db) {
 }
 
 util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
+  if (util::failpoint::poll("graph.deserialize")) {
+    return Error{"failpoint: injected graph store decode failure", 0};
+  }
   if (data.size() < kHeaderSize + kChecksumSize) {
     return Error{"graph store truncated: " + std::to_string(data.size()) +
                      " byte(s), smaller than the fixed header",

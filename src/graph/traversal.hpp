@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/deadline.hpp"
 
 namespace tabby::graph {
 
@@ -78,6 +79,13 @@ struct TraversalResult {
 struct TraversalLimits {
   std::size_t max_results = SIZE_MAX;
   std::size_t max_expansions = SIZE_MAX;
+  /// Wall-clock bound, polled every `deadline_stride` expansions (the
+  /// default keeps the clock off the hot path while still stopping within
+  /// microseconds of expiry). An expired deadline ends the run like an
+  /// exhausted expansion budget, but is reported separately via
+  /// Traverser::deadline_expired() — results found so far are kept.
+  util::Deadline deadline;
+  std::size_t deadline_stride = 64;
 };
 
 template <typename State>
@@ -97,7 +105,14 @@ class Traverser {
   std::vector<TraversalResult<State>> run(NodeId start, State initial) {
     std::vector<TraversalResult<State>> results;
     exhausted_budget_ = false;
+    deadline_expired_ = false;
     expansions_ = 0;
+    // An already-expired deadline (e.g. a cancelled run) does no work at
+    // all: the start node is never evaluated, no results are produced.
+    if (!limits_.deadline.unlimited() && limits_.deadline.expired()) {
+      deadline_expired_ = true;
+      return results;
+    }
 
     struct Frame {
       Path path;
@@ -132,6 +147,11 @@ class Traverser {
         exhausted_budget_ = true;
         return results;
       }
+      if (!limits_.deadline.unlimited() && expansions_ % limits_.deadline_stride == 0 &&
+          limits_.deadline.expired()) {
+        deadline_expired_ = true;
+        return results;
+      }
 
       std::vector<Step<State>> steps = expand_(db_, frame.path, frame.state);
       // Push in reverse so the first step is explored first (stable DFS).
@@ -150,6 +170,10 @@ class Traverser {
   /// True when the last run() stopped early on max_expansions.
   bool exhausted_budget() const { return exhausted_budget_; }
 
+  /// True when the last run() stopped early on TraversalLimits::deadline;
+  /// the results returned up to that point are valid but incomplete.
+  bool deadline_expired() const { return deadline_expired_; }
+
   /// Expansion steps taken by the last run().
   std::size_t expansions() const { return expansions_; }
 
@@ -160,6 +184,7 @@ class Traverser {
   Uniqueness uniqueness_;
   TraversalLimits limits_;
   bool exhausted_budget_ = false;
+  bool deadline_expired_ = false;
   std::size_t expansions_ = 0;
 };
 

@@ -5,6 +5,8 @@
 
 #include "obs/obs.hpp"
 #include "util/bytes.hpp"
+#include "util/failpoint.hpp"
+#include "util/fs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tabby::jar {
@@ -319,9 +321,58 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(std::span<const std::byte> data) : in_(data) {}
+  explicit Reader(std::span<const std::byte> data) : in_(data), size_(data.size()) {}
 
   Result<Archive> read() {
+    Archive archive;
+    auto envelope = read_envelope(archive);
+    if (!envelope.ok()) return envelope.error();
+
+    auto class_count = in_.count("class");
+    if (!class_count.ok()) return class_count.error();
+    for (std::size_t i = 0; i < class_count.value(); ++i) {
+      auto cls = read_class();
+      if (!cls.ok()) return cls.error();
+      archive.classes.push_back(std::move(cls.value()));
+    }
+    if (!in_.at_end()) return Error{"trailing bytes after archive body", in_.position()};
+    return archive;
+  }
+
+  /// Fail-soft variant: any fault before the class records (header, string
+  /// pool) loses the archive; a fault inside class record i keeps classes
+  /// [0, i) and drops the rest — class records index the shared pool, so
+  /// there is no boundary to resynchronise at once the stream is off.
+  Archive read_salvage(DecodeDegradation& degradation) {
+    Archive archive;
+    auto fail = [&](const util::Error& error, std::size_t classes_declared) {
+      degradation.error = error;
+      degradation.classes_kept = archive.classes.size();
+      degradation.classes_dropped = classes_declared - archive.classes.size();
+      degradation.bytes_skipped = size_ - std::min(size_, in_.position());
+      return archive;
+    };
+
+    if (auto envelope = read_envelope(archive); !envelope.ok()) {
+      archive.classes.clear();
+      return fail(envelope.error(), 0);
+    }
+    auto class_count = in_.count("class");
+    if (!class_count.ok()) return fail(class_count.error(), 0);
+    for (std::size_t i = 0; i < class_count.value(); ++i) {
+      auto cls = read_class();
+      if (!cls.ok()) return fail(cls.error(), class_count.value());
+      archive.classes.push_back(std::move(cls.value()));
+    }
+    if (!in_.at_end()) return fail({"trailing bytes after archive body", in_.position()},
+                                   class_count.value());
+    degradation.classes_kept = archive.classes.size();
+    return archive;
+  }
+
+ private:
+  /// Header through string pool — everything before the class records.
+  util::Status read_envelope(Archive& archive) {
     auto magic = in_.u32();
     if (!magic.ok()) return magic.error();
     if (magic.value() != kTjarMagic) return Error{"bad TJAR magic", 0};
@@ -331,7 +382,6 @@ class Reader {
       return Error{"unsupported TJAR version " + std::to_string(version.value()), 4};
     }
 
-    Archive archive;
     auto name = in_.bytes();
     if (!name.ok()) return name.error();
     archive.meta.name = std::move(name.value());
@@ -347,16 +397,7 @@ class Reader {
       if (!s.ok()) return s.error();
       pool_.push_back(std::move(s.value()));
     }
-
-    auto class_count = in_.count("class");
-    if (!class_count.ok()) return class_count.error();
-    for (std::size_t i = 0; i < class_count.value(); ++i) {
-      auto cls = read_class();
-      if (!cls.ok()) return cls.error();
-      archive.classes.push_back(std::move(cls.value()));
-    }
-    if (!in_.at_end()) return Error{"trailing bytes after archive body", in_.position()};
-    return archive;
+    return util::Status::ok_status();
   }
 
  private:
@@ -620,6 +661,7 @@ class Reader {
   }
 
   util::ByteReader in_;
+  std::size_t size_ = 0;
   std::vector<std::string> pool_;
 };
 
@@ -628,7 +670,20 @@ class Reader {
 std::vector<std::byte> write_archive(const Archive& archive) { return Writer(archive).write(); }
 
 util::Result<Archive> read_archive(std::span<const std::byte> data) {
+  if (util::failpoint::poll("jar.decode")) {
+    return util::Error{"failpoint: injected archive decode failure", 0};
+  }
   return Reader(data).read();
+}
+
+Archive read_archive_salvage(std::span<const std::byte> data, DecodeDegradation& degradation) {
+  degradation = DecodeDegradation{};
+  if (util::failpoint::poll("jar.decode")) {
+    degradation.error = util::Error{"failpoint: injected archive decode failure", 0};
+    degradation.bytes_skipped = data.size();
+    return Archive{};
+  }
+  return Reader(data).read_salvage(degradation);
 }
 
 util::Status write_archive_file(const Archive& archive, const std::filesystem::path& path) {
@@ -642,14 +697,9 @@ util::Status write_archive_file(const Archive& archive, const std::filesystem::p
 }
 
 util::Result<Archive> read_archive_file(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Error{"cannot open for read: " + path.string()};
-  std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) return Error{"read failed: " + path.string()};
-  return read_archive(bytes);
+  auto bytes = util::read_file(path);
+  if (!bytes.ok()) return bytes.error();
+  return read_archive(bytes.value());
 }
 
 std::vector<util::Result<Archive>> read_archive_files(
@@ -664,6 +714,31 @@ std::vector<util::Result<Archive>> read_archive_files(
     if (span.active()) span.attr("path", paths[i].string());
     results[i] = read_archive_file(paths[i]);
     if (results[i].ok()) obs::counter_add("jar.archives_decoded");
+  });
+  return results;
+}
+
+std::vector<SalvagedFile> read_archive_files_salvage(
+    const std::vector<std::filesystem::path>& paths, util::Executor* executor,
+    const util::Deadline& deadline) {
+  std::vector<SalvagedFile> results(paths.size());
+  util::run_indexed(executor, paths.size(), [&](std::size_t i) {
+    obs::Span span("jar.decode");
+    if (span.active()) span.attr("path", paths[i].string());
+    // Cooperative cancellation: entries whose turn comes after expiry are
+    // skipped whole and say so, rather than racing the clock mid-decode.
+    if (!deadline.unlimited() && deadline.expired()) {
+      results[i].read_error = util::Error{"deadline exceeded before reading " + paths[i].string()};
+      results[i].deadline_skipped = true;
+      return;
+    }
+    auto bytes = util::read_file(paths[i]);
+    if (!bytes.ok()) {
+      results[i].read_error = bytes.error();
+      return;
+    }
+    results[i].archive = read_archive_salvage(bytes.value(), results[i].degradation);
+    if (results[i].clean()) obs::counter_add("jar.archives_decoded");
   });
   return results;
 }

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <filesystem>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "jir/model.hpp"
+#include "util/deadline.hpp"
 #include "util/result.hpp"
 
 namespace tabby::util {
@@ -51,6 +53,23 @@ std::vector<std::byte> write_archive(const Archive& archive);
 /// Parse an archive from untrusted bytes.
 util::Result<Archive> read_archive(std::span<const std::byte> data);
 
+/// What a fail-soft decode lost. `error` is unset when the decode was
+/// clean; when set, the archive in hand holds only the classes decoded
+/// before the first corrupt record (possibly none — header or string-pool
+/// corruption loses the whole archive, since every later record indexes
+/// the pool).
+struct DecodeDegradation {
+  std::optional<util::Error> error;
+  std::size_t classes_kept = 0;
+  std::size_t classes_dropped = 0;  // declared in the header but unrecovered
+  std::size_t bytes_skipped = 0;    // unread stream suffix after the fault
+};
+
+/// Fail-soft decode for quarantine mode: never fails, instead salvages the
+/// longest clean prefix of classes and reports what was dropped. A clean
+/// input decodes exactly like read_archive.
+Archive read_archive_salvage(std::span<const std::byte> data, DecodeDegradation& degradation);
+
 /// File convenience wrappers.
 util::Status write_archive_file(const Archive& archive, const std::filesystem::path& path);
 util::Result<Archive> read_archive_file(const std::filesystem::path& path);
@@ -61,6 +80,25 @@ util::Result<Archive> read_archive_file(const std::filesystem::path& path);
 /// stage and embarrassingly parallel).
 std::vector<util::Result<Archive>> read_archive_files(
     const std::vector<std::filesystem::path>& paths, util::Executor* executor = nullptr);
+
+/// One classpath entry after a fail-soft read+decode.
+struct SalvagedFile {
+  Archive archive;
+  DecodeDegradation degradation;          // decode-level loss, when any
+  std::optional<util::Error> read_error;  // unreadable / deadline-skipped: total loss
+  bool deadline_skipped = false;          // read_error came from the deadline, not IO
+
+  bool clean() const { return !read_error.has_value() && !degradation.error.has_value(); }
+};
+
+/// Fail-soft sibling of read_archive_files for quarantine mode: unreadable
+/// files and corrupt records degrade per-entry instead of failing the
+/// batch. Entries whose read had not started when `deadline` expired are
+/// skipped with a read_error naming the deadline (cooperative cancellation
+/// through the ThreadPool fan-out).
+std::vector<SalvagedFile> read_archive_files_salvage(
+    const std::vector<std::filesystem::path>& paths, util::Executor* executor = nullptr,
+    const util::Deadline& deadline = {});
 
 /// Links archives into one closed-world Program, classpath style: when two
 /// archives define the same class, the first archive on the path wins.

@@ -10,8 +10,18 @@
 // stream: callers decide how to render them. Everything here is observable
 // via src/obs — run() is wrapped in a "pipeline.run" span and each stage
 // records its own spans and counters (see docs/OBSERVABILITY.md).
+//
+// Failure handling is policy-driven (docs/ROBUSTNESS.md): under the strict
+// policy any malformed input fails the run; under quarantine, broken units
+// (archives, class records, cache entries) are recorded in a structured
+// DegradationReport and analysis continues with the surviving program —
+// the CPG builder and finder already tolerate the resulting holes via
+// phantom nodes. Wall-clock budgets (Options::deadline) and cancellation
+// (Options::cancel) are cooperative: stages poll at unit boundaries and
+// report what they skipped.
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,10 +30,50 @@
 #include "cpg/builder.hpp"
 #include "graph/graph.hpp"
 #include "jir/model.hpp"
+#include "util/deadline.hpp"
 #include "util/result.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tabby::pipeline {
+
+/// What a stage does when one input unit is broken.
+enum class FailurePolicy {
+  /// Fail the whole run on the first malformed unit (the library default:
+  /// embedding callers must opt into partial answers).
+  kStrict,
+  /// Record the unit in the DegradationReport, drop it, and continue with
+  /// the surviving program. The run only fails when nothing survives.
+  kQuarantine,
+};
+
+/// One quarantined unit: what broke, where, and how much input was lost.
+struct DegradedUnit {
+  std::string unit;   // archive path, "path [classes i..)", sink signature
+  std::string stage;  // "fs-read" | "archive-decode" | "class-decode" | "deadline" | ...
+  std::string error;  // the underlying structured error, rendered
+  std::size_t bytes_skipped = 0;
+
+  std::string to_string() const;
+};
+
+/// Everything a fail-soft run degraded on. Empty report = clean run. The
+/// CLI maps a non-empty report to exit code 3 (completed with degradation).
+struct DegradationReport {
+  std::vector<DegradedUnit> units;
+  /// The run observed an expired deadline and skipped remaining work.
+  bool deadline_hit = false;
+  /// Finder sinks cut short by the deadline (filled by callers that run
+  /// the finder phase; the facade itself stops at the CPG).
+  std::size_t partial_sinks = 0;
+
+  bool degraded() const { return !units.empty() || deadline_hit || partial_sinks > 0; }
+  void add(std::string unit, std::string stage, std::string error, std::size_t bytes_skipped = 0) {
+    units.push_back({std::move(unit), std::move(stage), std::move(error), bytes_skipped});
+  }
+  /// One "degraded: ..." line per unit plus a summary line; empty string
+  /// for a clean report.
+  std::string to_string() const;
+};
 
 /// What to run and how. The zero-argument default is the plain cold
 /// pipeline: simulated JDK + archives, no cache, serial.
@@ -46,6 +96,20 @@ struct Options {
   /// CPG construction knobs (sinks, sources, pruning, ablations). The
   /// executor field inside is overwritten with `executor` by run().
   cpg::CpgOptions cpg;
+  /// Per-unit failure handling; see FailurePolicy.
+  FailurePolicy policy = FailurePolicy::kStrict;
+  /// Whole-run wall-clock budget (unlimited by default). Cooperative:
+  /// checked per archive during loading and at stage boundaries; once
+  /// expired, remaining stages are skipped and the outcome is flagged
+  /// deadline_hit (quarantine) or the run fails (strict). A deadline that
+  /// never fires leaves every output byte-identical.
+  util::Deadline deadline;
+  /// Extra budget for the load phase only (--phase-budget load=...),
+  /// folded with `deadline` via Deadline::tightened.
+  util::Deadline load_deadline;
+  /// Optional cancellation flag, observed wherever the deadline is.
+  /// Borrowed, must outlive run().
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// The CPG for one pipeline invocation, however it was obtained (cold build
@@ -66,6 +130,9 @@ struct Outcome {
   /// Non-fatal degradations (e.g. a snapshot publish that failed on a
   /// read-only cache directory), one message each. The run still succeeded.
   std::vector<std::string> warnings;
+  /// What quarantine mode dropped or skipped; empty on a clean run. Always
+  /// empty under the strict policy (strict turns degradation into errors).
+  DegradationReport degradation;
 };
 
 /// The worker pool behind a --jobs-style count. Returns null for an
@@ -76,9 +143,17 @@ std::unique_ptr<util::ThreadPool> make_pool(int jobs);
 
 /// Reads .tjar files and links them into one closed-world program,
 /// optionally prefixing the simulated JDK. The error identifies the
-/// offending path.
+/// offending path. Under FailurePolicy::kQuarantine, malformed archives
+/// and corrupt class records are recorded into `degradation` (when given)
+/// and the surviving classes are linked instead; the call only fails when
+/// every user archive is lost. `deadline` bounds the load cooperatively:
+/// archives whose decode has not started at expiry are skipped (and
+/// recorded / failed per the policy).
 util::Result<jir::Program> load_program(const std::vector<std::string>& paths, bool with_jdk,
-                                        util::Executor* executor = nullptr);
+                                        util::Executor* executor = nullptr,
+                                        FailurePolicy policy = FailurePolicy::kStrict,
+                                        DegradationReport* degradation = nullptr,
+                                        const util::Deadline& deadline = {});
 
 /// The full cache-aware front end shared by analyze/find/query: digest the
 /// classpath, warm-start from a snapshot when one matches, otherwise load

@@ -1,0 +1,64 @@
+// Failpoints: named fault-injection sites compiled into the production
+// binaries (fail-rs style). Each site is a single `failpoint::poll("name")`
+// call on an error-handling seam — a file read, an archive decode, a cache
+// publish, a worker task body. When the harness is disarmed (the default)
+// poll() is one relaxed atomic load; nothing allocates, nothing locks, so
+// the sites stay in release builds.
+//
+// Arming:
+//   - environment: TABBY_FAILPOINTS=1 arms the harness at process start;
+//     TABBY_FAILPOINT_ACTIVATE="site_a;site_b*3" additionally activates
+//     sites (an optional `*N` suffix fires the site N times, then disarms
+//     it; without a suffix the site fires on every poll).
+//   - programmatic: arm() / activate(site, times) — what the chaos tests
+//     drive.
+//
+// A fired site makes its caller take the failure path it already has for
+// real faults (return an Error, miss the cache, throw from the task). The
+// catalog of compiled-in sites lives in failpoint.cpp and is documented in
+// docs/ROBUSTNESS.md; catalog() exposes it so the chaos sweep can iterate
+// every site without hard-coding names.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tabby::util::failpoint {
+
+namespace detail {
+/// The master gate. Inline so poll() compiles to a load + branch at every
+/// site; set from the environment (failpoint.cpp's initializer) or arm().
+extern std::atomic<bool> g_armed;
+/// Slow path: returns true when `site` is active and consumes one firing.
+bool should_fire(const char* site);
+}  // namespace detail
+
+/// Arms/disarms the harness. disarm() also clears every activation and
+/// firing count, so tests start from a clean slate.
+void arm();
+void disarm();
+bool armed();
+
+/// Activates a site: the next `times` polls of it fire (times < 0: every
+/// poll fires, until deactivate). Unknown names are accepted — the site
+/// simply never polls — so sweeps can be written against catalog().
+void activate(const std::string& site, int times = -1);
+void deactivate(const std::string& site);
+void deactivate_all();
+
+/// How many times `site` has fired since the last arm()/disarm().
+std::uint64_t fired(const std::string& site);
+
+/// Every failpoint site compiled into this binary, lexicographic.
+std::vector<std::string> catalog();
+
+/// The per-site check. True = the caller must fail now. `site` must be a
+/// static string naming an entry of the catalog.
+inline bool poll(const char* site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return false;
+  return detail::should_fire(site);
+}
+
+}  // namespace tabby::util::failpoint

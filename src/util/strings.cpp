@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 
 namespace tabby::util {
@@ -79,6 +80,29 @@ Result<int> parse_int(std::string_view text) {
     return Error{"not an integer: '" + std::string(text) + "'"};
   }
   return value;
+}
+
+Result<std::int64_t> parse_duration_ms(std::string_view text) {
+  struct Unit {
+    std::string_view suffix;
+    std::int64_t millis;
+  };
+  // Longest suffix first so "ms" is not read as "m".
+  constexpr Unit kUnits[] = {{"ms", 1}, {"s", 1000}, {"m", 60'000}, {"h", 3'600'000}};
+  for (const Unit& unit : kUnits) {
+    if (!ends_with(text, unit.suffix)) continue;
+    std::string_view digits = text.substr(0, text.size() - unit.suffix.size());
+    std::int64_t value = 0;
+    const char* first = digits.data();
+    const char* last = digits.data() + digits.size();
+    std::from_chars_result parsed = std::from_chars(first, last, value, 10);
+    if (parsed.ec != std::errc{} || parsed.ptr != last || digits.empty() || value < 0) break;
+    if (value > INT64_MAX / unit.millis) {
+      return Error{"duration out of range: '" + std::string(text) + "'"};
+    }
+    return value * unit.millis;
+  }
+  return Error{"not a duration (expected e.g. 250ms, 30s, 2m, 1h): '" + std::string(text) + "'"};
 }
 
 }  // namespace tabby::util

@@ -38,4 +38,10 @@ std::string format_double(double value, int decimals);
 /// folded to 0.
 Result<int> parse_int(std::string_view text);
 
+/// Duration parse for CLI budgets, returned in milliseconds. The token is a
+/// positive integer with a mandatory unit suffix: "250ms", "30s", "2m",
+/// "1h". Everything else ("30", "1.5s", "-5s", "30 s") is an error — a
+/// budget silently read in the wrong unit is worse than a rejected flag.
+Result<std::int64_t> parse_duration_ms(std::string_view text);
+
 }  // namespace tabby::util

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "util/failpoint.hpp"
 
 namespace tabby::util {
 
@@ -143,6 +145,11 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     std::size_t last = std::min(n, first + grain);
     submit([batch, first, last, &fn] {
       try {
+        // Chaos seam: a lost/crashed worker task surfaces exactly like a
+        // throwing fn — rethrown at the parallel_for caller, never swallowed.
+        if (failpoint::poll("pool.task")) {
+          throw std::runtime_error("failpoint: injected worker task failure");
+        }
         for (std::size_t i = first; i < last; ++i) fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(batch->mutex);

@@ -1,0 +1,193 @@
+// Chaos harness: sweeps every compiled-in failpoint site (util/failpoint),
+// injecting faults into cold and warm cache-backed CLI runs, and asserts the
+// fail-soft contract from docs/ROBUSTNESS.md:
+//   - the process never crashes: every run returns a structured exit code
+//     from the documented taxonomy (0 clean / 1 fatal / 3 degraded);
+//   - fatal runs name their error, degraded runs itemize their losses;
+//   - any chain reported under injection also exists in the clean report
+//     (faults can only remove answers, never invent them).
+// Also exercises the cache publish retry-with-backoff satellite through the
+// cache.publish.rename site.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "corpus/components.hpp"
+#include "jar/archive.hpp"
+#include "util/failpoint.hpp"
+
+namespace tabby {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli_capture(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CliRun result;
+  result.code = cli::run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+class ChaosFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::failpoint::disarm();
+    dir_ = fs::temp_directory_path() / ("tabby_chaos_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    jar_path_ = (dir_ / "component.tjar").string();
+    ASSERT_TRUE(
+        jar::write_archive_file(corpus::build_component("BeanShell1").jar, jar_path_).ok());
+    // A second archive so a single-shot fault on one unit leaves survivors
+    // (degradation, exit 3) instead of emptying the whole classpath (exit 1).
+    jar2_path_ = (dir_ / "component2.tjar").string();
+    ASSERT_TRUE(jar::write_archive_file(corpus::build_component("Rome").jar, jar2_path_).ok());
+  }
+  void TearDown() override {
+    util::failpoint::disarm();
+    fs::remove_all(dir_);
+  }
+
+  std::string fresh_cache(const std::string& tag) {
+    return (dir_ / ("cache_" + tag)).string();
+  }
+
+  fs::path dir_;
+  std::string jar_path_;
+  std::string jar2_path_;
+};
+
+/// The signature lines (one per chain node) of a find report, in order —
+/// the timing- and cache-line-insensitive projection of the output.
+std::string chain_lines(const std::string& out) {
+  std::istringstream lines(out);
+  std::string line, chains;
+  while (std::getline(lines, line)) {
+    if (line.find('#') == std::string::npos) continue;
+    chains += line;
+    chains += '\n';
+  }
+  return chains;
+}
+
+/// Every signature line of `run` must exist verbatim in the clean report.
+void expect_chains_subset(const CliRun& run, const CliRun& clean, const std::string& label) {
+  std::istringstream lines(run.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find('#') == std::string::npos) continue;
+    EXPECT_NE(clean.out.find(line), std::string::npos) << label << ": invented chain line " << line;
+  }
+}
+
+TEST_F(ChaosFixture, SweepEverySiteNeverCrashesAndStaysStructured) {
+  CliRun clean = run_cli_capture({"find", jar_path_, jar2_path_});
+  ASSERT_EQ(clean.code, 0) << clean.err;
+  ASSERT_NE(clean.out.find("gadget chain"), std::string::npos);
+
+  std::set<std::string> sites_that_fired;
+  int tag = 0;
+  for (const std::string& site : util::failpoint::catalog()) {
+    // times=1: one transient fault, the run should usually recover around
+    // it. times=-1: the fault is permanent for the whole run.
+    for (int times : {1, -1}) {
+      util::failpoint::disarm();
+      util::failpoint::arm();
+      util::failpoint::activate(site, times);
+      std::string cache = fresh_cache(std::to_string(tag++));
+      std::string label = site + (times < 0 ? " (always)" : " (once)");
+
+      // Cold then warm, both under injection and with 2 workers so the
+      // pool.task site is on the path.
+      CliRun cold =
+          run_cli_capture({"find", jar_path_, jar2_path_, "--cache", cache, "--jobs", "2"});
+      CliRun warm =
+          run_cli_capture({"find", jar_path_, jar2_path_, "--cache", cache, "--jobs", "2"});
+      if (util::failpoint::fired(site) > 0) sites_that_fired.insert(site);
+      util::failpoint::disarm();
+
+      for (const CliRun* run : {&cold, &warm}) {
+        EXPECT_TRUE(run->code == 0 || run->code == 1 || run->code == 3)
+            << label << ": unstructured exit " << run->code << "\n" << run->err;
+        if (run->code == 1) {
+          EXPECT_NE(run->err.find("error:"), std::string::npos) << label << "\n" << run->err;
+        }
+        if (run->code == 3) {
+          EXPECT_NE(run->err.find("degraded:"), std::string::npos) << label << "\n" << run->err;
+        }
+        expect_chains_subset(*run, clean, label);
+      }
+
+      // Whatever the injection did to the cache, a clean run afterwards
+      // must produce the clean answer again (corrupt or missing cache
+      // entries self-heal as misses).
+      CliRun recovered =
+          run_cli_capture({"find", jar_path_, jar2_path_, "--cache", cache, "--jobs", "2"});
+      EXPECT_EQ(recovered.code, 0) << label << ": no recovery\n" << recovered.err;
+      EXPECT_EQ(chain_lines(recovered.out), chain_lines(clean.out)) << label;
+    }
+  }
+  // The sweep must have actually exercised the harness: most sites sit on
+  // this workload's path (cache publish, fs reads, archive decode, worker
+  // tasks, snapshot/graph decode).
+  EXPECT_GE(sites_that_fired.size(), 5u) << "sweep barely fired any site";
+}
+
+TEST_F(ChaosFixture, TransientPublishFaultsAreRetriedToSuccess) {
+  util::failpoint::arm();
+  // Two failed rename attempts out of the three the retry loop allows: the
+  // publish must still land, and the cache must warm-start next run.
+  util::failpoint::activate("cache.publish.rename", 2);
+  std::string cache = fresh_cache("retry");
+  CliRun cold = run_cli_capture({"analyze", jar_path_, "--cache", cache});
+  EXPECT_EQ(util::failpoint::fired("cache.publish.rename"), 2u);
+  util::failpoint::disarm();
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_EQ(cold.err.find("warning:"), std::string::npos) << cold.err;
+
+  CliRun warm = run_cli_capture({"analyze", jar_path_, "--cache", cache});
+  EXPECT_EQ(warm.code, 0);
+  EXPECT_NE(warm.out.find("snapshot hit"), std::string::npos) << warm.out;
+}
+
+TEST_F(ChaosFixture, ExhaustedPublishRetriesDegradeToAWarning) {
+  util::failpoint::arm();
+  util::failpoint::activate("cache.publish.rename");  // every attempt fails
+  std::string cache = fresh_cache("exhausted");
+  CliRun cold = run_cli_capture({"analyze", jar_path_, "--cache", cache});
+  util::failpoint::disarm();
+  // Publishing is best-effort: the analysis itself is clean.
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("warning:"), std::string::npos) << cold.err;
+
+  // Nothing was published, so the next (clean) run is a cold miss that
+  // rebuilds and publishes normally.
+  CliRun rebuilt = run_cli_capture({"analyze", jar_path_, "--cache", cache});
+  EXPECT_EQ(rebuilt.code, 0);
+  EXPECT_NE(rebuilt.out.find("snapshot miss"), std::string::npos) << rebuilt.out;
+}
+
+TEST_F(ChaosFixture, WorkerTaskFaultIsAStructuredFatalNotACrash) {
+  util::failpoint::arm();
+  util::failpoint::activate("pool.task");
+  CliRun r = run_cli_capture({"find", jar_path_, "--jobs", "2"});
+  util::failpoint::disarm();
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("failpoint"), std::string::npos) << r.err;
+}
+
+}  // namespace
+}  // namespace tabby

@@ -3,6 +3,8 @@
 // (EnumMap), depth limits, and the Figure 6 exclusion example.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "cpg/builder.hpp"
 #include "cpg/schema.hpp"
 #include "finder/finder.hpp"
@@ -230,6 +232,46 @@ TEST(Figure6, ExpanderAndEvaluatorExclusions) {
   FinderOptions forward_only;
   GadgetChainFinder strict(db, forward_only);
   EXPECT_TRUE(strict.find_all().chains.empty());
+}
+
+TEST(Finder, ExpiredDeadlineMarksEverySinkPartial) {
+  jir::Program p = testing::urldns_program();
+  cpg::Cpg cpg = cpg::build_cpg(p);
+  FinderOptions options;
+  options.deadline = util::Deadline::after(std::chrono::milliseconds{0});
+  GadgetChainFinder finder(cpg.db, options);
+  FinderReport report = finder.find_all();
+  EXPECT_TRUE(report.partial());
+  EXPECT_EQ(report.partial_sinks.size(), report.sinks_considered);
+  EXPECT_TRUE(report.chains.empty());  // nothing expanded, nothing invented
+  for (const PartialSink& sink : report.partial_sinks) {
+    EXPECT_FALSE(sink.signature.empty());
+  }
+}
+
+TEST(Finder, GenerousDeadlineLeavesTheReportIdentical) {
+  jir::Program p = testing::urldns_program();
+  cpg::Cpg cpg = cpg::build_cpg(p);
+  FinderOptions bounded;
+  bounded.deadline = util::Deadline::after(std::chrono::hours{1});
+  FinderReport with = GadgetChainFinder(cpg.db, bounded).find_all();
+  FinderReport without = GadgetChainFinder(cpg.db).find_all();
+  EXPECT_FALSE(with.partial());
+  ASSERT_EQ(with.chains.size(), without.chains.size());
+  for (std::size_t i = 0; i < with.chains.size(); ++i) {
+    EXPECT_EQ(with.chains[i].signatures, without.chains[i].signatures);
+  }
+}
+
+TEST(Finder, CancelTokenCutsTheSearchShort) {
+  jir::Program p = testing::urldns_program();
+  cpg::Cpg cpg = cpg::build_cpg(p);
+  util::CancelToken token;
+  token.cancel();
+  FinderOptions options;
+  options.deadline.bind(&token);
+  FinderReport report = GadgetChainFinder(cpg.db, options).find_all();
+  EXPECT_TRUE(report.partial());
 }
 
 }  // namespace

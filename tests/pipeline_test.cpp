@@ -3,8 +3,11 @@
 // library-level contract the CLI and the examples are thin callers of.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "corpus/components.hpp"
 #include "graph/serialize.hpp"
@@ -151,6 +154,114 @@ TEST_F(PipelineFixture, ParallelRunMatchesSerialByteForByte) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a.value().graph_bytes, b.value().graph_bytes);
+}
+
+TEST(Pipeline, DegradationReportRendersOneLinePerUnit) {
+  DegradationReport report;
+  EXPECT_FALSE(report.degraded());
+  EXPECT_EQ(report.to_string(), "");
+  report.add("a.tjar", "fs-read", "cannot open", 0);
+  report.add("b.tjar", "archive-decode", "bad magic", 12);
+  report.deadline_hit = true;
+  report.partial_sinks = 2;
+  EXPECT_TRUE(report.degraded());
+  std::string text = report.to_string();
+  EXPECT_NE(text.find("degraded: [fs-read] a.tjar: cannot open"), std::string::npos);
+  EXPECT_NE(text.find("degraded: [archive-decode] b.tjar: bad magic (12 byte(s) skipped)"),
+            std::string::npos);
+  EXPECT_NE(text.find("deadline exceeded"), std::string::npos);
+  EXPECT_NE(text.find("2 sink search(es)"), std::string::npos);
+}
+
+TEST_F(PipelineFixture, QuarantineSalvagesWhatStrictRejects) {
+  // A truncated sibling of the clean archive on the same classpath.
+  std::vector<std::byte> bytes = jar::write_archive(corpus::build_component("BeanShell1").jar);
+  bytes.resize(bytes.size() / 2);
+  std::string bad = path("truncated.tjar");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Options strict;
+  EXPECT_FALSE(run({jar_path_, bad}, strict).ok());  // library default: fail fast
+
+  Options quarantine;
+  quarantine.policy = FailurePolicy::kQuarantine;
+  auto result = run({jar_path_, bad}, quarantine);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().degradation.degraded());
+  ASSERT_EQ(result.value().degradation.units.size(), 1u);
+  EXPECT_NE(result.value().degradation.units[0].unit.find("truncated.tjar"), std::string::npos);
+  EXPECT_GT(result.value().stats.class_nodes, 0u);  // the clean archive survived
+}
+
+TEST_F(PipelineFixture, ExpiredDeadlineDegradesQuarantineAndFailsStrict) {
+  Options quarantine;
+  quarantine.policy = FailurePolicy::kQuarantine;
+  quarantine.deadline = util::Deadline::after(std::chrono::milliseconds{0});
+  auto degraded = run({jar_path_}, quarantine);
+  ASSERT_TRUE(degraded.ok()) << degraded.error().to_string();
+  EXPECT_TRUE(degraded.value().degradation.deadline_hit);
+  EXPECT_TRUE(degraded.value().degradation.degraded());
+
+  Options strict;
+  strict.deadline = util::Deadline::after(std::chrono::milliseconds{0});
+  EXPECT_FALSE(run({jar_path_}, strict).ok());
+}
+
+TEST_F(PipelineFixture, CancelTokenReadsAsAnExpiredDeadline) {
+  util::CancelToken token;
+  token.cancel();
+  Options options;
+  options.policy = FailurePolicy::kQuarantine;
+  options.cancel = &token;
+  auto result = run({jar_path_}, options);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().degradation.deadline_hit);
+}
+
+TEST_F(PipelineFixture, GenerousDeadlineLeavesOutputByteIdentical) {
+  Options plain;
+  plain.need_graph_bytes = true;
+  Options bounded = plain;
+  bounded.policy = FailurePolicy::kQuarantine;
+  bounded.deadline = util::Deadline::after(std::chrono::hours{1});
+  auto a = run({jar_path_}, plain);
+  auto b = run({jar_path_}, bounded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b.value().degradation.degraded());
+  EXPECT_EQ(a.value().graph_bytes, b.value().graph_bytes);
+}
+
+TEST_F(PipelineFixture, DegradedRunsNeverPublishSnapshots) {
+  std::vector<std::byte> bytes = jar::write_archive(corpus::build_component("BeanShell1").jar);
+  bytes.resize(bytes.size() * 3 / 4);
+  std::string bad = path("truncated2.tjar");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  Options options;
+  options.policy = FailurePolicy::kQuarantine;
+  options.cache_dir = path("cache_degraded");
+
+  auto first = run({jar_path_, bad}, options);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_TRUE(first.value().degradation.degraded());
+  EXPECT_FALSE(first.value().warm);
+
+  // The degraded CPG was not published: the identical second run is another
+  // cold build (which re-observes and re-reports the same degradation), so
+  // a later repaired classpath can never warm-start from the holes.
+  auto second = run({jar_path_, bad}, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().warm);
+  EXPECT_TRUE(second.value().degradation.degraded());
+  EXPECT_EQ(first.value().stats.class_nodes, second.value().stats.class_nodes);
 }
 
 }  // namespace
