@@ -1,5 +1,7 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <fstream>
 #include <thread>
@@ -265,6 +267,9 @@ std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key) {
 
   auto bytes = read_file_bytes(snapshot_path(key));
   if (!bytes.ok()) return std::nullopt;
+  // Account the snapshot file buffer for as long as this function pins it;
+  // on success ownership (and the byte liability) passes to the caller.
+  util::ScopedCharge buffer_charge(memory_, bytes.value().size());
 
   // Snapshot layout differs from the shared frame: the checksum covers only
   // the header (magic .. blob length), because the graph blob that follows
@@ -320,10 +325,171 @@ util::Status AnalysisCache::store_snapshot(std::uint64_t key, const cpg::CpgStat
   header.u64(util::fnv1a(header.data()));
   std::vector<std::byte> file = header.take();
   file.insert(file.end(), graph_bytes.begin(), graph_bytes.end());
+  util::ScopedCharge buffer_charge(memory_, file.size());
   if (util::failpoint::poll("cache.snapshot.publish")) {
     return util::Error{"failpoint: injected snapshot publish failure"};
   }
   return write_file_atomic(snapshot_path(key), file);
+}
+
+// --- Offline audit ---------------------------------------------------------
+
+namespace {
+
+/// Reverse of util::digest_hex: exactly 16 lowercase hex digits.
+std::optional<std::uint64_t> parse_digest_hex(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  for (char c : text) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+/// Full fragment validation: the hot path's checks (frame checksum, source
+/// digest, fingerprint table, archive decode) plus the digest-vs-filename
+/// binding only an offline walk can assert. Returns a reason, or "" = intact.
+std::string validate_fragment(std::span<const std::byte> data, std::uint64_t expected_digest) {
+  auto body = open_entry(data, kFragmentMagic, kFragmentVersion);
+  if (!body) return "bad frame (magic, version or checksum mismatch)";
+  ByteReader in(*body);
+  auto source_digest = in.u64();
+  if (!source_digest.ok()) return "truncated body";
+  if (source_digest.value() != expected_digest) return "source digest does not match file name";
+  auto n_classes = in.count("fragment class fingerprint");
+  if (!n_classes.ok()) return "bad fingerprint table";
+  for (std::size_t i = 0; i < n_classes.value(); ++i) {
+    if (!in.uvarint().ok()) return "bad fingerprint table";
+  }
+  auto len = in.count("fragment archive blob");
+  if (!len.ok() || len.value() != in.remaining()) return "bad archive blob length";
+  auto archive = jar::read_archive(body->subspan(in.position(), len.value()));
+  if (!archive.ok()) return "archive blob does not decode: " + archive.error().message;
+  return {};
+}
+
+/// Full snapshot validation mirroring load_snapshot, including deserializing
+/// the embedded graph store (its own checksum is what catches blob flips).
+std::string validate_snapshot(std::span<const std::byte> data, std::uint64_t expected_key) {
+  ByteReader in(data);
+  auto magic = in.u32();
+  auto version = in.u16();
+  if (!magic.ok() || !version.ok() || magic.value() != kSnapshotMagic ||
+      version.value() != kSnapshotVersion) {
+    return "bad header (magic or version mismatch)";
+  }
+  auto stored_key = in.u64();
+  if (!stored_key.ok()) return "truncated header";
+  if (stored_key.value() != expected_key) return "snapshot key does not match file name";
+  if (!read_stats(in)) return "bad stats block";
+  auto len = in.count("snapshot graph blob");
+  if (!len.ok()) return "bad graph blob length";
+  std::uint64_t header_sum = util::fnv1a(data.first(in.position()));
+  auto stored_sum = in.u64();
+  if (!stored_sum.ok() || stored_sum.value() != header_sum) return "header checksum mismatch";
+  if (len.value() != in.remaining()) return "graph blob length mismatch";
+  auto db = graph::deserialize(data.subspan(in.position()));
+  if (!db.ok()) return "graph store does not deserialize: " + db.error().message;
+  return {};
+}
+
+}  // namespace
+
+std::string CacheAuditReport::to_string() const {
+  std::string out = "cache audit: " + std::to_string(fragments_checked) + " fragment(s), " +
+                    std::to_string(snapshots_checked) + " snapshot(s), " +
+                    std::to_string(corrupt) + " corrupt, " + std::to_string(orphaned) +
+                    " orphaned, " + std::to_string(reclaimable_bytes) + " byte(s) reclaimable";
+  for (const CacheAuditEntry& entry : entries) {
+    if (entry.state == CacheAuditEntry::State::Intact) continue;
+    const char* state = entry.state == CacheAuditEntry::State::Corrupt ? "corrupt" : "orphaned";
+    std::string name =
+        (entry.path.parent_path().filename() / entry.path.filename()).generic_string();
+    out += "\n  " + std::string(state) + ": " + name + " (" + std::to_string(entry.bytes) +
+           " bytes): " + entry.detail;
+    if (entry.pruned) out += " [pruned]";
+  }
+  if (reclaimed_bytes > 0) {
+    out += "\n  reclaimed " + std::to_string(reclaimed_bytes) + " byte(s)";
+  }
+  out += "\n";
+  return out;
+}
+
+util::Result<CacheAuditReport> audit_cache(const fs::path& dir, bool prune) {
+  obs::Span span("cache.audit");
+  std::error_code ec;
+  fs::path fragments_dir = dir / "fragments";
+  fs::path snapshots_dir = dir / "snapshots";
+  if (!fs::is_directory(fragments_dir, ec) && !fs::is_directory(snapshots_dir, ec)) {
+    return Error{"not a cache directory (no fragments/ or snapshots/): " + dir.string()};
+  }
+
+  CacheAuditReport report;
+  // Scan one sub-directory in sorted name order (directory iteration order
+  // is filesystem-dependent; the report must not be).
+  auto scan = [&](const fs::path& sub, CacheAuditEntry::Kind kind, std::string_view extension,
+                  auto&& validate) {
+    if (!fs::is_directory(sub, ec)) return;
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& e : fs::directory_iterator(sub, ec)) {
+      if (e.is_regular_file(ec)) files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      CacheAuditEntry entry;
+      entry.path = file;
+      entry.bytes = fs::file_size(file, ec);
+      if (ec) entry.bytes = 0;
+
+      std::optional<std::uint64_t> id;
+      if (file.extension() == extension) id = parse_digest_hex(file.stem().string());
+      if (!id) {
+        entry.kind = CacheAuditEntry::Kind::Orphan;
+        entry.state = CacheAuditEntry::State::Orphaned;
+        entry.detail = file.extension() == ".tmp" ? "leftover temp file from interrupted publish"
+                                                  : "file name is not a cache entry";
+      } else {
+        entry.kind = kind;
+        auto bytes = read_file_bytes(file);
+        std::string why = bytes.ok() ? validate(std::span<const std::byte>(bytes.value()), *id)
+                                     : "unreadable: " + bytes.error().message;
+        if (why.empty()) {
+          entry.state = CacheAuditEntry::State::Intact;
+        } else {
+          entry.state = CacheAuditEntry::State::Corrupt;
+          entry.detail = std::move(why);
+        }
+        if (kind == CacheAuditEntry::Kind::Fragment) {
+          ++report.fragments_checked;
+        } else {
+          ++report.snapshots_checked;
+        }
+      }
+
+      if (entry.state != CacheAuditEntry::State::Intact) {
+        if (entry.state == CacheAuditEntry::State::Corrupt) ++report.corrupt;
+        if (entry.state == CacheAuditEntry::State::Orphaned) ++report.orphaned;
+        report.reclaimable_bytes += entry.bytes;
+        if (prune) {
+          std::error_code rm;
+          if (fs::remove(file, rm) && !rm) {
+            entry.pruned = true;
+            report.reclaimed_bytes += entry.bytes;
+            obs::counter_add("cache.entries_pruned");
+          }
+        }
+      }
+      report.entries.push_back(std::move(entry));
+    }
+  };
+
+  scan(fragments_dir, CacheAuditEntry::Kind::Fragment, ".tfrag", validate_fragment);
+  scan(snapshots_dir, CacheAuditEntry::Kind::Snapshot, ".tsnp", validate_snapshot);
+  obs::counter_add("cache.entries_audited", report.entries.size());
+  return report;
 }
 
 }  // namespace tabby::cache

@@ -40,6 +40,7 @@
 #include "cpg/builder.hpp"
 #include "graph/graph.hpp"
 #include "jar/archive.hpp"
+#include "util/memory_budget.hpp"
 #include "util/result.hpp"
 
 namespace tabby::cache {
@@ -108,6 +109,11 @@ class AnalysisCache {
   CacheStats& stats() { return stats_; }
   const std::filesystem::path& dir() const { return dir_; }
 
+  /// Optional byte ledger for the transient snapshot file buffers (the
+  /// multi-megabyte read/assemble spans in load_snapshot/store_snapshot).
+  /// Telemetry only; never consulted for decisions. Borrowed, may be null.
+  void set_memory(util::MemoryBudget* memory) { memory_ = memory; }
+
  private:
   explicit AnalysisCache(std::filesystem::path dir) : dir_(std::move(dir)) {}
 
@@ -116,6 +122,52 @@ class AnalysisCache {
 
   std::filesystem::path dir_;
   CacheStats stats_;
+  util::MemoryBudget* memory_ = nullptr;
 };
+
+// --- Offline audit (the `tabby cache` subcommand) --------------------------
+//
+// Lazy self-healing only repairs entries a run happens to touch; a cache
+// directory accumulates corrupt and orphaned files it never reads again.
+// audit_cache() walks the whole directory eagerly, re-validating every entry
+// with the exact discipline the hot path applies (frame checksum + interior
+// structure for fragments; header checksum + embedded graph store
+// deserialization for snapshots) and flagging what the hot path would treat
+// as a miss — plus files the cache would never consult at all (orphans:
+// stray names, leftover .tmp files from interrupted publishes).
+
+/// One file examined by audit_cache(), in deterministic (sorted) walk order.
+struct CacheAuditEntry {
+  enum class Kind : std::uint8_t { Fragment, Snapshot, Orphan };
+  enum class State : std::uint8_t { Intact, Corrupt, Orphaned };
+
+  std::filesystem::path path;
+  Kind kind = Kind::Orphan;
+  State state = State::Orphaned;
+  std::uintmax_t bytes = 0;
+  bool pruned = false;        // removed by this audit (prune mode only)
+  std::string detail;         // human-readable reason for non-intact states
+};
+
+struct CacheAuditReport {
+  std::vector<CacheAuditEntry> entries;
+  std::size_t fragments_checked = 0;
+  std::size_t snapshots_checked = 0;
+  std::size_t corrupt = 0;
+  std::size_t orphaned = 0;
+  /// Bytes held by corrupt + orphaned entries (what prune mode reclaims).
+  std::uintmax_t reclaimable_bytes = 0;
+  /// Bytes actually deleted (0 unless prune mode).
+  std::uintmax_t reclaimed_bytes = 0;
+
+  bool clean() const { return corrupt == 0 && orphaned == 0; }
+  /// Multi-line summary, the `tabby cache` output.
+  std::string to_string() const;
+};
+
+/// Validates every entry under cache directory `dir`; with `prune`, deletes
+/// the corrupt and orphaned ones (intact entries are never touched). Fails
+/// only when `dir` is not a cache directory at all.
+util::Result<CacheAuditReport> audit_cache(const std::filesystem::path& dir, bool prune);
 
 }  // namespace tabby::cache

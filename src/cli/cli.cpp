@@ -7,9 +7,11 @@
 #include <memory>
 #include <optional>
 
+#include "cache/cache.hpp"
 #include "corpus/components.hpp"
 #include "corpus/jdk.hpp"
 #include "corpus/scenes.hpp"
+#include "corpus/stress.hpp"
 #include "cpg/builder.hpp"
 #include "cypher/cypher.hpp"
 #include "finder/finder.hpp"
@@ -19,6 +21,7 @@
 #include "obs/obs.hpp"
 #include "pipeline/pipeline.hpp"
 #include "util/deadline.hpp"
+#include "util/memory_budget.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,6 +38,8 @@ struct BudgetSpec {
   std::optional<std::chrono::milliseconds> run;     // --deadline
   std::optional<std::chrono::milliseconds> load;    // --phase-budget load=
   std::optional<std::chrono::milliseconds> finder;  // --phase-budget finder=
+  std::optional<std::uint64_t> mem;                 // --mem-budget (bytes)
+  std::optional<std::uint64_t> finder_mem;          // --phase-budget finder-mem=
 };
 
 struct Args {
@@ -44,6 +49,7 @@ struct Args {
   std::string cache_dir;
   std::string trace_file;
   std::string deadline;                     // --deadline DUR (raw text)
+  std::string mem_budget;                   // --mem-budget SIZE (raw text)
   std::vector<std::string> phase_budgets;   // --phase-budget PHASE=DUR, repeatable
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
@@ -51,6 +57,7 @@ struct Args {
   bool with_jdk = true;
   bool metrics = false;
   bool strict = false;  // promote degradation to failure (FailurePolicy::kStrict)
+  bool prune = false;   // `cache` subcommand: remove what the audit flags
   BudgetSpec budgets;   // validated form of deadline/phase_budgets
   std::string error;
 };
@@ -92,8 +99,10 @@ constexpr FlagSpec kFlags[] = {
      .switch_value = false},
     {.name = "--metrics", .kind = FlagSpec::Kind::Switch, .toggle = &Args::metrics},
     {.name = "--deadline", .kind = FlagSpec::Kind::Text, .text = &Args::deadline},
+    {.name = "--mem-budget", .kind = FlagSpec::Kind::Text, .text = &Args::mem_budget},
     {.name = "--phase-budget", .kind = FlagSpec::Kind::Multi, .multi = &Args::phase_budgets},
     {.name = "--strict", .kind = FlagSpec::Kind::Switch, .toggle = &Args::strict},
+    {.name = "--prune", .kind = FlagSpec::Kind::Switch, .toggle = &Args::prune},
 };
 
 /// Validates --deadline / --phase-budget text into a BudgetSpec. Returns a
@@ -104,20 +113,37 @@ std::string parse_budgets(Args& args) {
     if (!ms.ok()) return "bad --deadline value: " + args.deadline + " (" + ms.error().message + ")";
     args.budgets.run = std::chrono::milliseconds{ms.value()};
   }
+  if (!args.mem_budget.empty()) {
+    auto bytes = util::parse_size_bytes(args.mem_budget);
+    if (!bytes.ok()) {
+      return "bad --mem-budget value: " + args.mem_budget + " (" + bytes.error().message + ")";
+    }
+    if (bytes.value() == 0) return "bad --mem-budget value: 0 (budget must be positive)";
+    args.budgets.mem = bytes.value();
+  }
   for (const std::string& budget : args.phase_budgets) {
     std::size_t eq = budget.find('=');
     if (eq == std::string::npos || eq == 0) {
-      return "bad --phase-budget value: " + budget + " (expected PHASE=DURATION)";
+      return "bad --phase-budget value: " + budget + " (expected PHASE=VALUE)";
     }
     std::string phase = budget.substr(0, eq);
-    auto ms = util::parse_duration_ms(budget.substr(eq + 1));
+    std::string value = budget.substr(eq + 1);
+    // finder-mem is a byte size, every other phase is a wall-clock duration.
+    if (phase == "finder-mem") {
+      auto bytes = util::parse_size_bytes(value);
+      if (!bytes.ok()) return "bad --phase-budget value: " + budget + " (" + bytes.error().message + ")";
+      if (bytes.value() == 0) return "bad --phase-budget value: " + budget + " (budget must be positive)";
+      args.budgets.finder_mem = bytes.value();
+      continue;
+    }
+    auto ms = util::parse_duration_ms(value);
     if (!ms.ok()) return "bad --phase-budget value: " + budget + " (" + ms.error().message + ")";
     if (phase == "load") {
       args.budgets.load = std::chrono::milliseconds{ms.value()};
     } else if (phase == "finder") {
       args.budgets.finder = std::chrono::milliseconds{ms.value()};
     } else {
-      return "unknown --phase-budget phase: " + phase + " (known phases: load, finder)";
+      return "unknown --phase-budget phase: " + phase + " (known phases: load, finder, finder-mem)";
     }
   }
   return "";
@@ -126,6 +152,13 @@ std::string parse_budgets(Args& args) {
 /// Anchors an optional budget as a Deadline starting now.
 util::Deadline maybe_after(const std::optional<std::chrono::milliseconds>& budget) {
   return budget.has_value() ? util::Deadline::after(*budget) : util::Deadline{};
+}
+
+/// Process-wide memory ledger for one command, or nullptr when --mem-budget
+/// is unset (the governed paths take their zero-cost branch).
+std::unique_ptr<util::MemoryBudget> make_budget(const Args& args) {
+  if (!args.budgets.mem.has_value()) return nullptr;
+  return std::make_unique<util::MemoryBudget>(static_cast<std::size_t>(*args.budgets.mem));
 }
 
 Args parse_args(const std::vector<std::string>& raw) {
@@ -183,6 +216,7 @@ int usage(std::ostream& err) {
          "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\"\n"
+         "  tabby cache DIR [--prune]\n"
          "\n"
          "  --jobs N      worker threads for the parallel stages (default: all\n"
          "                hardware threads; 1 = serial). Output is identical at\n"
@@ -199,18 +233,28 @@ int usage(std::ostream& err) {
          "  --deadline D  whole-run wall-clock budget (e.g. 500ms, 30s, 5m).\n"
          "                Cooperative: stages stop at the next unit boundary and\n"
          "                the run reports what it skipped.\n"
-         "  --phase-budget PHASE=D\n"
-         "                per-phase budget on top of --deadline; phases: load\n"
-         "                (archive decode), finder (per-sink search). Repeatable.\n"
-         "  --strict      fail on the first malformed input or expired deadline\n"
+         "  --mem-budget SIZE\n"
+         "                byte budget for the run (e.g. 64m, 2g). The finder\n"
+         "                prunes its lowest-priority frontier branches instead of\n"
+         "                growing past the budget; affected sinks are reported\n"
+         "                partial (exit 3), chains found so far are kept.\n"
+         "  --phase-budget PHASE=V\n"
+         "                per-phase budget on top of --deadline/--mem-budget;\n"
+         "                phases: load (archive decode, duration), finder\n"
+         "                (per-sink search, duration), finder-mem (frontier byte\n"
+         "                pool, size). Repeatable.\n"
+         "  --strict      fail on the first malformed input or exceeded budget\n"
          "                instead of quarantining it (exit 1 instead of 3).\n"
+         "  --prune       `tabby cache` only: delete the corrupt and orphaned\n"
+         "                entries the audit finds (they rebuild on the next run).\n"
          "\n"
          "exit codes:\n"
          "  0  clean run\n"
          "  1  fatal error (nothing usable produced)\n"
          "  2  usage error\n"
          "  3  completed with degradation: quarantined inputs, an expired\n"
-         "     deadline, or partial sink searches (details on stderr)\n";
+         "     deadline, memory-pressure pruning, or partial sink searches\n"
+         "     (details on stderr)\n";
   return 2;
 }
 
@@ -231,7 +275,8 @@ bool write_bytes(const std::vector<std::byte>& bytes, const fs::path& path, std:
 /// library default of failing on the first malformed unit. Deadlines are
 /// anchored here, i.e. when the budgeted work is about to start.
 pipeline::Options pipeline_options(const Args& args, util::Executor* executor, bool need_program,
-                                   bool need_graph_bytes) {
+                                   bool need_graph_bytes,
+                                   util::MemoryBudget* memory = nullptr) {
   pipeline::Options options;
   options.with_jdk = args.with_jdk;
   options.cache_dir = args.cache_dir;
@@ -242,6 +287,7 @@ pipeline::Options pipeline_options(const Args& args, util::Executor* executor, b
       args.strict ? pipeline::FailurePolicy::kStrict : pipeline::FailurePolicy::kQuarantine;
   options.deadline = maybe_after(args.budgets.run);
   options.load_deadline = maybe_after(args.budgets.load);
+  options.memory = memory;
   return options;
 }
 
@@ -264,6 +310,8 @@ int cmd_list(std::ostream& out) {
   for (const std::string& name : corpus::component_names()) out << "  " << name << "\n";
   out << "scenes (Table X):\n";
   for (const std::string& name : corpus::scene_names()) out << "  " << name << "\n";
+  out << "stress fixtures:\n"
+         "  fanout-stress\n";
   return 0;
 }
 
@@ -285,6 +333,9 @@ int cmd_gen(const Args& args, std::ostream& out, std::ostream& err) {
     archives.push_back(std::move(component.jar));
   } else if (std::find(scenes.begin(), scenes.end(), name) != scenes.end()) {
     archives = corpus::build_scene(name).jars;
+  } else if (name == "fanout-stress") {
+    archives.push_back(corpus::jdk_base_archive());
+    archives.push_back(corpus::fanout_stress_archive());
   } else {
     err << "error: unknown component or scene: " << name << "\n";
     return 1;
@@ -313,9 +364,11 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+  std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
   auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()},
                               pipeline_options(args, pool.get(), /*need_program=*/false,
-                                               /*need_graph_bytes=*/!args.store.empty()));
+                                               /*need_graph_bytes=*/!args.store.empty(),
+                                               budget.get()));
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
     return 1;
@@ -345,8 +398,9 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+  std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
   pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/args.verify,
-                                             /*need_graph_bytes=*/false);
+                                             /*need_graph_bytes=*/false, budget.get());
   auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()}, popts);
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
@@ -362,6 +416,12 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   // Deadline the pipeline ran under), tightened with its own phase budget
   // anchored now, at finder start.
   options.deadline = popts.deadline.tightened(maybe_after(args.budgets.finder));
+  // finder-mem= carves a dedicated frontier pool; otherwise the whole
+  // --mem-budget doubles as the pool. Shard caps come from the pool size
+  // alone, so the chain set is identical at any --jobs count.
+  options.frontier_byte_pool = static_cast<std::size_t>(
+      args.budgets.finder_mem.value_or(args.budgets.mem.value_or(0)));
+  options.memory = budget.get();
   finder::GadgetChainFinder finder(outcome.db, options);
   finder::FinderReport report = finder.find_all();
 
@@ -382,18 +442,44 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (report.partial()) {
     if (args.strict) {
-      err << "error: finder deadline exceeded (" << report.partial_sinks.size()
+      err << "error: finder budget exceeded (" << report.partial_sinks.size()
           << " sink search(es) incomplete)\n";
       return 1;
     }
     for (const finder::PartialSink& sink : report.partial_sinks) {
-      err << "degraded: [finder-deadline] " << sink.signature << ": search cut short after "
-          << sink.expansions << " expansion(s)\n";
+      if (sink.reason == finder::PartialReason::MemoryPressure) {
+        err << "degraded: [finder-memory] " << sink.signature
+            << ": frontier pruned under memory pressure after " << sink.expansions
+            << " expansion(s); chains found so far are kept\n";
+      } else {
+        err << "degraded: [finder-deadline] " << sink.signature << ": search cut short after "
+            << sink.expansions << " expansion(s)\n";
+      }
     }
     outcome.degradation.partial_sinks = report.partial_sinks.size();
+    outcome.degradation.frontier_pruned = report.frontier_pruned;
     return 3;
   }
   return degradation_exit(outcome);
+}
+
+int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
+  std::string dir = args.cache_dir;
+  if (dir.empty() && args.positional.size() == 2) dir = args.positional[1];
+  if (dir.empty() || args.positional.size() > 2) {
+    err << "usage: tabby cache DIR [--prune]   (or: tabby cache --cache DIR [--prune])\n";
+    return 2;
+  }
+  auto report = cache::audit_cache(dir, args.prune);
+  if (!report.ok()) {
+    err << "error: " << report.error().to_string() << "\n";
+    return 1;
+  }
+  out << report.value().to_string();
+  // Clean store, or a dirty one that --prune just healed: exit 0. Findings
+  // left on disk: exit 3, the same "usable but degraded" contract as a run.
+  if (report.value().clean()) return 0;
+  return args.prune ? 0 : 3;
 }
 
 int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
@@ -417,9 +503,10 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
       return 2;
     }
     std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+    std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
     auto result = pipeline::run({args.positional.begin() + 1, args.positional.end() - 1},
                                 pipeline_options(args, pool.get(), /*need_program=*/false,
-                                                 /*need_graph_bytes=*/false));
+                                                 /*need_graph_bytes=*/false, budget.get()));
     if (!result.ok()) {
       err << "error: " << result.error().to_string() << "\n";
       return 1;
@@ -446,6 +533,7 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
   if (command == "gen") return cmd_gen(args, out, err);
   if (command == "analyze") return cmd_analyze(args, out, err);
   if (command == "find") return cmd_find(args, out, err);
+  if (command == "cache") return cmd_cache(args, out, err);
   if (command == "query") return cmd_query(args, out, err);
   err << "error: unknown command: " << command << "\n";
   return usage(err);

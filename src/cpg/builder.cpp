@@ -1,5 +1,6 @@
 #include "cpg/builder.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -35,8 +36,15 @@ class Builder {
       build_pcg();
     }
     if (options_.build_alias_edges) {
-      TABBY_SPAN("cpg.mag");
-      build_mag();
+      // A deadline that fired during the PCG also skips the MAG: the build is
+      // already degraded, and alias BFS over a big hierarchy is not free.
+      // Indexes are still created — the finder requires them.
+      if (!options_.deadline.unlimited() && options_.deadline.expired()) {
+        deadline_hit_ = true;
+      } else {
+        TABBY_SPAN("cpg.mag");
+        build_mag();
+      }
     }
     if (options_.create_indexes) {
       TABBY_SPAN("cpg.index");
@@ -47,6 +55,8 @@ class Builder {
     collect_stats();
     stats_.build_seconds = watch.elapsed_seconds();
     result.stats = stats_;
+    result.deadline_hit = deadline_hit_;
+    result.methods_skipped = methods_skipped_;
     result.db = std::move(db_);
     // Mirror the CpgStats the caller sees into the counter catalog, so a
     // trace is self-describing and tests can cross-check the two.
@@ -174,56 +184,91 @@ class Builder {
     std::size_t pruned = 0;
   };
 
+  /// Approximate heap bytes a method payload pins between the payload and
+  /// instantiation halves of a batch (the transient store --mem-budget
+  /// accounts for the build phase).
+  static std::size_t payload_bytes(const MethodPayload& payload) {
+    std::size_t bytes = payload.calls.capacity() * sizeof(CallPayload);
+    for (const CallPayload& call : payload.calls) {
+      bytes += call.pp.capacity() * sizeof(std::int64_t);
+    }
+    return bytes;
+  }
+
   void build_pcg() {
     analysis::ControllabilityAnalysis analysis(program_, hierarchy_, options_.analysis);
     util::Executor* executor = options_.executor;
     bool parallel = executor != nullptr && executor->concurrency() > 1;
     if (parallel) analysis.precompute(executor);
 
-    // Payload phase: per-method, side-effect free. In parallel mode every
-    // summary is already cached (pure reads); serially summary() computes on
-    // demand in all_methods() order, the historical compute order.
     std::vector<jir::MethodId> methods = program_.all_methods();
-    std::vector<MethodPayload> payloads(methods.size());
-    util::run_indexed(parallel ? executor : nullptr, methods.size(), [&](std::size_t i) {
-      jir::MethodId id = methods[i];
-      if (!program_.method(id).has_body()) return;
-      const analysis::MethodSummary& summary =
-          parallel ? analysis.cached_summary(id) : analysis.summary(id);
-      MethodPayload& payload = payloads[i];
-      payload.action = Value{summary.action.to_strings()};
-      for (const analysis::CallSite& site : summary.call_sites) {
-        if (options_.prune_uncontrollable_calls && analysis::all_uncontrollable(site.pp)) {
-          ++payload.pruned;
-          continue;
-        }
-        add_call_payload(payload.calls, site);
+
+    // The PCG is built in fixed-size batches: a parallel, side-effect-free
+    // payload pass over the batch followed by serial graph mutation in
+    // all_methods() order. Batches run in method order too, so the built
+    // graph is byte-identical to the historical single-pass build at any
+    // worker count; the batch seams are where the deadline is polled (the
+    // documented overshoot bound is one batch, not one whole classpath) and
+    // where the transient payload bytes are charged/released. The size is a
+    // compile-time constant: determinism requires the seams to never move.
+    constexpr std::size_t kPayloadBatch = 2048;
+    for (std::size_t base = 0; base < methods.size(); base += kPayloadBatch) {
+      if (!options_.deadline.unlimited() && options_.deadline.expired()) {
+        deadline_hit_ = true;
+        methods_skipped_ += methods.size() - base;
+        break;
       }
-    });
+      std::size_t count = std::min(kPayloadBatch, methods.size() - base);
 
-    obs::counter_add("analysis.methods_analyzed", analysis.analyzed_count());
+      // Payload phase: per-method, side-effect free. In parallel mode every
+      // summary is already cached (pure reads); serially summary() computes
+      // on demand in all_methods() order, the historical compute order.
+      std::vector<MethodPayload> payloads(count);
+      util::run_indexed(parallel ? executor : nullptr, count, [&](std::size_t i) {
+        jir::MethodId id = methods[base + i];
+        if (!program_.method(id).has_body()) return;
+        const analysis::MethodSummary& summary =
+            parallel ? analysis.cached_summary(id) : analysis.summary(id);
+        MethodPayload& payload = payloads[i];
+        payload.action = Value{summary.action.to_strings()};
+        for (const analysis::CallSite& site : summary.call_sites) {
+          if (options_.prune_uncontrollable_calls && analysis::all_uncontrollable(site.pp)) {
+            ++payload.pruned;
+            continue;
+          }
+          add_call_payload(payload.calls, site);
+        }
+      });
 
-    // Instantiation phase: serial graph mutation, same order as ever.
-    for (std::size_t i = 0; i < methods.size(); ++i) {
-      jir::MethodId id = methods[i];
-      if (!program_.method(id).has_body()) continue;
-      MethodPayload& payload = payloads[i];
-      stats_.pruned_call_sites += payload.pruned;
+      std::size_t batch_bytes = 0;
+      for (const MethodPayload& payload : payloads) batch_bytes += payload_bytes(payload);
+      util::ScopedCharge charge(options_.memory, batch_bytes);
 
-      NodeId from = method_nodes_.at(id);
-      db_.set_node_prop(from, std::string(kPropAction), std::move(payload.action));
+      // Instantiation phase: serial graph mutation, same order as ever.
+      for (std::size_t i = 0; i < count; ++i) {
+        jir::MethodId id = methods[base + i];
+        if (!program_.method(id).has_body()) continue;
+        MethodPayload& payload = payloads[i];
+        stats_.pruned_call_sites += payload.pruned;
 
-      for (CallPayload& call : payload.calls) {
-        NodeId to = call.resolved ? method_node_for(*call.resolved)
-                                  : phantom_method_node(call.declared.owner, call.declared.name,
-                                                        call.declared.nargs);
-        PropertyMap props;
-        props[std::string(kPropPollutedPosition)] = std::move(call.pp);
-        props[std::string(kPropStmtIndex)] = static_cast<std::int64_t>(call.stmt_index);
-        props[std::string(kPropInvokeKind)] = std::string(jir::to_string(call.kind));
-        db_.add_edge(from, to, std::string(kCallEdge), std::move(props));
+        NodeId from = method_nodes_.at(id);
+        db_.set_node_prop(from, std::string(kPropAction), std::move(payload.action));
+
+        for (CallPayload& call : payload.calls) {
+          NodeId to = call.resolved ? method_node_for(*call.resolved)
+                                    : phantom_method_node(call.declared.owner, call.declared.name,
+                                                          call.declared.nargs);
+          PropertyMap props;
+          props[std::string(kPropPollutedPosition)] = std::move(call.pp);
+          props[std::string(kPropStmtIndex)] = static_cast<std::int64_t>(call.stmt_index);
+          props[std::string(kPropInvokeKind)] = std::string(jir::to_string(call.kind));
+          db_.add_edge(from, to, std::string(kCallEdge), std::move(props));
+        }
       }
     }
+
+    obs::counter_add("analysis.methods_analyzed", analysis.analyzed_count());
+    if (methods_skipped_ > 0) obs::counter_add("cpg.methods_skipped", methods_skipped_);
   }
 
   static void add_call_payload(std::vector<CallPayload>& calls, const analysis::CallSite& site) {
@@ -331,6 +376,8 @@ class Builder {
   const CpgOptions& options_;
   graph::GraphDb db_;
   CpgStats stats_;
+  bool deadline_hit_ = false;
+  std::size_t methods_skipped_ = 0;
 
   std::unordered_map<std::string, NodeId> class_nodes_;
   std::unordered_map<jir::MethodId, NodeId, jir::MethodIdHash> method_nodes_;

@@ -13,6 +13,8 @@
 #include "graph/graph.hpp"
 #include "jir/hierarchy.hpp"
 #include "jir/model.hpp"
+#include "util/deadline.hpp"
+#include "util/memory_budget.hpp"
 
 namespace tabby::util {
 class Executor;
@@ -45,6 +47,17 @@ struct CpgOptions {
   /// owned; must outlive build_cpg().
   util::Executor* executor = nullptr;
 
+  /// Build-phase wall-clock budget, polled between payload batches (PCG) and
+  /// at phase boundaries. Once expired the builder stops summarising further
+  /// methods and returns a structurally valid but incomplete CPG with
+  /// Cpg::deadline_hit set — callers must treat such a build as degraded and
+  /// never cache it. The default never expires. Not part of
+  /// options_fingerprint(): it bounds the build, it does not select a graph.
+  util::Deadline deadline;
+  /// Optional byte ledger the transient payload batches charge against
+  /// (telemetry; the batch size itself is fixed for determinism). Borrowed.
+  util::MemoryBudget* memory = nullptr;
+
   analysis::AnalysisOptions analysis;
   SinkRegistry sinks = SinkRegistry::defaults();
   SourceRegistry sources = SourceRegistry::defaults();
@@ -65,6 +78,11 @@ struct CpgStats {
 struct Cpg {
   graph::GraphDb db;
   CpgStats stats;
+  /// Degradation markers, deliberately outside CpgStats (which is serialized
+  /// into cache snapshots — a degraded build is never published, so these
+  /// never need to round-trip).
+  bool deadline_hit = false;       // CpgOptions::deadline expired mid-build
+  std::size_t methods_skipped = 0; // methods left unsummarised by the cut
 };
 
 /// Builds the full CPG for a linked program.

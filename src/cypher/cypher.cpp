@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 
+#include "util/failpoint.hpp"
 #include "util/strings.hpp"
 
 namespace tabby::cypher {
@@ -643,6 +644,11 @@ std::string QueryResult::to_string(const GraphDb& db) const {
 }
 
 util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query_text) {
+  // Fault seam for the chaos harness: evaluation faults surface as the
+  // structured error a malformed plan would produce, never as a crash.
+  if (util::failpoint::poll("cypher.eval")) {
+    return util::Error{"failpoint: injected query evaluation failure"};
+  }
   auto tokens = Lexer(query_text).lex();
   if (!tokens.ok()) return tokens.error();
   auto query = Parser(std::move(tokens.value())).parse();

@@ -49,6 +49,14 @@ const std::vector<std::int64_t>* edge_pp(const Edge& e) {
 
 }  // namespace
 
+const char* to_string(PartialReason reason) {
+  switch (reason) {
+    case PartialReason::Deadline: return "Deadline";
+    case PartialReason::MemoryPressure: return "MemoryPressure";
+  }
+  return "Unknown";
+}
+
 std::string GadgetChain::to_string() const {
   std::string out;
   for (std::size_t i = 0; i < signatures.size(); ++i) {
@@ -96,11 +104,14 @@ FinderReport GadgetChainFinder::find_all() {
   auto is_source = [](const graph::Node& n) {
     return n.prop_bool(std::string(cpg::kPropIsSource));
   };
+  // Each shard's byte slice is a pure function of the pool and the sink
+  // count, so prune decisions are identical at any worker count.
+  const std::size_t cap = shard_cap(sinks.size());
   std::vector<SinkSearch> searches(sinks.size());
   util::run_indexed(options_.executor, sinks.size(), [&](std::size_t i) {
     obs::Span sink_span("finder.sink");
     sink_span.attr("sink", static_cast<std::uint64_t>(sinks[i]));
-    searches[i] = search_sink(sinks[i], is_source);
+    searches[i] = search_sink(sinks[i], is_source, cap);
     sink_span.attr("chains", static_cast<std::uint64_t>(searches[i].chains.size()));
     sink_span.attr("expansions", static_cast<std::uint64_t>(searches[i].expansions));
     obs::counter_add("finder.sinks_searched");
@@ -113,20 +124,35 @@ FinderReport GadgetChainFinder::find_all() {
     }
     report.expansions += search.expansions;
     report.budget_exhausted = report.budget_exhausted || search.exhausted;
-    if (search.partial) {
+    report.frontier_bytes_charged += search.bytes_charged;
+    report.frontier_pruned += search.frontier_pruned;
+    report.spilled_paths += search.spilled;
+    report.peak_frontier_bytes = std::max(report.peak_frontier_bytes, search.peak_bytes);
+    if (search.partial()) {
       report.partial_sinks.push_back(PartialSink{
           sinks[i], db_->node(sinks[i]).prop_string(std::string(cpg::kPropSignature)),
-          search.expansions});
+          search.expansions, search.reason()});
     }
     last_expansions_ = search.expansions;
     last_exhausted_ = search.exhausted;
-    last_partial_ = search.partial;
+    last_partial_ = search.partial();
   }
   report.search_seconds = watch.elapsed_seconds();
   obs::counter_add("finder.chains_found", report.chains.size());
   obs::counter_add("finder.expansions", report.expansions);
   if (!report.partial_sinks.empty()) {
     obs::counter_add("finder.sinks_partial", report.partial_sinks.size());
+  }
+  // Memory-governance counters only exist on governed runs, so an unset
+  // --mem-budget leaves the counter dump byte-identical to older builds.
+  if (options_.frontier_byte_pool != 0) {
+    obs::counter_add("finder.bytes_charged", report.frontier_bytes_charged);
+    if (report.frontier_pruned > 0) {
+      obs::counter_add("finder.frontier_pruned", report.frontier_pruned);
+    }
+    if (report.spilled_paths > 0) {
+      obs::counter_add("finder.spilled_paths", report.spilled_paths);
+    }
   }
   return report;
 }
@@ -139,15 +165,26 @@ std::vector<GadgetChain> GadgetChainFinder::find_from_sink(graph::NodeId sink) {
 
 std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
     graph::NodeId sink, const std::function<bool(const graph::Node&)>& is_source) {
-  SinkSearch search = search_sink(sink, is_source);
+  // A single-sink search owns the whole pool.
+  SinkSearch search = search_sink(sink, is_source, shard_cap(1));
   last_expansions_ = search.expansions;
   last_exhausted_ = search.exhausted;
-  last_partial_ = search.partial;
+  last_partial_ = search.partial();
   return std::move(search.chains);
 }
 
+std::size_t GadgetChainFinder::shard_cap(std::size_t sink_count) const {
+  if (options_.frontier_byte_pool == 0) return SIZE_MAX;
+  // Floor each slice at one page so a huge sink catalogue cannot round every
+  // shard down to "prune everything"; the pool is a soft aggregate bound.
+  constexpr std::size_t kMinShardBytes = 4096;
+  std::size_t slice = options_.frontier_byte_pool / std::max<std::size_t>(sink_count, 1);
+  return std::max(slice, kMinShardBytes);
+}
+
 GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink(
-    graph::NodeId sink, const std::function<bool(const graph::Node&)>& is_source) const {
+    graph::NodeId sink, const std::function<bool(const graph::Node&)>& is_source,
+    std::size_t frontier_cap) const {
   const graph::Node& sink_node = db_->node(sink);
   std::string sink_type = sink_node.prop_string(std::string(cpg::kPropSinkType));
 
@@ -216,26 +253,37 @@ GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink(
   limits.max_results = options_.max_results_per_sink;
   limits.max_expansions = options_.max_expansions;
   limits.deadline = options_.deadline;
+  limits.max_frontier_bytes = frontier_cap;
+  limits.memory = options_.memory;
 
-  graph::Traverser<TcState> traverser(*db_, expand, evaluate, graph::Uniqueness::NodePath,
-                                      limits);
-  std::vector<graph::TraversalResult<TcState>> paths = traverser.run(sink, std::move(initial));
+  graph::Traverser<TcState> traverser(
+      *db_, expand, evaluate, graph::Uniqueness::NodePath, limits,
+      [](const TcState& tc) { return tc.positions.capacity() * sizeof(std::int64_t); });
 
   SinkSearch search;
+  const bool governed = frontier_cap != SIZE_MAX;
+  // Stream results out of the traversal: each accepted path is converted to
+  // a compact GadgetChain on the spot ("spilled"), so completed paths never
+  // count against the frontier byte cap.
+  traverser.run(sink, std::move(initial),
+                [&](graph::TraversalResult<TcState> result) {
+                  GadgetChain chain;
+                  chain.sink_type = sink_type;
+                  // Paths run sink -> source; chains are reported source-first.
+                  chain.nodes.assign(result.path.nodes.rbegin(), result.path.nodes.rend());
+                  for (NodeId n : chain.nodes) {
+                    chain.signatures.push_back(
+                        db_->node(n).prop_string(std::string(cpg::kPropSignature)));
+                  }
+                  search.chains.push_back(std::move(chain));
+                  if (governed) ++search.spilled;
+                });
   search.expansions = traverser.expansions();
   search.exhausted = traverser.exhausted_budget();
-  search.partial = traverser.deadline_expired();
-  search.chains.reserve(paths.size());
-  for (const auto& result : paths) {
-    GadgetChain chain;
-    chain.sink_type = sink_type;
-    // Paths run sink -> source; chains are reported source-first.
-    chain.nodes.assign(result.path.nodes.rbegin(), result.path.nodes.rend());
-    for (NodeId n : chain.nodes) {
-      chain.signatures.push_back(db_->node(n).prop_string(std::string(cpg::kPropSignature)));
-    }
-    search.chains.push_back(std::move(chain));
-  }
+  search.deadline_expired = traverser.deadline_expired();
+  search.frontier_pruned = traverser.frontier_pruned();
+  search.bytes_charged = traverser.frontier_bytes_charged();
+  search.peak_bytes = traverser.peak_frontier_bytes();
   return search;
 }
 

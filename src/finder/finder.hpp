@@ -14,6 +14,7 @@
 #include "graph/graph.hpp"
 #include "graph/traversal.hpp"
 #include "util/deadline.hpp"
+#include "util/memory_budget.hpp"
 
 namespace tabby::util {
 class Executor;
@@ -70,14 +71,35 @@ struct FinderOptions {
   /// expires, and a deadline that never fires leaves the report
   /// byte-identical to an unbounded run.
   util::Deadline deadline;
+  /// Finder-phase byte pool for traversal frontiers (--mem-budget /
+  /// --phase-budget finder-mem=). 0 = ungoverned. The pool is split
+  /// *deterministically* across sink shards (pool / sinks, floored at a
+  /// small minimum), and each shard polices only its own single-threaded
+  /// slice — never a shared live counter — so the chain set is bit-identical
+  /// at any --jobs count. A shard over its slice prunes shallowest frontier
+  /// branches first and reports the sink partial with a MemoryPressure
+  /// reason; chains already found are always kept.
+  std::size_t frontier_byte_pool = 0;
+  /// Optional process-wide ledger the per-shard charges mirror into
+  /// (telemetry / stage checkpoints only). Borrowed, may be null.
+  util::MemoryBudget* memory = nullptr;
 };
 
-/// A sink whose search was cut short by the deadline: the chains it did
-/// find are in the report, but more may exist.
+/// Why a sink's search stopped before exhausting the graph.
+enum class PartialReason : std::uint8_t {
+  Deadline,        // wall-clock budget expired mid-search
+  MemoryPressure,  // frontier byte cap forced branch pruning
+};
+
+const char* to_string(PartialReason reason);
+
+/// A sink whose search was cut short (deadline or memory pressure): the
+/// chains it did find are in the report, but more may exist.
 struct PartialSink {
   graph::NodeId sink = graph::kNoNode;
   std::string signature;
   std::size_t expansions = 0;
+  PartialReason reason = PartialReason::Deadline;
 };
 
 struct FinderReport {
@@ -86,8 +108,19 @@ struct FinderReport {
   std::size_t expansions = 0;
   bool budget_exhausted = false;
   double search_seconds = 0.0;
-  /// Deadline-truncated sinks, ascending sink id; empty on a full search.
+  /// Truncated sinks, ascending sink id; empty on a full search.
   std::vector<PartialSink> partial_sinks;
+  /// Cumulative frontier bytes charged across all sink shards (sum of
+  /// per-shard monotone totals — deterministic at any --jobs count).
+  std::size_t frontier_bytes_charged = 0;
+  /// Frontier branches pruned to stay under the byte pool; > 0 implies at
+  /// least one MemoryPressure partial sink.
+  std::size_t frontier_pruned = 0;
+  /// Chains streamed out of governed traversals instead of accumulating in
+  /// the frontier store (0 when ungoverned).
+  std::size_t spilled_paths = 0;
+  /// Largest single-shard frontier high-water mark, in bytes.
+  std::size_t peak_frontier_bytes = 0;
 
   bool partial() const { return !partial_sinks.empty(); }
 };
@@ -112,7 +145,7 @@ class GadgetChainFinder {
   const FinderOptions& options() const { return options_; }
   std::size_t last_expansions() const { return last_expansions_; }
   bool last_exhausted() const { return last_exhausted_; }
-  /// True when the last find_from_sink() was cut short by the deadline.
+  /// True when the last find_from_sink() was cut short (deadline or memory).
   bool last_partial() const { return last_partial_; }
 
  private:
@@ -122,11 +155,27 @@ class GadgetChainFinder {
     std::vector<GadgetChain> chains;
     std::size_t expansions = 0;
     bool exhausted = false;
-    bool partial = false;  // deadline expired mid-search
+    bool deadline_expired = false;   // deadline fired mid-search
+    std::size_t frontier_pruned = 0; // branches dropped under the byte cap
+    std::size_t bytes_charged = 0;   // cumulative frontier bytes (monotone)
+    std::size_t peak_bytes = 0;      // frontier high-water mark
+    std::size_t spilled = 0;         // chains streamed under a byte cap
+
+    bool partial() const { return deadline_expired || frontier_pruned > 0; }
+    PartialReason reason() const {
+      return deadline_expired ? PartialReason::Deadline : PartialReason::MemoryPressure;
+    }
   };
 
+  /// `frontier_cap` is this shard's deterministic byte slice (SIZE_MAX =
+  /// ungoverned).
   SinkSearch search_sink(graph::NodeId sink,
-                         const std::function<bool(const graph::Node&)>& is_source) const;
+                         const std::function<bool(const graph::Node&)>& is_source,
+                         std::size_t frontier_cap) const;
+
+  /// The deterministic pool split: pool / sinks, floored so a huge sink
+  /// count cannot starve every shard to zero.
+  std::size_t shard_cap(std::size_t sink_count) const;
 
   const graph::GraphDb* db_;
   FinderOptions options_;

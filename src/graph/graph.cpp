@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tabby::graph {
@@ -181,6 +182,13 @@ bool GraphDb::has_index(const std::string& label, const std::string& key) const 
 
 void GraphDb::create_indexes(const std::vector<std::pair<std::string, std::string>>& specs,
                              util::Executor* executor) {
+  // The `graph.index.rebuild` failpoint models a back-fill fault (a bad
+  // allocation mid-rebuild, an inconsistent store). The throw is the real
+  // failure mode: callers reach this via the pipeline facade, whose
+  // catch-all turns stray exceptions into structured errors.
+  if (util::failpoint::poll("graph.index.rebuild")) {
+    throw std::runtime_error("failpoint: injected index rebuild failure");
+  }
   // Back-fill each index into a local map first (pure reads of the node
   // store), then install serially in spec order. Skips already-existing
   // indexes like create_index() does.

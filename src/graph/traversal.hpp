@@ -3,6 +3,17 @@
 // steps (optionally rewriting a per-branch state — Tabby threads the
 // Trigger_Condition through here), and an Evaluator decides inclusion and
 // pruning (Algorithm 3). The engine is an explicit-stack DFS.
+//
+// Resource governance (docs/ROBUSTNESS.md): the run is bounded three ways —
+// expansions (TraversalLimits::max_expansions), wall clock (::deadline) and
+// frontier bytes (::max_frontier_bytes). The byte bound covers the DFS
+// stack, the store a pathological alias/CALL fan-out actually blows up:
+// when a push would cross the cap, the engine first *spills* nothing (a
+// result is handed to the caller the moment it is found, so completed paths
+// never sit in the frontier) and then *prunes* the lowest-priority branches
+// — shallowest first, in deterministic stack order — until the child fits.
+// Pruning only drops unexplored subtrees, so results found under a byte cap
+// are always a prefix-respecting subset of the unbounded run's results.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +22,7 @@
 
 #include "graph/graph.hpp"
 #include "util/deadline.hpp"
+#include "util/memory_budget.hpp"
 
 namespace tabby::graph {
 
@@ -35,6 +47,12 @@ struct Path {
     next.edges.push_back(via);
     next.nodes.push_back(to);
     return next;
+  }
+
+  /// Heap bytes held by this path's two vectors (the per-frame cost the
+  /// frontier byte budget accounts).
+  std::size_t heap_bytes() const {
+    return nodes.capacity() * sizeof(NodeId) + edges.capacity() * sizeof(EdgeId);
   }
 };
 
@@ -86,6 +104,16 @@ struct TraversalLimits {
   /// Traverser::deadline_expired() — results found so far are kept.
   util::Deadline deadline;
   std::size_t deadline_stride = 64;
+  /// Byte cap on the DFS frontier (stack frames: path vectors + per-branch
+  /// state). SIZE_MAX = ungoverned. Crossing the cap prunes shallowest
+  /// branches first; see Traverser::frontier_pruned(). The cap must be a
+  /// value derived deterministically (per-shard slice), never a live shared
+  /// counter, so runs are bit-identical at any worker count.
+  std::size_t max_frontier_bytes = SIZE_MAX;
+  /// Optional process-level ledger mirroring the frontier bytes (telemetry
+  /// and stage-boundary checkpoints; never consulted for prune decisions).
+  /// Borrowed; may be null.
+  util::MemoryBudget* memory = nullptr;
 };
 
 template <typename State>
@@ -94,34 +122,74 @@ class Traverser {
   using ExpandFn =
       std::function<std::vector<Step<State>>(const GraphDb&, const Path&, const State&)>;
   using EvalFn = std::function<Evaluation(const GraphDb&, const Path&, const State&)>;
+  /// Streaming result sink: invoked in DFS discovery order, exactly when
+  /// the accumulating run() would have appended. Taking the result by value
+  /// lets the caller keep it in a compact form and lets the engine release
+  /// the path bytes immediately (the "spill" half of the byte governance).
+  using ResultFn = std::function<void(TraversalResult<State>)>;
+  /// Heap bytes of one per-branch state, for the frontier byte accounting.
+  /// Defaults to zero extra (sizeof(State) is already in the frame cost).
+  using StateBytesFn = std::function<std::size_t(const State&)>;
 
   Traverser(const GraphDb& db, ExpandFn expand, EvalFn evaluate,
-            Uniqueness uniqueness = Uniqueness::NodePath, TraversalLimits limits = {})
+            Uniqueness uniqueness = Uniqueness::NodePath, TraversalLimits limits = {},
+            StateBytesFn state_bytes = {})
       : db_(db), expand_(std::move(expand)), evaluate_(std::move(evaluate)),
-        uniqueness_(uniqueness), limits_(limits) {}
+        uniqueness_(uniqueness), limits_(limits), state_bytes_(std::move(state_bytes)) {}
 
   /// Runs a DFS from `start` with initial per-branch `state`. Returns every
   /// included path, in DFS discovery order.
   std::vector<TraversalResult<State>> run(NodeId start, State initial) {
     std::vector<TraversalResult<State>> results;
+    run(start, std::move(initial),
+        [&results](TraversalResult<State> r) { results.push_back(std::move(r)); });
+    return results;
+  }
+
+  /// Streaming variant: results are handed to `emit` as they are found and
+  /// never accumulate inside the engine. This is the only run path — the
+  /// vector overload above is a thin adapter — so governed and ungoverned
+  /// searches execute the identical traversal.
+  void run(NodeId start, State initial, const ResultFn& emit) {
     exhausted_budget_ = false;
     deadline_expired_ = false;
     expansions_ = 0;
+    results_ = 0;
+    frontier_pruned_ = 0;
+    frontier_bytes_ = 0;
+    peak_frontier_bytes_ = 0;
+    bytes_charged_ = 0;
     // An already-expired deadline (e.g. a cancelled run) does no work at
     // all: the start node is never evaluated, no results are produced.
     if (!limits_.deadline.unlimited() && limits_.deadline.expired()) {
       deadline_expired_ = true;
-      return results;
+      return;
     }
 
     struct Frame {
       Path path;
       State state;
     };
+    auto frame_cost = [this](const Frame& f) {
+      std::size_t cost = sizeof(Frame) + f.path.heap_bytes();
+      if (state_bytes_) cost += state_bytes_(f.state);
+      return cost;
+    };
     std::vector<Frame> stack;
+    // Releases whatever is still charged on every exit path (early returns
+    // on budgets/deadlines leave a live frontier behind).
+    struct ChargeGuard {
+      Traverser* self;
+      ~ChargeGuard() {
+        util::maybe_release(self->limits_.memory, self->frontier_bytes_);
+        self->frontier_bytes_ = 0;
+      }
+    } guard{this};
+
     Frame root;
     root.path.nodes.push_back(start);
     root.state = std::move(initial);
+    charge(frame_cost(root));
     stack.push_back(std::move(root));
 
     std::vector<bool> visited_global(db_.node_capacity(), false);
@@ -129,6 +197,7 @@ class Traverser {
     while (!stack.empty()) {
       Frame frame = std::move(stack.back());
       stack.pop_back();
+      release(frame_cost(frame));
 
       if (uniqueness_ == Uniqueness::NodeGlobal) {
         NodeId end = frame.path.end();
@@ -138,19 +207,28 @@ class Traverser {
 
       Evaluation verdict = evaluate_(db_, frame.path, frame.state);
       if (includes(verdict)) {
-        results.push_back(TraversalResult<State>{frame.path, frame.state});
-        if (results.size() >= limits_.max_results) return results;
+        bool done = ++results_ >= limits_.max_results;
+        if (done || !continues(verdict)) {
+          // Last use of the frame: move it into the emit (the "spill" — the
+          // path's bytes leave the engine the instant the result exists).
+          emit(TraversalResult<State>{std::move(frame.path), std::move(frame.state)});
+          if (done) return;
+          continue;
+        }
+        // Include-and-continue: expansion below still needs the frame, so
+        // the emit gets a copy.
+        emit(TraversalResult<State>{frame.path, frame.state});
       }
       if (!continues(verdict)) continue;
 
       if (++expansions_ > limits_.max_expansions) {
         exhausted_budget_ = true;
-        return results;
+        return;
       }
       if (!limits_.deadline.unlimited() && expansions_ % limits_.deadline_stride == 0 &&
           limits_.deadline.expired()) {
         deadline_expired_ = true;
-        return results;
+        return;
       }
 
       std::vector<Step<State>> steps = expand_(db_, frame.path, frame.state);
@@ -161,10 +239,32 @@ class Traverser {
         Frame child;
         child.path = frame.path.extended(it->edge, it->next);
         child.state = std::move(it->state);
+        std::size_t cost = frame_cost(child);
+        if (frontier_bytes_ + cost > limits_.max_frontier_bytes) {
+          // Over the byte cap: prune shallowest-first. The stack front holds
+          // the shallowest unexplored branches (earliest siblings), i.e. the
+          // biggest unexplored subtrees — dropping them caps growth while the
+          // current (deepest) branch keeps making progress. Deterministic:
+          // stack order is a pure function of the traversal so far.
+          std::size_t drop = 0, freed = 0;
+          while (drop < stack.size() && frontier_bytes_ - freed + cost > limits_.max_frontier_bytes) {
+            freed += frame_cost(stack[drop++]);
+          }
+          if (drop > 0) {
+            stack.erase(stack.begin(), stack.begin() + static_cast<std::ptrdiff_t>(drop));
+            release(freed);
+            frontier_pruned_ += drop;
+          }
+          if (frontier_bytes_ + cost > limits_.max_frontier_bytes) {
+            // Even an empty frontier cannot absorb this child: drop it too.
+            ++frontier_pruned_;
+            continue;
+          }
+        }
+        charge(cost);
         stack.push_back(std::move(child));
       }
     }
-    return results;
   }
 
   /// True when the last run() stopped early on max_expansions.
@@ -177,15 +277,44 @@ class Traverser {
   /// Expansion steps taken by the last run().
   std::size_t expansions() const { return expansions_; }
 
+  /// Frontier branches dropped by the last run() to stay under
+  /// max_frontier_bytes; > 0 means the result set may be incomplete
+  /// (memory pressure).
+  std::size_t frontier_pruned() const { return frontier_pruned_; }
+
+  /// High-water mark of governed frontier bytes in the last run().
+  std::size_t peak_frontier_bytes() const { return peak_frontier_bytes_; }
+
+  /// Cumulative bytes charged to the frontier over the last run() (a
+  /// monotone total: every push adds, pops never subtract from it).
+  std::size_t frontier_bytes_charged() const { return bytes_charged_; }
+
  private:
+  void charge(std::size_t bytes) {
+    frontier_bytes_ += bytes;
+    bytes_charged_ += bytes;
+    if (frontier_bytes_ > peak_frontier_bytes_) peak_frontier_bytes_ = frontier_bytes_;
+    util::maybe_charge(limits_.memory, bytes);
+  }
+  void release(std::size_t bytes) {
+    frontier_bytes_ -= bytes;
+    util::maybe_release(limits_.memory, bytes);
+  }
+
   const GraphDb& db_;
   ExpandFn expand_;
   EvalFn evaluate_;
   Uniqueness uniqueness_;
   TraversalLimits limits_;
+  StateBytesFn state_bytes_;
   bool exhausted_budget_ = false;
   bool deadline_expired_ = false;
   std::size_t expansions_ = 0;
+  std::size_t results_ = 0;
+  std::size_t frontier_pruned_ = 0;
+  std::size_t frontier_bytes_ = 0;
+  std::size_t peak_frontier_bytes_ = 0;
+  std::size_t bytes_charged_ = 0;
 };
 
 }  // namespace tabby::graph

@@ -15,17 +15,37 @@ namespace tabby::pipeline {
 
 namespace {
 
+/// Maps a builder-level deadline cut into the run's degradation report.
+/// Strict policy turns it into the error the caller returns; quarantine
+/// records it and keeps the (structurally valid, incomplete) CPG.
+util::Status absorb_build_cut(const cpg::Cpg& cpg, FailurePolicy policy, Outcome& outcome) {
+  if (!cpg.deadline_hit) return util::Status::ok_status();
+  if (policy != FailurePolicy::kQuarantine) {
+    return util::Error{"deadline exceeded during CPG construction"};
+  }
+  outcome.degradation.deadline_hit = true;
+  if (cpg.methods_skipped > 0) {
+    outcome.degradation.add("cpg-build", "deadline",
+                            std::to_string(cpg.methods_skipped) +
+                                " method(s) left unsummarised by the deadline cut");
+  }
+  return util::Status::ok_status();
+}
+
 /// Cold back half shared by both run() overloads: build the CPG and, when
 /// asked, the store bytes.
-void build_into(const jir::Program& program, const Options& options, cpg::CpgOptions cpg_options,
-                Outcome& outcome) {
+util::Status build_into(const jir::Program& program, const Options& options,
+                        cpg::CpgOptions cpg_options, Outcome& outcome) {
   cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
+  util::Status cut = absorb_build_cut(cpg, options.policy, outcome);
+  if (!cut.ok()) return cut;
   outcome.db = std::move(cpg.db);
   outcome.stats = cpg.stats;
   if (options.need_graph_bytes) {
     TABBY_SPAN("graph.serialize");
     outcome.graph_bytes = graph::serialize(outcome.db);
   }
+  return util::Status::ok_status();
 }
 
 /// Renders the unit label for a partially-salvaged archive: which classes
@@ -46,6 +66,11 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
 
   cpg::CpgOptions cpg_options = options.cpg;
   cpg_options.executor = options.executor;
+  // The builder polls the run deadline between payload batches (folded with
+  // any build deadline the caller set directly) and charges its transient
+  // batches to the run ledger.
+  cpg_options.deadline = run_deadline.tightened(cpg_options.deadline);
+  if (cpg_options.memory == nullptr) cpg_options.memory = options.memory;
   Outcome outcome;
 
   if (options.cache_dir.empty()) {
@@ -58,7 +83,8 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
       if (options.need_program) outcome.program = std::move(program.value());
       return outcome;
     }
-    build_into(program.value(), options, cpg_options, outcome);
+    util::Status built = build_into(program.value(), options, cpg_options, outcome);
+    if (!built.ok()) return built.error();
     if (options.need_program) outcome.program = std::move(program.value());
     return outcome;
   }
@@ -69,6 +95,7 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
   auto opened = cache::AnalysisCache::open(options.cache_dir);
   if (!opened.ok()) return opened.error();
   cache::AnalysisCache& cache = opened.value();
+  cache.set_memory(options.memory);
 
   // Classpath digests in link order: the simulated JDK (when included) is
   // part of the analyzed world, so its content is part of the key. Under
@@ -170,6 +197,8 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
         return outcome;
       }
       cpg::Cpg cpg = cpg::build_cpg(program, cpg_options);
+      util::Status cut = absorb_build_cut(cpg, options.policy, outcome);
+      if (!cut.ok()) return cut.error();
       outcome.db = std::move(cpg.db);
       outcome.stats = cpg.stats;
       {
@@ -221,6 +250,10 @@ std::string DegradationReport::to_string() const {
   if (deadline_hit) out += "degraded: deadline exceeded; remaining work was skipped\n";
   if (partial_sinks > 0) {
     out += "degraded: " + std::to_string(partial_sinks) + " sink search(es) cut short\n";
+  }
+  if (frontier_pruned > 0) {
+    out += "degraded: memory budget pressure; " + std::to_string(frontier_pruned) +
+           " frontier branch(es) pruned\n";
   }
   return out;
 }
@@ -320,8 +353,14 @@ Outcome run(const jir::Program& program, const Options& options) {
   obs::Span span("pipeline.run");
   cpg::CpgOptions cpg_options = options.cpg;
   cpg_options.executor = options.executor;
+  cpg_options.deadline = options.deadline.tightened(cpg_options.deadline);
+  if (cpg_options.memory == nullptr) cpg_options.memory = options.memory;
   Outcome outcome;
-  build_into(program, options, cpg_options, outcome);
+  // This overload cannot return an error, so a deadline cut is always
+  // absorbed as degradation regardless of policy.
+  Options absorbing = options;
+  absorbing.policy = FailurePolicy::kQuarantine;
+  (void)build_into(program, absorbing, cpg_options, outcome);
   return outcome;
 }
 

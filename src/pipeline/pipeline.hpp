@@ -31,6 +31,7 @@
 #include "graph/graph.hpp"
 #include "jir/model.hpp"
 #include "util/deadline.hpp"
+#include "util/memory_budget.hpp"
 #include "util/result.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,11 +63,16 @@ struct DegradationReport {
   std::vector<DegradedUnit> units;
   /// The run observed an expired deadline and skipped remaining work.
   bool deadline_hit = false;
-  /// Finder sinks cut short by the deadline (filled by callers that run
-  /// the finder phase; the facade itself stops at the CPG).
+  /// Finder sinks cut short by the deadline or memory pressure (filled by
+  /// callers that run the finder phase; the facade itself stops at the CPG).
   std::size_t partial_sinks = 0;
+  /// Frontier branches the finder pruned to stay under its byte budget
+  /// (filled by finder-phase callers; > 0 implies MemoryPressure partials).
+  std::size_t frontier_pruned = 0;
 
-  bool degraded() const { return !units.empty() || deadline_hit || partial_sinks > 0; }
+  bool degraded() const {
+    return !units.empty() || deadline_hit || partial_sinks > 0 || frontier_pruned > 0;
+  }
   void add(std::string unit, std::string stage, std::string error, std::size_t bytes_skipped = 0) {
     units.push_back({std::move(unit), std::move(stage), std::move(error), bytes_skipped});
   }
@@ -110,6 +116,13 @@ struct Options {
   /// Optional cancellation flag, observed wherever the deadline is.
   /// Borrowed, must outlive run().
   const util::CancelToken* cancel = nullptr;
+  /// Process-wide byte ledger (--mem-budget): threaded into the CPG
+  /// builder's payload batches and the cache's snapshot buffers, and shared
+  /// with the finder by CLI callers. The ledger is telemetry plus shard caps
+  /// derived from its cap(); no stage ever gates on its live total, which
+  /// keeps output bit-identical at any --jobs count. Borrowed, may be null
+  /// (= ungoverned; zero cost).
+  util::MemoryBudget* memory = nullptr;
 };
 
 /// The CPG for one pipeline invocation, however it was obtained (cold build

@@ -16,8 +16,10 @@ constexpr const char* kSites[] = {
     "cache.fragment.publish",  // fragment write-back after a decode miss
     "cache.publish.rename",    // the rename inside one atomic-publish attempt
     "cache.snapshot.publish",  // whole-classpath snapshot publish
+    "cypher.eval",             // query evaluation entry (run_query)
     "fs.read",                 // any file read feeding the pipeline
     "graph.deserialize",       // graph store / snapshot blob decode
+    "graph.index.rebuild",     // (re)creating label/property indexes
     "jar.decode",              // TJAR archive decode
     "pool.task",               // ThreadPool parallel_for task body
 };

@@ -1,0 +1,142 @@
+// Byte-accounted memory budgets for the fail-soft pipeline — the RSS
+// counterpart of util::Deadline. A MemoryBudget is a hierarchical
+// charge/release ledger: holders of a transient allocation (a traversal
+// frontier, a payload batch, a snapshot file buffer) charge its byte size
+// on acquisition and release it on hand-off or free. Budgets form a tree
+// (per-shard child -> process-wide root); a charge propagates up the parent
+// chain, so the root always reads the whole process's governed bytes while
+// each shard polices only its own slice.
+//
+// Two rules keep the accounting honest and the results bit-deterministic at
+// any --jobs count (docs/ROBUSTNESS.md "Memory governance"):
+//
+//   1. Decisions are local. Work only ever *prunes or spills* based on a
+//      budget it charges single-threadedly (its own shard slice) — never on
+//      a parent's live total, which is a race. Parents exist for telemetry
+//      (charged()/peak()) and for serial checkpoints (a stage boundary after
+//      a barrier observes a deterministic total).
+//   2. Unset is free. Every call site holds a `MemoryBudget*` and skips the
+//      atomics when it is null; a run without --mem-budget executes the
+//      identical instruction stream minus one pointer test.
+//
+// All counters are relaxed atomics: charge/release totals are commutative
+// sums, so cross-thread interleaving cannot change what a quiescent reader
+// observes. peak() is a best-effort high-water mark (CAS max), exact when
+// the budget is charged from one thread — which shard budgets always are.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace tabby::util {
+
+class MemoryBudget {
+ public:
+  /// An unbounded ledger: charges are tracked (and propagated) but
+  /// exceeded() never fires. cap_bytes = 0 means unbounded.
+  MemoryBudget() = default;
+  explicit MemoryBudget(std::size_t cap_bytes, MemoryBudget* parent = nullptr)
+      : cap_(cap_bytes), parent_(parent) {}
+
+  // The ledger is address-identified (children keep a pointer to it).
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  std::size_t cap() const { return cap_; }
+  bool bounded() const { return cap_ != 0; }
+
+  /// Records `bytes` acquired, here and up the parent chain.
+  void charge(std::size_t bytes) {
+    for (MemoryBudget* b = this; b != nullptr; b = b->parent_) b->charge_local(bytes);
+  }
+
+  /// Records `bytes` freed (or handed off to an uncharged owner). Every
+  /// charge must be paired with exactly one release; tests assert the
+  /// balance drains to zero.
+  void release(std::size_t bytes) {
+    for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+      b->charged_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  /// Bytes currently charged (self + descendants).
+  std::size_t charged() const { return charged_.load(std::memory_order_relaxed); }
+
+  /// High-water mark of charged(). Exact for single-threaded charging.
+  std::size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// True when a bounded budget is over cap. Only poll this on a budget the
+  /// caller charges single-threadedly (or at a serial stage boundary) —
+  /// see the determinism rule above.
+  bool exceeded() const { return cap_ != 0 && charged() > cap_; }
+
+  /// Headroom left under the cap; SIZE_MAX when unbounded.
+  std::size_t remaining() const {
+    if (cap_ == 0) return SIZE_MAX;
+    std::size_t used = charged();
+    return used >= cap_ ? 0 : cap_ - used;
+  }
+
+ private:
+  void charge_local(std::size_t bytes) {
+    std::size_t now = charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::size_t cap_ = 0;  // 0 = unbounded
+  MemoryBudget* parent_ = nullptr;
+  std::atomic<std::size_t> charged_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+/// Null-tolerant helpers: the idiom at every call site. A run without a
+/// budget passes nullptr everywhere and pays one branch.
+inline void maybe_charge(MemoryBudget* budget, std::size_t bytes) {
+  if (budget != nullptr) budget->charge(bytes);
+}
+inline void maybe_release(MemoryBudget* budget, std::size_t bytes) {
+  if (budget != nullptr) budget->release(bytes);
+}
+
+/// RAII charge: holds `bytes` on `budget` for the scope (e.g. a payload
+/// batch or a snapshot file buffer). Movable so it can ride in a result.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  ScopedCharge(MemoryBudget* budget, std::size_t bytes) : budget_(budget), bytes_(bytes) {
+    maybe_charge(budget_, bytes_);
+  }
+  ScopedCharge(ScopedCharge&& other) noexcept : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+  ~ScopedCharge() { reset(); }
+
+  void reset() {
+    maybe_release(budget_, bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace tabby::util

@@ -105,4 +105,29 @@ Result<std::int64_t> parse_duration_ms(std::string_view text) {
   return Error{"not a duration (expected e.g. 250ms, 30s, 2m, 1h): '" + std::string(text) + "'"};
 }
 
+Result<std::uint64_t> parse_size_bytes(std::string_view text) {
+  std::uint64_t scale = 1;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k': case 'K': scale = 1024ull; break;
+      case 'm': case 'M': scale = 1024ull * 1024; break;
+      case 'g': case 'G': scale = 1024ull * 1024 * 1024; break;
+      default: break;
+    }
+  }
+  std::string_view digits = scale == 1 ? text : text.substr(0, text.size() - 1);
+  std::uint64_t value = 0;
+  const char* first = digits.data();
+  const char* last = digits.data() + digits.size();
+  std::from_chars_result parsed = std::from_chars(first, last, value, 10);
+  if (parsed.ec != std::errc{} || parsed.ptr != last || digits.empty()) {
+    return Error{"not a byte size (expected e.g. 65536, 512k, 64m, 2g): '" + std::string(text) +
+                 "'"};
+  }
+  if (value > UINT64_MAX / scale) {
+    return Error{"byte size out of range: '" + std::string(text) + "'"};
+  }
+  return value * scale;
+}
+
 }  // namespace tabby::util

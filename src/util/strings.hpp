@@ -44,4 +44,10 @@ Result<int> parse_int(std::string_view text);
 /// budget silently read in the wrong unit is worse than a rejected flag.
 Result<std::int64_t> parse_duration_ms(std::string_view text);
 
+/// Byte-size parse for CLI memory budgets. The token is a positive integer
+/// with an optional binary-unit suffix: "65536" (bytes), "512k", "64m",
+/// "2g" (uppercase accepted). Everything else ("1.5g", "-1m", "64mb",
+/// "64 m") is an error, same philosophy as parse_duration_ms.
+Result<std::uint64_t> parse_size_bytes(std::string_view text);
+
 }  // namespace tabby::util

@@ -145,6 +145,42 @@ TEST_F(ChaosFixture, SweepEverySiteNeverCrashesAndStaysStructured) {
   EXPECT_GE(sites_that_fired.size(), 5u) << "sweep barely fired any site";
 }
 
+TEST_F(ChaosFixture, QueryWorkloadSweepStaysStructured) {
+  // The query workload reaches two sites the find sweep does not sit on the
+  // far side of: cypher.eval (the evaluator entry) and graph.index.rebuild
+  // (index creation for the freshly built CPG).
+  const std::string query = "MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE";
+  CliRun clean = run_cli_capture({"query", jar_path_, query});
+  ASSERT_EQ(clean.code, 0) << clean.err;
+  ASSERT_NE(clean.out.find("row(s)"), std::string::npos);
+
+  std::set<std::string> sites_that_fired;
+  for (const std::string& site : util::failpoint::catalog()) {
+    util::failpoint::disarm();
+    util::failpoint::arm();
+    util::failpoint::activate(site);  // permanent for the whole run
+    CliRun r = run_cli_capture({"query", jar_path_, query, "--jobs", "2"});
+    if (util::failpoint::fired(site) > 0) sites_that_fired.insert(site);
+    util::failpoint::disarm();
+
+    EXPECT_TRUE(r.code == 0 || r.code == 1 || r.code == 3)
+        << site << ": unstructured exit " << r.code << "\n" << r.err;
+    if (r.code == 1) {
+      EXPECT_TRUE(r.err.find("error:") != std::string::npos ||
+                  r.err.find("query error:") != std::string::npos)
+          << site << "\n" << r.err;
+    }
+  }
+  EXPECT_TRUE(sites_that_fired.count("cypher.eval") == 1) << "cypher.eval never fired";
+  EXPECT_TRUE(sites_that_fired.count("graph.index.rebuild") == 1)
+      << "graph.index.rebuild never fired";
+
+  // Injection over: the same query answers cleanly again.
+  CliRun recovered = run_cli_capture({"query", jar_path_, query});
+  EXPECT_EQ(recovered.code, 0) << recovered.err;
+  EXPECT_EQ(recovered.out, clean.out);
+}
+
 TEST_F(ChaosFixture, TransientPublishFaultsAreRetriedToSuccess) {
   util::failpoint::arm();
   // Two failed rename attempts out of the three the retry loop allows: the

@@ -1,0 +1,130 @@
+// Unit tests for util::MemoryBudget (the byte-accounted ledger behind
+// --mem-budget) and util::parse_size_bytes (the flag's value syntax).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/memory_budget.hpp"
+#include "util/strings.hpp"
+
+namespace tabby::util {
+namespace {
+
+TEST(MemoryBudget, DefaultIsUnbounded) {
+  MemoryBudget b;
+  EXPECT_FALSE(b.bounded());
+  EXPECT_EQ(b.cap(), 0u);
+  EXPECT_EQ(b.remaining(), SIZE_MAX);
+  b.charge(1 << 20);
+  EXPECT_FALSE(b.exceeded());
+  EXPECT_EQ(b.remaining(), SIZE_MAX);
+}
+
+TEST(MemoryBudget, ChargeReleaseDrainsToZero) {
+  MemoryBudget b(1024);
+  b.charge(100);
+  b.charge(200);
+  EXPECT_EQ(b.charged(), 300u);
+  EXPECT_FALSE(b.exceeded());
+  EXPECT_EQ(b.remaining(), 724u);
+  b.release(200);
+  b.release(100);
+  EXPECT_EQ(b.charged(), 0u);
+  EXPECT_EQ(b.peak(), 300u);  // peak survives the drain
+}
+
+TEST(MemoryBudget, ExceededOnlyPastCap) {
+  MemoryBudget b(100);
+  b.charge(100);
+  EXPECT_FALSE(b.exceeded());  // at cap is within budget
+  EXPECT_EQ(b.remaining(), 0u);
+  b.charge(1);
+  EXPECT_TRUE(b.exceeded());
+  EXPECT_EQ(b.remaining(), 0u);  // saturates, never wraps
+}
+
+TEST(MemoryBudget, ChargesPropagateUpTheHierarchy) {
+  MemoryBudget root(1 << 20);
+  MemoryBudget child(1 << 10, &root);
+  child.charge(512);
+  EXPECT_EQ(child.charged(), 512u);
+  EXPECT_EQ(root.charged(), 512u);
+  child.release(512);
+  EXPECT_EQ(root.charged(), 0u);
+  EXPECT_EQ(root.peak(), 512u);
+}
+
+TEST(MemoryBudget, NullTolerantHelpers) {
+  maybe_charge(nullptr, 123);  // must be a no-op, not a crash
+  maybe_release(nullptr, 123);
+  MemoryBudget b(1024);
+  maybe_charge(&b, 123);
+  EXPECT_EQ(b.charged(), 123u);
+  maybe_release(&b, 123);
+  EXPECT_EQ(b.charged(), 0u);
+}
+
+TEST(MemoryBudget, ScopedChargeReleasesOnDestruction) {
+  MemoryBudget b(1024);
+  {
+    ScopedCharge charge(&b, 400);
+    EXPECT_EQ(b.charged(), 400u);
+  }
+  EXPECT_EQ(b.charged(), 0u);
+}
+
+TEST(MemoryBudget, ScopedChargeMoveTransfersOwnership) {
+  MemoryBudget b(1024);
+  ScopedCharge outer(nullptr, 0);
+  {
+    ScopedCharge inner(&b, 256);
+    outer = std::move(inner);
+  }  // inner destroyed: must NOT release (ownership moved out)
+  EXPECT_EQ(b.charged(), 256u);
+  outer.reset();
+  EXPECT_EQ(b.charged(), 0u);
+}
+
+TEST(MemoryBudget, ConcurrentChargesBalance) {
+  MemoryBudget b(SIZE_MAX - 1);  // bounded, never exceeded
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b] {
+      for (int i = 0; i < kIterations; ++i) {
+        b.charge(64);
+        b.release(64);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(b.charged(), 0u);  // commutative sums: exact at quiescence
+  EXPECT_GE(b.peak(), 64u);
+}
+
+TEST(ParseSizeBytes, PlainAndSuffixed) {
+  EXPECT_EQ(parse_size_bytes("65536").value(), 65536u);
+  EXPECT_EQ(parse_size_bytes("512k").value(), 512u * 1024);
+  EXPECT_EQ(parse_size_bytes("512K").value(), 512u * 1024);
+  EXPECT_EQ(parse_size_bytes("64m").value(), 64u * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("2g").value(), 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(parse_size_bytes("0").value(), 0u);
+}
+
+TEST(ParseSizeBytes, RejectsMalformed) {
+  EXPECT_FALSE(parse_size_bytes("").ok());
+  EXPECT_FALSE(parse_size_bytes("64mb").ok());
+  EXPECT_FALSE(parse_size_bytes("m").ok());
+  EXPECT_FALSE(parse_size_bytes("-1").ok());
+  EXPECT_FALSE(parse_size_bytes("1.5g").ok());
+  EXPECT_FALSE(parse_size_bytes("12 k").ok());
+  // 2^64 overflows even before a suffix; 2^54 * 1g overflows via the scale.
+  EXPECT_FALSE(parse_size_bytes("18446744073709551616").ok());
+  EXPECT_FALSE(parse_size_bytes("18014398509481984g").ok());
+}
+
+}  // namespace
+}  // namespace tabby::util
