@@ -4,8 +4,11 @@
 #include <charconv>
 #include <chrono>
 #include <fstream>
+#include <map>
+#include <set>
 #include <thread>
 
+#include "graph/frozen.hpp"
 #include "graph/serialize.hpp"
 #include "jir/printer.hpp"
 #include "obs/obs.hpp"
@@ -194,6 +197,10 @@ fs::path AnalysisCache::snapshot_path(std::uint64_t key) const {
   return dir_ / "snapshots" / (util::digest_hex(key) + ".tsnp");
 }
 
+fs::path AnalysisCache::frozen_path(std::uint64_t key) const {
+  return dir_ / "snapshots" / (util::digest_hex(key) + ".tfzn");
+}
+
 Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
   obs::Span span("cache.load_archive");
   if (span.active()) span.attr("path", file.string());
@@ -251,7 +258,7 @@ Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
   return loaded;
 }
 
-std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key) {
+std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key, bool need_db) {
   obs::Span span("cache.load_snapshot");
   if (span.active()) span.attr("key", util::digest_hex(key));
   stats_.snapshot_checked = true;
@@ -302,9 +309,32 @@ std::optional<CachedCpg> AnalysisCache::load_snapshot(std::uint64_t key) {
   cached.graph_bytes = std::move(bytes.value());
   cached.graph_bytes.erase(cached.graph_bytes.begin(),
                            cached.graph_bytes.begin() + static_cast<std::ptrdiff_t>(blob_offset));
-  auto db = graph::deserialize(cached.graph_bytes);
-  if (!db.ok()) return std::nullopt;
-  cached.db = std::move(db.value());
+  if (need_db) {
+    auto db = graph::deserialize(cached.graph_bytes);
+    if (!db.ok()) return std::nullopt;
+    cached.db = std::move(db.value());
+  } else {
+    // A frozen warm start already carries the graph, so skip the expensive
+    // node/edge decode — but keep the integrity contract: verify the store
+    // blob's own frame (magic, version, trailing FNV-1a64) so a bit-flipped
+    // snapshot is a miss on this path exactly as it is on the decode path.
+    std::span<const std::byte> blob(cached.graph_bytes);
+    constexpr std::size_t kStoreOverhead = 4 + 2 + 8;
+    if (blob.size() < kStoreOverhead) return std::nullopt;
+    ByteReader head(blob);
+    auto blob_magic = head.u32();
+    auto blob_version = head.u16();
+    if (!blob_magic.ok() || !blob_version.ok() || blob_magic.value() != graph::kGraphStoreMagic ||
+        blob_version.value() != graph::kGraphStoreVersion) {
+      return std::nullopt;
+    }
+    ByteReader blob_tail(blob.subspan(blob.size() - 8));
+    auto blob_sum = blob_tail.u64();
+    if (!blob_sum.ok() || blob_sum.value() != util::fnv1a(blob.first(blob.size() - 8))) {
+      return std::nullopt;
+    }
+    cached.db_decoded = false;
+  }
   stats_.snapshot_hit = true;
   outcome.hit = true;
   return cached;
@@ -330,6 +360,47 @@ util::Status AnalysisCache::store_snapshot(std::uint64_t key, const cpg::CpgStat
     return util::Error{"failpoint: injected snapshot publish failure"};
   }
   return write_file_atomic(snapshot_path(key), file);
+}
+
+std::optional<graph::FrozenGraph> AnalysisCache::load_frozen(std::uint64_t key,
+                                                             std::string* corrupt_reason) {
+  obs::Span span("cache.load_frozen");
+  if (span.active()) span.attr("key", util::digest_hex(key));
+  if (corrupt_reason) corrupt_reason->clear();
+  struct MissCounter {
+    bool hit = false;
+    ~MissCounter() { obs::counter_add(hit ? "cache.frozen_hits" : "cache.frozen_misses"); }
+  } outcome;
+
+  fs::path path = frozen_path(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return std::nullopt;  // plain miss, not corruption
+  auto frozen = graph::FrozenGraph::map_file(path, /*frame_offset=*/0, memory_);
+  if (!frozen.ok()) {
+    if (corrupt_reason) *corrupt_reason = frozen.error().message;
+    return std::nullopt;
+  }
+  if (frozen.value().content_key() != key) {
+    if (corrupt_reason) *corrupt_reason = "frozen graph: content key does not match file name";
+    return std::nullopt;
+  }
+  span.attr("bytes", static_cast<std::uint64_t>(frozen.value().frame().size()));
+  outcome.hit = true;
+  return std::move(frozen.value());
+}
+
+util::Status AnalysisCache::store_frozen(std::uint64_t key, const graph::FrozenGraph& frozen) {
+  obs::Span span("cache.store_frozen");
+  if (span.active()) span.attr("key", util::digest_hex(key));
+  span.attr("bytes", static_cast<std::uint64_t>(frozen.frame().size()));
+  if (frozen.content_key() != key) {
+    return util::Error{"frozen frame content key does not match snapshot key " +
+                       util::digest_hex(key)};
+  }
+  obs::counter_add("cache.frozen_published");
+  std::vector<std::byte> file(frozen.frame().begin(), frozen.frame().end());
+  util::ScopedCharge buffer_charge(memory_, file.size());
+  return write_file_atomic(frozen_path(key), file);
 }
 
 // --- Offline audit ---------------------------------------------------------
@@ -400,6 +471,7 @@ std::string validate_snapshot(std::span<const std::byte> data, std::uint64_t exp
 std::string CacheAuditReport::to_string() const {
   std::string out = "cache audit: " + std::to_string(fragments_checked) + " fragment(s), " +
                     std::to_string(snapshots_checked) + " snapshot(s), " +
+                    std::to_string(frozen_checked) + " frozen frame(s), " +
                     std::to_string(corrupt) + " corrupt, " + std::to_string(orphaned) +
                     " orphaned, " + std::to_string(reclaimable_bytes) + " byte(s) reclaimable";
   for (const CacheAuditEntry& entry : entries) {
@@ -428,66 +500,137 @@ util::Result<CacheAuditReport> audit_cache(const fs::path& dir, bool prune) {
   }
 
   CacheAuditReport report;
-  // Scan one sub-directory in sorted name order (directory iteration order
-  // is filesystem-dependent; the report must not be).
-  auto scan = [&](const fs::path& sub, CacheAuditEntry::Kind kind, std::string_view extension,
-                  auto&& validate) {
-    if (!fs::is_directory(sub, ec)) return;
+
+  // Sorted file listing (directory iteration order is filesystem-dependent;
+  // the report must not be).
+  auto list_files = [&](const fs::path& sub) {
     std::vector<fs::path> files;
+    if (!fs::is_directory(sub, ec)) return files;
     for (const fs::directory_entry& e : fs::directory_iterator(sub, ec)) {
       if (e.is_regular_file(ec)) files.push_back(e.path());
     }
     std::sort(files.begin(), files.end());
-    for (const fs::path& file : files) {
-      CacheAuditEntry entry;
-      entry.path = file;
-      entry.bytes = fs::file_size(file, ec);
-      if (ec) entry.bytes = 0;
-
-      std::optional<std::uint64_t> id;
-      if (file.extension() == extension) id = parse_digest_hex(file.stem().string());
-      if (!id) {
-        entry.kind = CacheAuditEntry::Kind::Orphan;
-        entry.state = CacheAuditEntry::State::Orphaned;
-        entry.detail = file.extension() == ".tmp" ? "leftover temp file from interrupted publish"
-                                                  : "file name is not a cache entry";
-      } else {
-        entry.kind = kind;
-        auto bytes = read_file_bytes(file);
-        std::string why = bytes.ok() ? validate(std::span<const std::byte>(bytes.value()), *id)
-                                     : "unreadable: " + bytes.error().message;
-        if (why.empty()) {
-          entry.state = CacheAuditEntry::State::Intact;
-        } else {
-          entry.state = CacheAuditEntry::State::Corrupt;
-          entry.detail = std::move(why);
-        }
-        if (kind == CacheAuditEntry::Kind::Fragment) {
-          ++report.fragments_checked;
-        } else {
-          ++report.snapshots_checked;
-        }
-      }
-
-      if (entry.state != CacheAuditEntry::State::Intact) {
-        if (entry.state == CacheAuditEntry::State::Corrupt) ++report.corrupt;
-        if (entry.state == CacheAuditEntry::State::Orphaned) ++report.orphaned;
-        report.reclaimable_bytes += entry.bytes;
-        if (prune) {
-          std::error_code rm;
-          if (fs::remove(file, rm) && !rm) {
-            entry.pruned = true;
-            report.reclaimed_bytes += entry.bytes;
-            obs::counter_add("cache.entries_pruned");
-          }
-        }
-      }
-      report.entries.push_back(std::move(entry));
-    }
+    return files;
   };
 
-  scan(fragments_dir, CacheAuditEntry::Kind::Fragment, ".tfrag", validate_fragment);
-  scan(snapshots_dir, CacheAuditEntry::Kind::Snapshot, ".tsnp", validate_snapshot);
+  // Shared accounting + prune for one examined file.
+  auto finalize = [&](CacheAuditEntry entry) {
+    if (entry.state != CacheAuditEntry::State::Intact) {
+      if (entry.state == CacheAuditEntry::State::Corrupt) ++report.corrupt;
+      if (entry.state == CacheAuditEntry::State::Orphaned) ++report.orphaned;
+      report.reclaimable_bytes += entry.bytes;
+      if (prune) {
+        std::error_code rm;
+        if (fs::remove(entry.path, rm) && !rm) {
+          entry.pruned = true;
+          report.reclaimed_bytes += entry.bytes;
+          obs::counter_add("cache.entries_pruned");
+        }
+      }
+    }
+    report.entries.push_back(std::move(entry));
+  };
+
+  auto make_entry = [&](const fs::path& file) {
+    CacheAuditEntry entry;
+    entry.path = file;
+    entry.bytes = fs::file_size(file, ec);
+    if (ec) entry.bytes = 0;
+    return entry;
+  };
+
+  auto orphan_detail = [](const fs::path& file) {
+    return file.extension() == ".tmp" ? "leftover temp file from interrupted publish"
+                                      : "file name is not a cache entry";
+  };
+
+  // Fragments: one entry kind, one pass.
+  for (const fs::path& file : list_files(fragments_dir)) {
+    CacheAuditEntry entry = make_entry(file);
+    std::optional<std::uint64_t> id;
+    if (file.extension() == ".tfrag") id = parse_digest_hex(file.stem().string());
+    if (!id) {
+      entry.kind = CacheAuditEntry::Kind::Orphan;
+      entry.state = CacheAuditEntry::State::Orphaned;
+      entry.detail = orphan_detail(file);
+    } else {
+      entry.kind = CacheAuditEntry::Kind::Fragment;
+      ++report.fragments_checked;
+      auto bytes = read_file_bytes(file);
+      std::string why = bytes.ok()
+                            ? validate_fragment(std::span<const std::byte>(bytes.value()), *id)
+                            : "unreadable: " + bytes.error().message;
+      if (why.empty()) {
+        entry.state = CacheAuditEntry::State::Intact;
+      } else {
+        entry.state = CacheAuditEntry::State::Corrupt;
+        entry.detail = std::move(why);
+      }
+    }
+    finalize(std::move(entry));
+  }
+
+  // Snapshots: .tsnp entries and their .tfzn frozen companions share the
+  // directory. Pass 1 validates every .tsnp (recording which keys are
+  // intact); pass 2 judges .tfzn frames, whose verdict depends on that map —
+  // the hot path only trusts a frozen frame next to an intact snapshot, so a
+  // companion-less .tfzn is an orphan even when structurally perfect.
+  std::vector<fs::path> snapshot_files = list_files(snapshots_dir);
+  std::map<fs::path, std::string> tsnp_reason;  // path -> "" (intact) or why
+  std::set<std::uint64_t> intact_keys;
+  for (const fs::path& file : snapshot_files) {
+    if (file.extension() != ".tsnp") continue;
+    auto id = parse_digest_hex(file.stem().string());
+    if (!id) continue;  // judged an orphan in the main loop below
+    auto bytes = read_file_bytes(file);
+    std::string why = bytes.ok() ? validate_snapshot(std::span<const std::byte>(bytes.value()), *id)
+                                 : "unreadable: " + bytes.error().message;
+    if (why.empty()) intact_keys.insert(*id);
+    tsnp_reason.emplace(file, std::move(why));
+  }
+  for (const fs::path& file : snapshot_files) {
+    CacheAuditEntry entry = make_entry(file);
+    std::optional<std::uint64_t> id = parse_digest_hex(file.stem().string());
+    if (id && file.extension() == ".tsnp") {
+      entry.kind = CacheAuditEntry::Kind::Snapshot;
+      ++report.snapshots_checked;
+      const std::string& why = tsnp_reason.at(file);
+      if (why.empty()) {
+        entry.state = CacheAuditEntry::State::Intact;
+      } else {
+        entry.state = CacheAuditEntry::State::Corrupt;
+        entry.detail = why;
+      }
+    } else if (id && file.extension() == ".tfzn") {
+      entry.kind = CacheAuditEntry::Kind::FrozenSnapshot;
+      ++report.frozen_checked;
+      auto bytes = read_file_bytes(file);
+      std::string why;
+      if (!bytes.ok()) {
+        why = "unreadable: " + bytes.error().message;
+      } else if (auto frozen = graph::FrozenGraph::from_bytes(bytes.value()); !frozen.ok()) {
+        why = frozen.error().message;
+      } else if (frozen.value().content_key() != *id) {
+        why = "frozen graph: content key does not match file name";
+      }
+      if (!why.empty()) {
+        entry.state = CacheAuditEntry::State::Corrupt;
+        entry.detail = std::move(why);
+      } else if (!intact_keys.count(*id)) {
+        entry.state = CacheAuditEntry::State::Orphaned;
+        entry.detail =
+            "no intact companion snapshot (" + util::digest_hex(*id) + ".tsnp)";
+      } else {
+        entry.state = CacheAuditEntry::State::Intact;
+      }
+    } else {
+      entry.kind = CacheAuditEntry::Kind::Orphan;
+      entry.state = CacheAuditEntry::State::Orphaned;
+      entry.detail = orphan_detail(file);
+    }
+    finalize(std::move(entry));
+  }
+
   obs::counter_add("cache.entries_audited", report.entries.size());
   return report;
 }

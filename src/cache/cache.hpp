@@ -19,6 +19,15 @@
 //                              cpg::options_fingerprint folded with every
 //                              archive digest in classpath order (order
 //                              matters — the linker's first-wins rule).
+//   snapshots/<key>.tfzn       frozen CSR companion: a raw graph::FrozenGraph
+//                              frame (see docs/GRAPH.md) whose embedded
+//                              content key is the snapshot key. Purely an
+//                              accelerator for the sibling .tsnp — a warm
+//                              --frozen run mmaps it zero-copy and skips the
+//                              store decode entirely. A .tfzn without an
+//                              intact sibling .tsnp is an orphan: the cache
+//                              never reads it (the .tsnp is the source of
+//                              truth the audit and warm store paths trust).
 //
 // Invalidation is purely structural: there are no timestamps and no
 // in-place updates. A changed input or option produces a different key and
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "cpg/builder.hpp"
+#include "graph/frozen.hpp"
 #include "graph/graph.hpp"
 #include "jar/archive.hpp"
 #include "util/memory_budget.hpp"
@@ -70,11 +80,14 @@ struct LoadedArchive {
 };
 
 /// A warm-started CPG: the deserialized graph plus the cold run's stats and
-/// the exact store bytes the snapshot embeds.
+/// the exact store bytes the snapshot embeds. When load_snapshot() was asked
+/// to skip the decode (`need_db = false`), `db` is empty and `db_decoded` is
+/// false — graph_bytes still holds the verified store blob.
 struct CachedCpg {
   cpg::CpgStats stats;
   graph::GraphDb db;
   std::vector<std::byte> graph_bytes;
+  bool db_decoded = true;
 };
 
 class AnalysisCache {
@@ -98,13 +111,30 @@ class AnalysisCache {
   util::Result<LoadedArchive> load_archive(const std::filesystem::path& file);
 
   /// Warm-start lookup. nullopt on miss (absent, corrupt, truncated or
-  /// version-skewed snapshot). Updates stats().
-  std::optional<CachedCpg> load_snapshot(std::uint64_t key);
+  /// version-skewed snapshot). Updates stats(). With `need_db = false` the
+  /// embedded graph store is NOT deserialized (a frozen warm start already
+  /// has the graph); its trailing checksum is still verified so a corrupt
+  /// blob stays a miss either way.
+  std::optional<CachedCpg> load_snapshot(std::uint64_t key, bool need_db = true);
 
   /// Persists a snapshot: `graph_bytes` must be graph::serialize(db) of the
   /// CPG the stats describe. Written atomically (temp file + rename).
   util::Status store_snapshot(std::uint64_t key, const cpg::CpgStats& stats,
                               const std::vector<std::byte>& graph_bytes);
+
+  /// Frozen warm-start lookup: mmaps snapshots/<key>.tfzn (zero-copy) and
+  /// validates the whole frame plus the embedded content key. nullopt on any
+  /// miss; when the file exists but fails validation, `corrupt_reason` (if
+  /// non-null) receives the structural reason — the caller's cue to emit a
+  /// degradation warning before falling back to the store decode. Absent
+  /// files leave it empty. Counters: cache.frozen_hits / cache.frozen_misses.
+  std::optional<graph::FrozenGraph> load_frozen(std::uint64_t key,
+                                                std::string* corrupt_reason = nullptr);
+
+  /// Publishes a frozen frame next to its snapshot. `frozen` must have been
+  /// built with content key == `key` (enforced; a mismatch is an error, not
+  /// a silent bad entry). Written atomically like every other cache file.
+  util::Status store_frozen(std::uint64_t key, const graph::FrozenGraph& frozen);
 
   CacheStats& stats() { return stats_; }
   const std::filesystem::path& dir() const { return dir_; }
@@ -119,6 +149,7 @@ class AnalysisCache {
 
   std::filesystem::path fragment_path(std::uint64_t digest) const;
   std::filesystem::path snapshot_path(std::uint64_t key) const;
+  std::filesystem::path frozen_path(std::uint64_t key) const;
 
   std::filesystem::path dir_;
   CacheStats stats_;
@@ -132,13 +163,16 @@ class AnalysisCache {
 // audit_cache() walks the whole directory eagerly, re-validating every entry
 // with the exact discipline the hot path applies (frame checksum + interior
 // structure for fragments; header checksum + embedded graph store
-// deserialization for snapshots) and flagging what the hot path would treat
+// deserialization for snapshots; full structural attach + content-key
+// binding for frozen frames) and flagging what the hot path would treat
 // as a miss — plus files the cache would never consult at all (orphans:
-// stray names, leftover .tmp files from interrupted publishes).
+// stray names, leftover .tmp files from interrupted publishes, and frozen
+// frames whose sibling .tsnp is missing or corrupt — the hot path only
+// trusts a .tfzn alongside an intact snapshot).
 
 /// One file examined by audit_cache(), in deterministic (sorted) walk order.
 struct CacheAuditEntry {
-  enum class Kind : std::uint8_t { Fragment, Snapshot, Orphan };
+  enum class Kind : std::uint8_t { Fragment, Snapshot, FrozenSnapshot, Orphan };
   enum class State : std::uint8_t { Intact, Corrupt, Orphaned };
 
   std::filesystem::path path;
@@ -153,6 +187,7 @@ struct CacheAuditReport {
   std::vector<CacheAuditEntry> entries;
   std::size_t fragments_checked = 0;
   std::size_t snapshots_checked = 0;
+  std::size_t frozen_checked = 0;
   std::size_t corrupt = 0;
   std::size_t orphaned = 0;
   /// Bytes held by corrupt + orphaned entries (what prune mode reclaims).

@@ -54,6 +54,7 @@ struct Args {
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
   bool verify = false;
+  bool frozen = true;  // find/query: use the frozen CSR snapshot (docs/GRAPH.md)
   bool with_jdk = true;
   bool metrics = false;
   bool strict = false;  // promote degradation to failure (FailurePolicy::kStrict)
@@ -93,6 +94,11 @@ constexpr FlagSpec kFlags[] = {
     {.name = "--depth", .kind = FlagSpec::Kind::Count, .count = &Args::depth, .min = 1},
     {.name = "--jobs", .kind = FlagSpec::Kind::Count, .count = &Args::jobs, .min = 1},
     {.name = "--verify", .kind = FlagSpec::Kind::Switch, .toggle = &Args::verify},
+    {.name = "--frozen", .kind = FlagSpec::Kind::Switch, .toggle = &Args::frozen},
+    {.name = "--no-frozen",
+     .kind = FlagSpec::Kind::Switch,
+     .toggle = &Args::frozen,
+     .switch_value = false},
     {.name = "--no-jdk",
      .kind = FlagSpec::Kind::Switch,
      .toggle = &Args::with_jdk,
@@ -213,7 +219,7 @@ int usage(std::ostream& err) {
          "  tabby list\n"
          "  tabby gen <component-or-scene> --out DIR\n"
          "  tabby analyze JAR... [--store FILE] [--cache DIR] [--no-jdk] [--jobs N]\n"
-         "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-jdk] [--jobs N]\n"
+         "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-frozen] [--jobs N]\n"
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\"\n"
          "  tabby cache DIR [--prune]\n"
@@ -225,6 +231,13 @@ int usage(std::ostream& err) {
          "                whole-classpath CPG snapshots, keyed by content digests.\n"
          "                A warm run on an unchanged classpath skips recomputation\n"
          "                and produces identical output.\n"
+         "  --frozen / --no-frozen\n"
+         "                find/query: run the search over the frozen CSR graph\n"
+         "                snapshot (default on; see docs/GRAPH.md). With --cache\n"
+         "                the frame is persisted next to the snapshot and warm\n"
+         "                runs mmap it zero-copy, skipping the graph decode.\n"
+         "                Output is byte-identical either way; --verify and a\n"
+         "                corrupt cached frame fall back to the graph store.\n"
          "  --trace FILE  write a Chrome trace-event JSON of the run (open in\n"
          "                chrome://tracing or https://ui.perfetto.dev; one track\n"
          "                per worker thread). Does not change any output.\n"
@@ -401,6 +414,9 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
   pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/args.verify,
                                              /*need_graph_bytes=*/false, budget.get());
+  // auto-verify replays chains against the mutable store's node ids, so
+  // --verify pins the run to the store-backed representation.
+  popts.use_frozen = args.frozen && !args.verify;
   auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()}, popts);
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
@@ -422,7 +438,11 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   options.frontier_byte_pool = static_cast<std::size_t>(
       args.budgets.finder_mem.value_or(args.budgets.mem.value_or(0)));
   options.memory = budget.get();
-  finder::GadgetChainFinder finder(outcome.db, options);
+  // Same search, same report bytes — the frozen finder only changes how the
+  // adjacency and properties are read.
+  finder::GadgetChainFinder finder = outcome.frozen.has_value()
+                                         ? finder::GadgetChainFinder(*outcome.frozen, options)
+                                         : finder::GadgetChainFinder(outcome.db, options);
   finder::FinderReport report = finder.find_all();
 
   out << report.chains.size() << " gadget chain(s), "
@@ -489,6 +509,7 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
   }
   std::string query_text = args.positional.back();
   graph::GraphDb db;
+  std::optional<graph::FrozenGraph> frozen;
   int degraded = 0;
   if (!args.store.empty()) {
     auto loaded = graph::load(args.store);
@@ -504,16 +525,30 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
     }
     std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
     std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
-    auto result = pipeline::run({args.positional.begin() + 1, args.positional.end() - 1},
-                                pipeline_options(args, pool.get(), /*need_program=*/false,
-                                                 /*need_graph_bytes=*/false, budget.get()));
+    pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/false,
+                                               /*need_graph_bytes=*/false, budget.get());
+    popts.use_frozen = args.frozen;
+    auto result = pipeline::run({args.positional.begin() + 1, args.positional.end() - 1}, popts);
     if (!result.ok()) {
       err << "error: " << result.error().to_string() << "\n";
       return 1;
     }
     report_outcome(result.value(), out, err);
     degraded = degradation_exit(result.value());
+    frozen = std::move(result.value().frozen);
     db = std::move(result.value().db);
+  }
+  // Queries print byte-identically over either representation; the frozen
+  // path just reads sorted CSR segments instead of adjacency vectors.
+  if (frozen.has_value()) {
+    auto query_result = cypher::run_query(*frozen, query_text);
+    if (!query_result.ok()) {
+      err << "query error: " << query_result.error().to_string() << "\n";
+      return 1;
+    }
+    out << query_result.value().to_string(*frozen) << "(" << query_result.value().rows.size()
+        << " row(s))\n";
+    return degraded;
   }
   auto query_result = cypher::run_query(db, query_text);
   if (!query_result.ok()) {

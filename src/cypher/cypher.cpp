@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
+#include <optional>
 
 #include "util/failpoint.hpp"
 #include "util/strings.hpp"
@@ -364,19 +365,99 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+// --- Representation adapters -------------------------------------------------
+// The executor below is generic over the graph representation (mutable
+// GraphDb or frozen CSR). These overloads are the full surface it needs;
+// each pair must agree on both result *and* iteration order — the frozen
+// side enumerates ascending dense ids / ascending edge indexes, which is
+// exactly the live-element order the GraphDb side iterates.
+
+std::string_view db_label(const GraphDb& db, NodeId id) { return db.node(id).label; }
+std::string_view db_label(const graph::FrozenGraph& db, NodeId id) { return db.label(id); }
+
+std::optional<Value> db_prop(const GraphDb& db, NodeId id, const std::string& key) {
+  const Value* v = db.node(id).prop(key);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+std::optional<Value> db_prop(const graph::FrozenGraph& db, NodeId id, const std::string& key) {
+  return db.node_prop(id, key);
+}
+
+std::string db_edge_type(const GraphDb& db, EdgeId id) { return db.edge(id).type; }
+std::string db_edge_type(const graph::FrozenGraph& db, EdgeId id) {
+  return std::string(db.edge_type_name(db.edge_type(id)));
+}
+
+template <typename Fn>
+void db_scan_nodes(const GraphDb& db, Fn&& fn) {
+  db.for_each_node([&](const graph::Node& node) { fn(node.id); });
+}
+template <typename Fn>
+void db_scan_nodes(const graph::FrozenGraph& db, Fn&& fn) {
+  for (NodeId id = 0; id < db.node_count(); ++id) fn(id);
+}
+
+/// Visits out-edges in insertion order, filtered to `type` when non-empty;
+/// fn(edge, neighbor).
+template <typename Fn>
+void db_for_each_out(const GraphDb& db, NodeId n, const std::string& type, Fn&& fn) {
+  for (EdgeId eid : db.out_edges(n)) {
+    const Edge& e = db.edge(eid);
+    if (!type.empty() && e.type != type) continue;
+    fn(eid, e.to);
+  }
+}
+template <typename Fn>
+void db_for_each_out(const graph::FrozenGraph& db, NodeId n, const std::string& type, Fn&& fn) {
+  if (type.empty()) {
+    db.for_each_out_ordered(n, [&](std::uint32_t e, std::uint32_t nbr) {
+      fn(EdgeId{e}, NodeId{nbr});
+    });
+    return;
+  }
+  auto t = db.edge_type_id(type);
+  if (!t.has_value()) return;
+  graph::AdjacencyView adj = db.out_edges_typed_view(n, *t);
+  for (std::size_t k = 0; k < adj.size(); ++k) fn(EdgeId{adj.edge[k]}, NodeId{adj.nbr[k]});
+}
+
+template <typename Fn>
+void db_for_each_in(const GraphDb& db, NodeId n, const std::string& type, Fn&& fn) {
+  for (EdgeId eid : db.in_edges(n)) {
+    const Edge& e = db.edge(eid);
+    if (!type.empty() && e.type != type) continue;
+    fn(eid, e.from);
+  }
+}
+template <typename Fn>
+void db_for_each_in(const graph::FrozenGraph& db, NodeId n, const std::string& type, Fn&& fn) {
+  if (type.empty()) {
+    db.for_each_in_ordered(n, [&](std::uint32_t e, std::uint32_t nbr) {
+      fn(EdgeId{e}, NodeId{nbr});
+    });
+    return;
+  }
+  auto t = db.edge_type_id(type);
+  if (!t.has_value()) return;
+  graph::AdjacencyView adj = db.in_edges_typed_view(n, *t);
+  for (std::size_t k = 0; k < adj.size(); ++k) fn(EdgeId{adj.edge[k]}, NodeId{adj.nbr[k]});
+}
+
 // --- Executor ----------------------------------------------------------------
 
-bool node_satisfies(const GraphDb& db, NodeId id, const NodePattern& pattern) {
-  const graph::Node& node = db.node(id);
-  if (!pattern.label.empty() && node.label != pattern.label) return false;
+template <typename DB>
+bool node_satisfies(const DB& db, NodeId id, const NodePattern& pattern) {
+  if (!pattern.label.empty() && db_label(db, id) != pattern.label) return false;
   for (const auto& [key, value] : pattern.props) {
-    const Value* actual = node.prop(key);
-    if (actual == nullptr || !graph::value_equals(*actual, value)) return false;
+    std::optional<Value> actual = db_prop(db, id, key);
+    if (!actual.has_value() || !graph::value_equals(*actual, value)) return false;
   }
   return true;
 }
 
-std::vector<NodeId> candidate_nodes(const GraphDb& db, const NodePattern& pattern) {
+template <typename DB>
+std::vector<NodeId> candidate_nodes(const DB& db, const NodePattern& pattern) {
   if (!pattern.label.empty() && !pattern.props.empty()) {
     std::vector<NodeId> hits = db.find_nodes(pattern.label, pattern.props[0].first,
                                              pattern.props[0].second);
@@ -393,8 +474,8 @@ std::vector<NodeId> candidate_nodes(const GraphDb& db, const NodePattern& patter
     }
     return out;
   }
-  db.for_each_node([&](const graph::Node& node) {
-    if (node_satisfies(db, node.id, pattern)) out.push_back(node.id);
+  db_scan_nodes(db, [&](NodeId id) {
+    if (node_satisfies(db, id, pattern)) out.push_back(id);
   });
   return out;
 }
@@ -440,9 +521,10 @@ bool compare_values(const Value& lhs, CmpKind op, const Value& rhs) {
   return false;
 }
 
+template <typename DB>
 class Executor {
  public:
-  Executor(const GraphDb& db, const Query& query) : db_(db), query_(query) {}
+  Executor(const DB& db, const Query& query) : db_(db), query_(query) {}
 
   QueryResult run() {
     QueryResult result;
@@ -489,20 +571,8 @@ class Executor {
       path.nodes.pop_back();
     };
 
-    if (rel.direction >= 0) {
-      for (EdgeId eid : db_.out_edges(frontier)) {
-        const Edge& e = db_.edge(eid);
-        if (!rel.type.empty() && e.type != rel.type) continue;
-        try_edge(eid, e.to);
-      }
-    }
-    if (rel.direction <= 0) {
-      for (EdgeId eid : db_.in_edges(frontier)) {
-        const Edge& e = db_.edge(eid);
-        if (!rel.type.empty() && e.type != rel.type) continue;
-        try_edge(eid, e.from);
-      }
-    }
+    if (rel.direction >= 0) db_for_each_out(db_, frontier, rel.type, try_edge);
+    if (rel.direction <= 0) db_for_each_in(db_, frontier, rel.type, try_edge);
   }
 
   /// Bind pattern variables to concrete path positions. Variable-length
@@ -533,8 +603,10 @@ class Executor {
     for (const Condition& condition : query_.where) {
       auto it = bindings.find(condition.var);
       if (it == bindings.end() || it->second.kind != Binding::Kind::Node) return;
-      const Value* actual = db_.node(it->second.node).prop(condition.key);
-      if (actual == nullptr || !compare_values(*actual, condition.op, condition.literal)) return;
+      std::optional<Value> actual = db_prop(db_, it->second.node, condition.key);
+      if (!actual.has_value() || !compare_values(*actual, condition.op, condition.literal)) {
+        return;
+      }
     }
     std::vector<Binding> row;
     for (const ReturnItem& item : query_.items) {
@@ -546,8 +618,8 @@ class Executor {
       if (item.key.empty()) {
         row.push_back(it->second);
       } else if (it->second.kind == Binding::Kind::Node) {
-        const Value* v = db_.node(it->second.node).prop(item.key);
-        row.push_back(Binding::of_scalar(v == nullptr ? Value{} : *v));
+        std::optional<Value> v = db_prop(db_, it->second.node, item.key);
+        row.push_back(Binding::of_scalar(v.has_value() ? *v : Value{}));
       } else {
         row.push_back(Binding::of_scalar(Value{}));
       }
@@ -598,23 +670,27 @@ class Executor {
     }
   }
 
-  const GraphDb& db_;
+  const DB& db_;
   const Query& query_;
 };
 
-std::string render_node(const GraphDb& db, NodeId id) {
-  const graph::Node& node = db.node(id);
-  std::string best = node.prop_string("SIGNATURE");
-  if (best.empty()) best = node.prop_string("NAME");
+template <typename DB>
+std::string render_node(const DB& db, NodeId id) {
+  auto text_prop = [&](const char* key) -> std::string {
+    std::optional<Value> v = db_prop(db, id, key);
+    const std::string* s = v.has_value() ? std::get_if<std::string>(&v.value()) : nullptr;
+    return s != nullptr ? *s : std::string{};
+  };
+  std::string best = text_prop("SIGNATURE");
+  if (best.empty()) best = text_prop("NAME");
   if (best.empty()) best = "#" + std::to_string(id);
-  return "(" + node.label + " " + best + ")";
+  return "(" + std::string(db_label(db, id)) + " " + best + ")";
 }
 
-}  // namespace
-
-std::string QueryResult::to_string(const GraphDb& db) const {
-  std::string out = util::join(columns, " | ") + "\n";
-  for (const auto& row : rows) {
+template <typename DB>
+std::string result_to_string(const QueryResult& result, const DB& db) {
+  std::string out = util::join(result.columns, " | ") + "\n";
+  for (const auto& row : result.rows) {
     std::vector<std::string> cells;
     for (const Binding& binding : row) {
       switch (binding.kind) {
@@ -622,7 +698,7 @@ std::string QueryResult::to_string(const GraphDb& db) const {
           cells.push_back(render_node(db, binding.node));
           break;
         case Binding::Kind::Relationship:
-          cells.push_back("[" + db.edge(binding.edge).type + "]");
+          cells.push_back("[" + db_edge_type(db, binding.edge) + "]");
           break;
         case Binding::Kind::Path: {
           std::string text;
@@ -643,7 +719,8 @@ std::string QueryResult::to_string(const GraphDb& db) const {
   return out;
 }
 
-util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query_text) {
+template <typename DB>
+util::Result<QueryResult> run_query_impl(const DB& db, std::string_view query_text) {
   // Fault seam for the chaos harness: evaluation faults surface as the
   // structured error a malformed plan would produce, never as a crash.
   if (util::failpoint::poll("cypher.eval")) {
@@ -653,7 +730,25 @@ util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view q
   if (!tokens.ok()) return tokens.error();
   auto query = Parser(std::move(tokens.value())).parse();
   if (!query.ok()) return query.error();
-  return Executor(db, query.value()).run();
+  return Executor<DB>(db, query.value()).run();
+}
+
+}  // namespace
+
+std::string QueryResult::to_string(const GraphDb& db) const {
+  return result_to_string(*this, db);
+}
+
+std::string QueryResult::to_string(const graph::FrozenGraph& db) const {
+  return result_to_string(*this, db);
+}
+
+util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query_text) {
+  return run_query_impl(db, query_text);
+}
+
+util::Result<QueryResult> run_query(const graph::FrozenGraph& db, std::string_view query_text) {
+  return run_query_impl(db, query_text);
 }
 
 }  // namespace tabby::cypher

@@ -16,6 +16,7 @@
 #include <variant>
 #include <vector>
 
+#include "graph/frozen.hpp"
 #include "graph/graph.hpp"
 #include "graph/traversal.hpp"
 #include "util/result.hpp"
@@ -58,10 +59,17 @@ struct QueryResult {
 
   /// Human-readable rendering (nodes print their NAME/SIGNATURE property).
   std::string to_string(const graph::GraphDb& db) const;
+  std::string to_string(const graph::FrozenGraph& db) const;
 };
 
 /// Parses and executes a query. Malformed queries report Error with a
 /// byte offset; execution itself cannot fail.
 util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query);
+
+/// Frozen-CSR evaluation: identical semantics and row order. Typed patterns
+/// scan sorted edge segments; untyped patterns replay insertion order, so
+/// every query prints byte-identically against either representation of the
+/// same graph.
+util::Result<QueryResult> run_query(const graph::FrozenGraph& db, std::string_view query);
 
 }  // namespace tabby::cypher

@@ -1,6 +1,7 @@
 #include "finder/finder.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 
 #include "analysis/domain.hpp"
@@ -27,8 +28,9 @@ struct TcState {
 };
 
 /// Formula 4: TC_next = { PP[x] | x in TC }. Fails (nullopt) when any
-/// required position is uncontrollable.
-std::optional<TcState> traverse_tc(const TcState& tc, const std::vector<std::int64_t>& pp) {
+/// required position is uncontrollable. Takes a span so the frozen path can
+/// feed int-list pool slices without materializing a vector.
+std::optional<TcState> traverse_tc(const TcState& tc, std::span<const std::int64_t> pp) {
   TcState next;
   for (std::int64_t x : tc.positions) {
     if (x < 0 || x >= static_cast<std::int64_t>(pp.size())) return std::nullopt;
@@ -84,15 +86,23 @@ std::string GadgetChain::key() const {
 GadgetChainFinder::GadgetChainFinder(const graph::GraphDb& cpg, FinderOptions options)
     : db_(&cpg), options_(options) {}
 
+GadgetChainFinder::GadgetChainFinder(const graph::FrozenGraph& cpg, FinderOptions options)
+    : frozen_(&cpg), options_(options) {}
+
 FinderReport GadgetChainFinder::find_all() {
   obs::Span span("finder.find_all");
   util::Stopwatch watch;
   FinderReport report;
   std::unordered_set<std::string> seen;
 
+  // Both representations yield the sink set in ascending id order after the
+  // sort (frozen ids are the dense renumbering of the same ascending scan),
+  // so shard order — and the merge below — is representation-independent.
   std::vector<NodeId> sinks =
-      db_->find_nodes(std::string(cpg::kMethodLabel), std::string(cpg::kPropIsSink),
-                      graph::Value{true});
+      db_ != nullptr
+          ? db_->find_nodes(std::string(cpg::kMethodLabel), std::string(cpg::kPropIsSink),
+                            graph::Value{true})
+          : frozen_->find_nodes(cpg::kMethodLabel, cpg::kPropIsSink, graph::Value{true});
   std::sort(sinks.begin(), sinks.end());
   report.sinks_considered = sinks.size();
 
@@ -111,7 +121,8 @@ FinderReport GadgetChainFinder::find_all() {
   util::run_indexed(options_.executor, sinks.size(), [&](std::size_t i) {
     obs::Span sink_span("finder.sink");
     sink_span.attr("sink", static_cast<std::uint64_t>(sinks[i]));
-    searches[i] = search_sink(sinks[i], is_source, cap);
+    searches[i] = db_ != nullptr ? search_sink(sinks[i], is_source, cap)
+                                 : search_sink_frozen(sinks[i], cap);
     sink_span.attr("chains", static_cast<std::uint64_t>(searches[i].chains.size()));
     sink_span.attr("expansions", static_cast<std::uint64_t>(searches[i].expansions));
     obs::counter_add("finder.sinks_searched");
@@ -129,9 +140,12 @@ FinderReport GadgetChainFinder::find_all() {
     report.spilled_paths += search.spilled;
     report.peak_frontier_bytes = std::max(report.peak_frontier_bytes, search.peak_bytes);
     if (search.partial()) {
-      report.partial_sinks.push_back(PartialSink{
-          sinks[i], db_->node(sinks[i]).prop_string(std::string(cpg::kPropSignature)),
-          search.expansions, search.reason()});
+      std::string signature =
+          db_ != nullptr
+              ? db_->node(sinks[i]).prop_string(std::string(cpg::kPropSignature))
+              : std::string(frozen_->node_prop_string(sinks[i], cpg::kPropSignature));
+      report.partial_sinks.push_back(
+          PartialSink{sinks[i], std::move(signature), search.expansions, search.reason()});
     }
     last_expansions_ = search.expansions;
     last_exhausted_ = search.exhausted;
@@ -158,6 +172,13 @@ FinderReport GadgetChainFinder::find_all() {
 }
 
 std::vector<GadgetChain> GadgetChainFinder::find_from_sink(graph::NodeId sink) {
+  if (db_ == nullptr) {
+    SinkSearch search = search_sink_frozen(sink, shard_cap(1));
+    last_expansions_ = search.expansions;
+    last_exhausted_ = search.exhausted;
+    last_partial_ = search.partial();
+    return std::move(search.chains);
+  }
   return find_from_sink(sink, [](const graph::Node& n) {
     return n.prop_bool(std::string(cpg::kPropIsSource));
   });
@@ -274,6 +295,136 @@ GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink(
                   for (NodeId n : chain.nodes) {
                     chain.signatures.push_back(
                         db_->node(n).prop_string(std::string(cpg::kPropSignature)));
+                  }
+                  search.chains.push_back(std::move(chain));
+                  if (governed) ++search.spilled;
+                });
+  search.expansions = traverser.expansions();
+  search.exhausted = traverser.exhausted_budget();
+  search.deadline_expired = traverser.deadline_expired();
+  search.frontier_pruned = traverser.frontier_pruned();
+  search.bytes_charged = traverser.frontier_bytes_charged();
+  search.peak_bytes = traverser.peak_frontier_bytes();
+  return search;
+}
+
+GadgetChainFinder::SinkSearch GadgetChainFinder::search_sink_frozen(
+    graph::NodeId sink, std::size_t frontier_cap) const {
+  const graph::FrozenGraph& g = *frozen_;
+  // Resolve every column and type id once per shard; the hot loop then only
+  // touches flat arrays.
+  const graph::FrozenColumn* sig_col = g.node_column(cpg::kPropSignature);
+  const graph::FrozenColumn* source_col = g.node_column(cpg::kPropIsSource);
+  const graph::FrozenColumn* sink_type_col = g.node_column(cpg::kPropSinkType);
+  const graph::FrozenColumn* tc_col = g.node_column(cpg::kPropTriggerCondition);
+  const graph::FrozenColumn* pp_col = g.edge_column(cpg::kPropPollutedPosition);
+  const std::optional<std::uint16_t> call_type = g.edge_type_id(cpg::kCallEdge);
+  const std::optional<std::uint16_t> alias_type = g.edge_type_id(cpg::kAliasEdge);
+
+  // Column reads that stay exact when a key's column degraded to Mixed
+  // (heterogeneous fuzz graphs): same result as the GraphDb accessors.
+  auto col_string = [](const graph::FrozenColumn* col, std::uint64_t i) -> std::string {
+    if (col == nullptr) return {};
+    if (col->kind() == graph::FrozenColumnKind::Str) return std::string(col->get_string(i));
+    auto v = col->get_value(i);
+    const std::string* s = v.has_value() ? std::get_if<std::string>(&v.value()) : nullptr;
+    return s != nullptr ? *s : std::string{};
+  };
+
+  std::string sink_type = col_string(sink_type_col, sink);
+
+  TcState initial;
+  if (tc_col != nullptr) {
+    if (tc_col->kind() == graph::FrozenColumnKind::IntList) {
+      auto xs = tc_col->get_intlist(sink);
+      initial.positions.assign(xs.begin(), xs.end());
+    } else if (auto v = tc_col->get_value(sink); v.has_value()) {
+      if (const auto* xs = std::get_if<std::vector<std::int64_t>>(&v.value())) {
+        initial.positions = *xs;
+      }
+    }
+  }
+  if (initial.positions.empty()) initial.positions = {0};
+
+  // Algorithm 2 over typed CSR slices. Step order matches search_sink's
+  // filtered insertion-order scans exactly: a typed slice ascends by dense
+  // edge index, which is the live-edge emission order GraphDb iterates.
+  auto expand = [&, this](const graph::FrozenGraph& db, const Path& path,
+                          const TcState& tc) -> std::vector<graph::Step<TcState>> {
+    std::vector<graph::Step<TcState>> steps;
+    NodeId frontier = path.end();
+
+    if (call_type.has_value()) {
+      graph::AdjacencyView calls = db.in_edges_typed_view(frontier, *call_type);
+      for (std::size_t k = 0; k < calls.size(); ++k) {
+        EdgeId eid = calls.edge[k];
+        NodeId caller = calls.nbr[k];
+        if (options_.check_trigger_conditions) {
+          if (pp_col == nullptr || !pp_col->has(eid)) continue;
+          std::optional<TcState> next;
+          if (pp_col->kind() == graph::FrozenColumnKind::IntList) {
+            next = traverse_tc(tc, pp_col->get_intlist(eid));
+          } else {
+            auto v = pp_col->get_value(eid);
+            const auto* xs =
+                v.has_value() ? std::get_if<std::vector<std::int64_t>>(&v.value()) : nullptr;
+            if (xs == nullptr) continue;
+            next = traverse_tc(tc, *xs);
+          }
+          if (!next) continue;  // uncontrollable along this call: reject edge
+          steps.push_back(graph::Step<TcState>{eid, caller, std::move(*next)});
+        } else {
+          steps.push_back(graph::Step<TcState>{eid, caller, tc});
+        }
+      }
+    }
+    if (options_.use_alias_edges && alias_type.has_value()) {
+      graph::AdjacencyView aliases = db.out_edges_typed_view(frontier, *alias_type);
+      for (std::size_t k = 0; k < aliases.size(); ++k) {
+        steps.push_back(graph::Step<TcState>{aliases.edge[k], aliases.nbr[k], tc});
+      }
+      if (options_.alias_bidirectional) {
+        graph::AdjacencyView rev = db.in_edges_typed_view(frontier, *alias_type);
+        for (std::size_t k = 0; k < rev.size(); ++k) {
+          steps.push_back(graph::Step<TcState>{rev.edge[k], rev.nbr[k], tc});
+        }
+      }
+    }
+    return steps;
+  };
+
+  // Algorithm 3, with IS_SOURCE read straight off the column bitmap.
+  auto evaluate = [&, this](const graph::FrozenGraph&, const Path& path,
+                            const TcState&) -> graph::Evaluation {
+    if (path.length() > 0 && source_col != nullptr && source_col->get_bool(path.end())) {
+      return graph::Evaluation::IncludeAndPrune;
+    }
+    if (static_cast<int>(path.length()) >= options_.max_depth) {
+      return graph::Evaluation::ExcludeAndPrune;
+    }
+    return graph::Evaluation::ExcludeAndContinue;
+  };
+
+  graph::TraversalLimits limits;
+  limits.max_results = options_.max_results_per_sink;
+  limits.max_expansions = options_.max_expansions;
+  limits.deadline = options_.deadline;
+  limits.max_frontier_bytes = frontier_cap;
+  limits.memory = options_.memory;
+
+  graph::Traverser<TcState, graph::FrozenGraph> traverser(
+      g, expand, evaluate, graph::Uniqueness::NodePath, limits,
+      [](const TcState& tc) { return tc.positions.capacity() * sizeof(std::int64_t); });
+
+  SinkSearch search;
+  const bool governed = frontier_cap != SIZE_MAX;
+  traverser.run(sink, std::move(initial),
+                [&](graph::TraversalResult<TcState> result) {
+                  GadgetChain chain;
+                  chain.sink_type = sink_type;
+                  chain.nodes.assign(result.path.nodes.rbegin(), result.path.nodes.rend());
+                  for (NodeId n : chain.nodes) {
+                    chain.signatures.push_back(col_string(sig_col, n));
                   }
                   search.chains.push_back(std::move(chain));
                   if (governed) ++search.spilled;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/frozen.hpp"
 #include "graph/graph.hpp"
 #include "graph/traversal.hpp"
 #include "util/deadline.hpp"
@@ -129,6 +130,12 @@ class GadgetChainFinder {
  public:
   explicit GadgetChainFinder(const graph::GraphDb& cpg, FinderOptions options = {});
 
+  /// Frozen-CSR variant: the identical search over graph::FrozenGraph.
+  /// Expansion enumerates typed adjacency segments whose within-type order
+  /// equals GraphDb's insertion-order iteration, so the report — chains,
+  /// order, dedup — is byte-identical to the store-backed finder.
+  explicit GadgetChainFinder(const graph::FrozenGraph& cpg, FinderOptions options = {});
+
   /// Search from every sink node in the CPG; chains are deduplicated by
   /// signature sequence.
   FinderReport find_all();
@@ -138,7 +145,8 @@ class GadgetChainFinder {
 
   /// Custom search: user-supplied source predicate (the RQ4 workflow —
   /// "check for the existence of a gadget chain between any source and sink
-  /// according to their needs").
+  /// according to their needs"). Store-backed finders only: the predicate
+  /// sees graph::Node, which a frozen finder has no way to materialize.
   std::vector<GadgetChain> find_from_sink(graph::NodeId sink,
                                           const std::function<bool(const graph::Node&)>& is_source);
 
@@ -173,11 +181,18 @@ class GadgetChainFinder {
                          const std::function<bool(const graph::Node&)>& is_source,
                          std::size_t frontier_cap) const;
 
+  /// The same traversal over the frozen CSR: CALL/ALIAS expansion reads
+  /// typed adjacency slices and columnar properties (IS_SOURCE bitmap,
+  /// Polluted_Position int-list pool) resolved once per sink shard.
+  SinkSearch search_sink_frozen(graph::NodeId sink, std::size_t frontier_cap) const;
+
   /// The deterministic pool split: pool / sinks, floored so a huge sink
   /// count cannot starve every shard to zero.
   std::size_t shard_cap(std::size_t sink_count) const;
 
-  const graph::GraphDb* db_;
+  // Exactly one representation is set; every query dispatches on db_.
+  const graph::GraphDb* db_ = nullptr;
+  const graph::FrozenGraph* frozen_ = nullptr;
   FinderOptions options_;
   std::size_t last_expansions_ = 0;
   bool last_exhausted_ = false;

@@ -19,6 +19,8 @@ using util::Result;
 constexpr std::size_t kHeaderSize = 4 + 2 + 8;
 constexpr std::size_t kChecksumSize = 8;
 
+}  // namespace
+
 void write_value(ByteWriter& out, const Value& v) {
   struct Visitor {
     ByteWriter& out;
@@ -113,6 +115,8 @@ Result<Value> read_value(ByteReader& in) {
       return Error{"bad value tag", in.position()};
   }
 }
+
+namespace {
 
 void write_props(ByteWriter& out, const PropertyMap& props) {
   out.uvarint(props.size());

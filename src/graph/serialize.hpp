@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace tabby::graph {
@@ -26,6 +27,13 @@ inline constexpr std::uint16_t kGraphStoreVersion = 2;
 
 std::vector<std::byte> serialize(const GraphDb& db);
 util::Result<GraphDb> deserialize(std::span<const std::byte> data);
+
+// Single-value wire encoding (tag byte + payload), shared with the frozen
+// snapshot's Mixed property columns so one codec covers every Value
+// alternative on disk. Tags: 0 null, 1 bool, 2 int (svarint), 3 double
+// (uvarint of the bit pattern), 4 string, 5 int list, 6 string list.
+void write_value(util::ByteWriter& out, const Value& v);
+util::Result<Value> read_value(util::ByteReader& in);
 
 util::Status save(const GraphDb& db, const std::filesystem::path& path);
 util::Result<GraphDb> load(const std::filesystem::path& path);

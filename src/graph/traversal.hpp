@@ -116,12 +116,17 @@ struct TraversalLimits {
   util::MemoryBudget* memory = nullptr;
 };
 
-template <typename State>
+/// The engine is generic over the graph representation: `DB` is GraphDb
+/// (the mutable build-time store, the default) or FrozenGraph (the immutable
+/// CSR snapshot). Only node_capacity() is required of DB directly; expansion
+/// and evaluation see the same `const DB&` they were constructed with, so
+/// the traversal order — and therefore every result — is representation-
+/// independent as long as the callbacks enumerate steps in the same order.
+template <typename State, typename DB = GraphDb>
 class Traverser {
  public:
-  using ExpandFn =
-      std::function<std::vector<Step<State>>(const GraphDb&, const Path&, const State&)>;
-  using EvalFn = std::function<Evaluation(const GraphDb&, const Path&, const State&)>;
+  using ExpandFn = std::function<std::vector<Step<State>>(const DB&, const Path&, const State&)>;
+  using EvalFn = std::function<Evaluation(const DB&, const Path&, const State&)>;
   /// Streaming result sink: invoked in DFS discovery order, exactly when
   /// the accumulating run() would have appended. Taking the result by value
   /// lets the caller keep it in a compact form and lets the engine release
@@ -131,7 +136,7 @@ class Traverser {
   /// Defaults to zero extra (sizeof(State) is already in the frame cost).
   using StateBytesFn = std::function<std::size_t(const State&)>;
 
-  Traverser(const GraphDb& db, ExpandFn expand, EvalFn evaluate,
+  Traverser(const DB& db, ExpandFn expand, EvalFn evaluate,
             Uniqueness uniqueness = Uniqueness::NodePath, TraversalLimits limits = {},
             StateBytesFn state_bytes = {})
       : db_(db), expand_(std::move(expand)), evaluate_(std::move(evaluate)),
@@ -301,7 +306,7 @@ class Traverser {
     util::maybe_release(limits_.memory, bytes);
   }
 
-  const GraphDb& db_;
+  const DB& db_;
   ExpandFn expand_;
   EvalFn evaluate_;
   Uniqueness uniqueness_;

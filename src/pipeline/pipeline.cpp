@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "corpus/jdk.hpp"
+#include "graph/frozen.hpp"
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
 #include "obs/obs.hpp"
@@ -30,6 +31,27 @@ util::Status absorb_build_cut(const cpg::Cpg& cpg, FailurePolicy policy, Outcome
                                 " method(s) left unsummarised by the deadline cut");
   }
   return util::Status::ok_status();
+}
+
+/// Freezes the built (or decoded) CPG into the immutable CSR when
+/// Options::use_frozen asks for it. Fail-soft: a freeze failure (a graph too
+/// large for the dense id space, an injected graph.freeze fault) leaves the
+/// store-backed db in charge with a warning — never a run failure.
+void freeze_outcome(const Options& options, std::uint64_t content_key, Outcome& outcome) {
+  if (!options.use_frozen) return;
+  obs::Span span("graph.freeze");
+  auto frozen = graph::FrozenGraph::freeze(outcome.db, content_key, options.memory);
+  if (!frozen.ok()) {
+    obs::counter_add("graph.freeze_failures");
+    outcome.warnings.push_back("graph freeze failed: " + frozen.error().message +
+                               " (continuing with the store-backed graph)");
+    return;
+  }
+  if (span.active()) {
+    span.attr("nodes", static_cast<std::uint64_t>(frozen.value().node_count()));
+    span.attr("bytes", static_cast<std::uint64_t>(frozen.value().frame().size()));
+  }
+  outcome.frozen = std::move(frozen.value());
 }
 
 /// Cold back half shared by both run() overloads: build the CPG and, when
@@ -85,6 +107,7 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
     }
     util::Status built = build_into(program.value(), options, cpg_options, outcome);
     if (!built.ok()) return built.error();
+    freeze_outcome(options, /*content_key=*/0, outcome);
     if (options.need_program) outcome.program = std::move(program.value());
     return outcome;
   }
@@ -126,7 +149,26 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
   std::uint64_t key =
       cache::AnalysisCache::snapshot_key(cpg::options_fingerprint(cpg_options), digests);
 
-  std::optional<cache::CachedCpg> snapshot = cache.load_snapshot(key);
+  // Frozen-first warm start: mmap the cached CSR frame when one matches.
+  // The sibling .tsnp stays the source of truth — a frozen hit still
+  // requires it intact (stats + the exact store bytes), but lets
+  // load_snapshot skip the expensive graph decode. A corrupt frame is a
+  // structured degradation, then the store path proceeds as if no frame
+  // existed; a frame without an intact snapshot is an orphan and is ignored.
+  std::optional<graph::FrozenGraph> warm_frozen;
+  if (options.use_frozen) {
+    std::string corrupt_reason;
+    auto frozen = cache.load_frozen(key, &corrupt_reason);
+    if (frozen.has_value()) {
+      warm_frozen = std::move(frozen);
+    } else if (!corrupt_reason.empty()) {
+      outcome.warnings.push_back("cached frozen graph rejected: " + corrupt_reason +
+                                 " (falling back to the graph store)");
+    }
+  }
+  std::optional<cache::CachedCpg> snapshot =
+      cache.load_snapshot(key, /*need_db=*/!warm_frozen.has_value());
+  if (!snapshot.has_value()) warm_frozen.reset();
   if (!snapshot.has_value() || options.need_program) {
     // Load the program through per-archive fragments: unchanged archives
     // warm-start, only changed ones are re-decoded from the original bytes.
@@ -205,6 +247,7 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
         TABBY_SPAN("graph.serialize");
         outcome.graph_bytes = graph::serialize(outcome.db);
       }
+      bool snapshot_published = false;
       if (outcome.degradation.degraded()) {
         // Never publish a degraded CPG: the snapshot key describes the
         // on-disk classpath, and a later repaired run with the same bytes
@@ -215,19 +258,52 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
         if (!stored.ok()) {
           outcome.warnings.push_back(stored.error().to_string() +
                                      " (continuing without snapshot)");
+        } else {
+          snapshot_published = true;
+        }
+      }
+      // Freeze after the store publish so the frame is only ever published
+      // next to its intact snapshot (a companion-less .tfzn is an orphan the
+      // warm path would ignore anyway).
+      freeze_outcome(options, key, outcome);
+      if (outcome.frozen.has_value() && snapshot_published) {
+        auto stored_frozen = cache.store_frozen(key, *outcome.frozen);
+        if (!stored_frozen.ok()) {
+          outcome.warnings.push_back(stored_frozen.error().to_string() +
+                                     " (continuing without frozen snapshot)");
         }
       }
     }
     if (options.need_program) outcome.program = std::move(program);
   }
   if (snapshot.has_value()) {
-    outcome.db = std::move(snapshot->db);
     outcome.stats = snapshot->stats;
     outcome.graph_bytes = std::move(snapshot->graph_bytes);
     outcome.warm = true;
-    // Persistence stores data, not index structures; recreate the standard
-    // set so lookups behave exactly as on a freshly built CPG.
-    cpg::create_standard_indexes(outcome.db, options.executor);
+    if (warm_frozen.has_value()) {
+      // Frozen warm start: the mmapped frame is the graph; the store decode
+      // was skipped (db stays empty) unless load_snapshot decoded anyway.
+      outcome.frozen = std::move(warm_frozen);
+      outcome.db_skipped = !snapshot->db_decoded;
+    }
+    if (snapshot->db_decoded) {
+      outcome.db = std::move(snapshot->db);
+      // Persistence stores data, not index structures; recreate the standard
+      // set so lookups behave exactly as on a freshly built CPG.
+      cpg::create_standard_indexes(outcome.db, options.executor);
+      if (options.use_frozen && !outcome.frozen.has_value()) {
+        // Frozen requested but the frame was absent or corrupt: re-freeze
+        // from the decoded store and republish so the cache self-heals.
+        freeze_outcome(options, key, outcome);
+        if (outcome.frozen.has_value()) {
+          auto stored_frozen = cache.store_frozen(key, *outcome.frozen);
+          if (!stored_frozen.ok()) {
+            outcome.warnings.push_back(stored_frozen.error().to_string() +
+                                       " (continuing without frozen snapshot)");
+          }
+        }
+      }
+    }
   }
   outcome.cache_line = cache.stats().to_line();
   return outcome;
@@ -361,6 +437,7 @@ Outcome run(const jir::Program& program, const Options& options) {
   Options absorbing = options;
   absorbing.policy = FailurePolicy::kQuarantine;
   (void)build_into(program, absorbing, cpg_options, outcome);
+  freeze_outcome(options, /*content_key=*/0, outcome);
   return outcome;
 }
 

@@ -28,6 +28,7 @@
 
 #include "cache/cache.hpp"
 #include "cpg/builder.hpp"
+#include "graph/frozen.hpp"
 #include "graph/graph.hpp"
 #include "jir/model.hpp"
 #include "util/deadline.hpp"
@@ -96,6 +97,16 @@ struct Options {
   /// when no cache is in play. Cache runs always have them (snapshots embed
   /// the store bytes).
   bool need_graph_bytes = false;
+  /// Also freeze the CPG into an immutable CSR snapshot (Outcome::frozen),
+  /// the representation the finder and cypher hot paths prefer (see
+  /// docs/GRAPH.md). Cache runs publish the frame next to the snapshot
+  /// (snapshots/<key>.tfzn); a warm start mmaps it zero-copy and skips the
+  /// graph-store decode entirely (Outcome::db_skipped). Fail-soft both ways:
+  /// a freeze failure or a corrupt cached frame degrades to the store-backed
+  /// graph with a warning, never a run failure. Off by default at the
+  /// library level — every query result is byte-identical either way, so
+  /// existing embedders see no change; the CLI enables it (--frozen).
+  bool use_frozen = false;
   /// Worker pool for the parallel stages; nullptr = serial. Borrowed, must
   /// outlive run(). (make_pool() builds one from a --jobs-style count.)
   util::Executor* executor = nullptr;
@@ -131,6 +142,15 @@ struct Options {
 struct Outcome {
   graph::GraphDb db;
   cpg::CpgStats stats;
+  /// The frozen CSR snapshot, when Options::use_frozen was set and the
+  /// freeze (or the cached-frame mmap) succeeded. Traversal, finder and
+  /// cypher results against it are byte-identical to store-backed runs on
+  /// `db`; absence just means the run degraded to the store representation.
+  std::optional<graph::FrozenGraph> frozen;
+  /// True when a warm frozen start skipped deserializing the graph store:
+  /// `db` is empty and `frozen` holds the graph (db_skipped implies frozen
+  /// is present; graph_bytes still carry the verified store blob).
+  bool db_skipped = false;
   /// graph::serialize(db), the exact bytes `--store` writes. Present on
   /// every cache run and whenever Options::need_graph_bytes was set.
   std::vector<std::byte> graph_bytes;

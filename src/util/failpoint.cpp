@@ -19,6 +19,7 @@ constexpr const char* kSites[] = {
     "cypher.eval",             // query evaluation entry (run_query)
     "fs.read",                 // any file read feeding the pipeline
     "graph.deserialize",       // graph store / snapshot blob decode
+    "graph.freeze",            // building the frozen CSR snapshot
     "graph.index.rebuild",     // (re)creating label/property indexes
     "jar.decode",              // TJAR archive decode
     "pool.task",               // ThreadPool parallel_for task body

@@ -1,0 +1,547 @@
+// Tests for the frozen CSR snapshot (src/graph/frozen.hpp, docs/GRAPH.md):
+// accessor-level equivalence with the mutable GraphDb it freezes, byte-level
+// determinism of the frame, the fail-closed validation contract (truncation,
+// bit flips, version skew are structured errors, never UB), memory-budget
+// charging, the cache's .tfzn publish/load/audit integration, and the
+// end-to-end guarantee that `--frozen` and `--no-frozen` runs are
+// byte-identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cli/cli.hpp"
+#include "corpus/components.hpp"
+#include "cpg/builder.hpp"
+#include "cypher/cypher.hpp"
+#include "finder/finder.hpp"
+#include "graph/frozen.hpp"
+#include "graph/graph.hpp"
+#include "graph/serialize.hpp"
+#include "jar/archive.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/digest.hpp"
+#include "util/memory_budget.hpp"
+#include "util/rng.hpp"
+
+namespace tabby {
+namespace {
+
+namespace fs = std::filesystem;
+
+graph::FrozenGraph freeze_or_die(const graph::GraphDb& db, std::uint64_t key = 0,
+                                 util::MemoryBudget* memory = nullptr) {
+  auto result = graph::FrozenGraph::freeze(db, key, memory);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  return std::move(result.value());
+}
+
+/// A small graph exercising every property encoding the column format has:
+/// typed bool/int/real/string/int-list columns, a heterogeneous (Mixed)
+/// column, string lists, explicit nulls, and absent entries.
+graph::GraphDb kitchen_sink_graph() {
+  graph::GraphDb db;
+  auto a = db.add_node("Method");
+  auto b = db.add_node("Method");
+  auto c = db.add_node("Class");
+  auto d = db.add_node("Field");
+  db.set_node_prop(a, "NAME", graph::Value{std::string("readObject")});
+  db.set_node_prop(b, "NAME", graph::Value{std::string("exec")});
+  db.set_node_prop(a, "IS_SOURCE", graph::Value{true});
+  db.set_node_prop(b, "IS_SINK", graph::Value{true});
+  db.set_node_prop(c, "ACCESS", graph::Value{std::int64_t{33}});
+  db.set_node_prop(c, "SCORE", graph::Value{2.5});
+  db.set_node_prop(d, "TAGS", graph::Value{std::vector<std::string>{"a", "bb"}});
+  // Heterogeneous key: int on one node, string on another -> Mixed column.
+  db.set_node_prop(a, "MIXED", graph::Value{std::int64_t{7}});
+  db.set_node_prop(b, "MIXED", graph::Value{std::string("seven")});
+  db.set_node_prop(c, "MIXED", graph::Value{false});
+  db.set_node_prop(d, "NOTHING", graph::Value{});  // explicit null
+  auto e0 = db.add_edge(a, b, "CALL");
+  auto e1 = db.add_edge(b, c, "CALL");
+  db.add_edge(c, d, "CONTAINS");
+  db.add_edge(a, c, "ALIAS");
+  db.set_edge_prop(e0, "POLLUTED_POSITION", graph::Value{std::vector<std::int64_t>{0, -1}});
+  db.set_edge_prop(e1, "POLLUTED_POSITION", graph::Value{std::vector<std::int64_t>{2}});
+  db.set_edge_prop(e1, "ORDER", graph::Value{std::int64_t{1}});
+  return db;
+}
+
+/// Randomized graph with tombstones: removals force the freeze to renumber
+/// node/edge ids densely, the part of the mapping most worth fuzzing.
+graph::GraphDb random_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphDb db;
+  const char* labels[] = {"Method", "Class", "Field", "Call"};
+  const char* types[] = {"CALL", "ALIAS", "EXTENDS", "CONTAINS"};
+  const char* keys[] = {"NAME", "ORDER", "IS_SINK", "SCORE", "POS", "TAGS", "MIX"};
+  std::size_t n = 24 + rng.next_below(48);
+  std::vector<graph::NodeId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = db.add_node(labels[rng.next_below(4)]);
+    ids.push_back(id);
+    for (std::size_t k = 0; k < 2 + rng.next_below(3); ++k) {
+      const char* key = keys[rng.next_below(7)];
+      switch (rng.next_below(7)) {
+        case 0: db.set_node_prop(id, key, graph::Value{rng.next_below(2) == 0}); break;
+        case 1: db.set_node_prop(id, key, graph::Value{std::int64_t(rng.next_below(1000))}); break;
+        case 2: db.set_node_prop(id, key, graph::Value{double(rng.next_below(100)) / 4.0}); break;
+        case 3:
+          db.set_node_prop(id, key, graph::Value{"s" + std::to_string(rng.next_below(50))});
+          break;
+        case 4:
+          db.set_node_prop(
+              id, key,
+              graph::Value{std::vector<std::int64_t>{std::int64_t(rng.next_below(5)), -1}});
+          break;
+        case 5:
+          db.set_node_prop(id, key,
+                           graph::Value{std::vector<std::string>{
+                               "t" + std::to_string(rng.next_below(9))}});
+          break;
+        default: db.set_node_prop(id, key, graph::Value{}); break;
+      }
+    }
+  }
+  std::size_t m = n * 3;
+  for (std::size_t i = 0; i < m; ++i) {
+    auto e = db.add_edge(ids[rng.next_below(ids.size())], ids[rng.next_below(ids.size())],
+                         types[rng.next_below(4)]);
+    if (rng.next_below(3) == 0)
+      db.set_edge_prop(e, "POLLUTED_POSITION",
+                       graph::Value{std::vector<std::int64_t>{std::int64_t(rng.next_below(4))}});
+    if (rng.next_below(4) == 0)
+      db.set_edge_prop(e, "W", graph::Value{std::int64_t(rng.next_below(10))});
+  }
+  // Tombstones: ~1/8 of edges and ~1/10 of nodes (with their incident edges).
+  for (std::size_t i = 0; i < db.edge_capacity(); ++i)
+    if (db.edge_alive(i) && rng.next_below(8) == 0) db.remove_edge(i);
+  for (std::size_t i = 0; i < db.node_capacity(); ++i)
+    if (db.node_alive(i) && rng.next_below(10) == 0) db.remove_node(i);
+  return db;
+}
+
+/// Asserts every accessor of `fg` agrees with `db`, modulo the documented
+/// dense renumbering (live elements in ascending id order).
+void expect_equivalent(const graph::GraphDb& db, const graph::FrozenGraph& fg) {
+  ASSERT_EQ(fg.node_count(), db.node_count());
+  ASSERT_EQ(fg.edge_count(), db.edge_count());
+
+  // Dense id <-> store id mapping, in the documented order.
+  std::vector<graph::NodeId> live_nodes;
+  std::vector<graph::EdgeId> live_edges;
+  for (graph::NodeId id = 0; id < db.node_capacity(); ++id)
+    if (db.node_alive(id)) live_nodes.push_back(id);
+  for (graph::EdgeId id = 0; id < db.edge_capacity(); ++id)
+    if (db.edge_alive(id)) live_edges.push_back(id);
+  std::vector<std::uint32_t> dense_node(db.node_capacity(), 0);
+  std::vector<std::uint32_t> dense_edge(db.edge_capacity(), 0);
+  for (std::size_t i = 0; i < live_nodes.size(); ++i)
+    dense_node[live_nodes[i]] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < live_edges.size(); ++i)
+    dense_edge[live_edges[i]] = static_cast<std::uint32_t>(i);
+
+  for (std::size_t i = 0; i < live_edges.size(); ++i) {
+    const auto& edge = db.edge(live_edges[i]);
+    EXPECT_EQ(fg.edge_from(i), dense_node[edge.from]);
+    EXPECT_EQ(fg.edge_to(i), dense_node[edge.to]);
+    EXPECT_EQ(fg.edge_type_name(fg.edge_type(i)), edge.type);
+  }
+
+  for (std::size_t i = 0; i < live_nodes.size(); ++i) {
+    const auto& node = db.node(live_nodes[i]);
+    EXPECT_EQ(fg.label(i), node.label);
+
+    // Untyped iteration must replay GraphDb's insertion order exactly.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> got;
+    fg.for_each_out_ordered(i, [&](std::uint32_t e, std::uint32_t nbr) {
+      got.emplace_back(e, nbr);
+    });
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> want;
+    for (graph::EdgeId e : db.out_edges(live_nodes[i]))
+      want.emplace_back(dense_edge[e], dense_node[db.edge(e).to]);
+    EXPECT_EQ(got, want) << "out adjacency of node " << live_nodes[i];
+
+    got.clear();
+    fg.for_each_in_ordered(i, [&](std::uint32_t e, std::uint32_t nbr) {
+      got.emplace_back(e, nbr);
+    });
+    want.clear();
+    for (graph::EdgeId e : db.in_edges(live_nodes[i]))
+      want.emplace_back(dense_edge[e], dense_node[db.edge(e).from]);
+    EXPECT_EQ(got, want) << "in adjacency of node " << live_nodes[i];
+
+    // Typed slices preserve the filtered insertion order.
+    for (std::uint16_t t = 0; t < fg.edge_type_count(); ++t) {
+      std::string type(fg.edge_type_name(t));
+      auto view = fg.out_edges_typed_view(i, t);
+      auto typed = db.out_edges_typed(live_nodes[i], type);
+      ASSERT_EQ(view.size(), typed.size());
+      for (std::size_t j = 0; j < typed.size(); ++j) {
+        EXPECT_EQ(view.edge[j], dense_edge[typed[j]]);
+        EXPECT_EQ(view.nbr[j], dense_node[db.edge(typed[j]).to]);
+      }
+    }
+
+    // Every property round-trips through the columnar encoding.
+    for (const auto& [key, value] : node.props) {
+      auto got_value = fg.node_prop(i, key);
+      ASSERT_TRUE(got_value.has_value()) << key;
+      EXPECT_TRUE(*got_value == value) << key;
+      EXPECT_EQ(fg.node_prop_string(i, key), node.prop_string(key));
+      EXPECT_EQ(fg.node_prop_bool(i, key), node.prop_bool(key));
+      EXPECT_EQ(fg.node_prop_int(i, key, -7), node.prop_int(key, -7));
+    }
+    EXPECT_FALSE(fg.node_prop(i, "NO_SUCH_KEY").has_value());
+  }
+
+  for (std::size_t i = 0; i < live_edges.size(); ++i) {
+    for (const auto& [key, value] : db.edge(live_edges[i]).props) {
+      auto got_value = fg.edge_prop(i, key);
+      ASSERT_TRUE(got_value.has_value()) << key;
+      EXPECT_TRUE(*got_value == value) << key;
+    }
+  }
+
+  // Label scans agree (ascending dense ids on both sides).
+  for (std::uint16_t l = 0; l < fg.label_count(); ++l) {
+    std::string label(fg.label_name(l));
+    auto scan = fg.nodes_with_label(label);
+    auto store_scan = db.nodes_with_label(label);
+    ASSERT_EQ(scan.size(), store_scan.size()) << label;
+    for (std::size_t j = 0; j < scan.size(); ++j)
+      EXPECT_EQ(scan[j], dense_node[store_scan[j]]);
+  }
+  EXPECT_TRUE(fg.nodes_with_label("NoSuchLabel").empty());
+}
+
+TEST(FrozenGraph, KitchenSinkRoundTrip) {
+  graph::GraphDb db = kitchen_sink_graph();
+  graph::FrozenGraph fg = freeze_or_die(db);
+  expect_equivalent(db, fg);
+
+  // find_nodes matches GraphDb semantics, including on the Mixed column.
+  auto sinks = fg.find_nodes("Method", "IS_SINK", graph::Value{true});
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(fg.node_prop_string(sinks[0], "NAME"), "exec");
+  EXPECT_EQ(fg.find_nodes("Method", "MIXED", graph::Value{std::string("seven")}).size(), 1u);
+  EXPECT_EQ(fg.find_nodes("Class", "MIXED", graph::Value{false}).size(), 1u);
+  EXPECT_TRUE(fg.find_nodes("Method", "IS_SINK", graph::Value{false}).empty());
+}
+
+TEST(FrozenGraph, FreezeIsDeterministicAndStoreStable) {
+  graph::GraphDb db = random_graph(11);
+  graph::FrozenGraph once = freeze_or_die(db, 99);
+  graph::FrozenGraph twice = freeze_or_die(db, 99);
+  ASSERT_EQ(once.frame().size(), twice.frame().size());
+  EXPECT_EQ(std::memcmp(once.frame().data(), twice.frame().data(), once.frame().size()), 0);
+
+  // Freezing a store round trip yields the same bytes: the store emission
+  // order IS the dense renumbering order.
+  auto bytes = graph::serialize(db);
+  auto restored = graph::deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  graph::FrozenGraph thawed = freeze_or_die(restored.value(), 99);
+  ASSERT_EQ(once.frame().size(), thawed.frame().size());
+  EXPECT_EQ(std::memcmp(once.frame().data(), thawed.frame().data(), once.frame().size()), 0);
+}
+
+TEST(FrozenGraph, SaveMapFileAndFromBytesRoundTrip) {
+  graph::GraphDb db = kitchen_sink_graph();
+  graph::FrozenGraph fg = freeze_or_die(db, 0xDEADBEEF);
+  EXPECT_EQ(fg.content_key(), 0xDEADBEEFu);
+  EXPECT_FALSE(fg.mapped());
+
+  fs::path path = fs::temp_directory_path() / ("tabby_frozen_" + std::to_string(::getpid()));
+  ASSERT_TRUE(fg.save(path).ok());
+  ASSERT_EQ(fs::file_size(path), fg.frame().size());
+
+  auto mapped = graph::FrozenGraph::map_file(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.error().message;
+  EXPECT_TRUE(mapped.value().mapped());
+  EXPECT_EQ(mapped.value().content_key(), 0xDEADBEEFu);
+  expect_equivalent(db, mapped.value());
+
+  auto copied = graph::FrozenGraph::from_bytes(fg.frame());
+  ASSERT_TRUE(copied.ok()) << copied.error().message;
+  EXPECT_FALSE(copied.value().mapped());
+  expect_equivalent(db, copied.value());
+  fs::remove(path);
+}
+
+TEST(FrozenGraph, EquivalenceFuzz) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    graph::GraphDb db = random_graph(seed);
+    graph::FrozenGraph fg = freeze_or_die(db);
+    expect_equivalent(db, fg);
+  }
+}
+
+TEST(FrozenGraph, TruncationIsACleanError) {
+  graph::GraphDb db = kitchen_sink_graph();
+  graph::FrozenGraph fg = freeze_or_die(db);
+  std::vector<std::byte> frame(fg.frame().begin(), fg.frame().end());
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{47},
+                          frame.size() / 2, frame.size() - 1}) {
+    auto result =
+        graph::FrozenGraph::from_bytes(std::span<const std::byte>(frame.data(), len));
+    ASSERT_FALSE(result.ok()) << "truncated to " << len << " bytes";
+    EXPECT_FALSE(result.error().message.empty());
+  }
+}
+
+TEST(FrozenGraph, EveryBitFlipIsDetected) {
+  graph::GraphDb db = kitchen_sink_graph();
+  graph::FrozenGraph fg = freeze_or_die(db, 77);
+  std::vector<std::byte> pristine(fg.frame().begin(), fg.frame().end());
+  // Sample offsets across the whole frame (header, directory, sections,
+  // trailing checksum included); the trailing FNV must catch each flip.
+  std::size_t step = std::max<std::size_t>(1, pristine.size() / 64);
+  for (std::size_t off = 0; off < pristine.size(); off += step) {
+    std::vector<std::byte> frame = pristine;
+    frame[off] ^= std::byte{0x40};
+    auto result = graph::FrozenGraph::from_bytes(frame);
+    EXPECT_FALSE(result.ok()) << "flip at offset " << off << " went undetected";
+  }
+  std::vector<std::byte> last = pristine;
+  last.back() ^= std::byte{0x01};
+  EXPECT_FALSE(graph::FrozenGraph::from_bytes(last).ok());
+}
+
+TEST(FrozenGraph, VersionSkewAndBadMagicAreStructuredErrors) {
+  graph::GraphDb db = kitchen_sink_graph();
+  graph::FrozenGraph fg = freeze_or_die(db);
+  std::vector<std::byte> frame(fg.frame().begin(), fg.frame().end());
+
+  // Bump the version and re-sign so the checksum cannot mask the skew.
+  auto resign = [](std::vector<std::byte>& f) {
+    std::uint64_t sum = util::fnv1a(
+        std::span<const std::byte>(f.data(), f.size() - graph::kFrozenChecksumSize));
+    std::memcpy(f.data() + f.size() - graph::kFrozenChecksumSize, &sum, sizeof sum);
+  };
+  std::vector<std::byte> stale = frame;
+  std::uint16_t future = graph::kFrozenVersion + 1;
+  std::memcpy(stale.data() + 4, &future, sizeof future);
+  resign(stale);
+  auto skewed = graph::FrozenGraph::from_bytes(stale);
+  ASSERT_FALSE(skewed.ok());
+  EXPECT_NE(skewed.error().message.find("version"), std::string::npos)
+      << skewed.error().message;
+
+  std::vector<std::byte> wrong = frame;
+  std::uint32_t magic = 0x12345678;
+  std::memcpy(wrong.data(), &magic, sizeof magic);
+  resign(wrong);
+  EXPECT_FALSE(graph::FrozenGraph::from_bytes(wrong).ok());
+}
+
+TEST(FrozenGraph, MemoryBudgetChargesFrameForLifetime) {
+  util::MemoryBudget budget;
+  graph::GraphDb db = kitchen_sink_graph();
+  {
+    graph::FrozenGraph fg = freeze_or_die(db, 0, &budget);
+    EXPECT_GE(budget.charged(), fg.frame().size());
+  }
+  EXPECT_EQ(budget.charged(), 0u);  // eviction == destruction == release
+}
+
+TEST(FrozenGraph, FinderAndCypherMatchStoreBackedRuns) {
+  corpus::Component component = corpus::build_component("BeanShell1");
+  cpg::Cpg cpg = cpg::build_cpg(component.link());
+  graph::FrozenGraph fg = freeze_or_die(cpg.db);
+
+  finder::FinderOptions fopts;
+  auto store_report = finder::GadgetChainFinder(cpg.db, fopts).find_all();
+  auto frozen_report = finder::GadgetChainFinder(fg, fopts).find_all();
+  ASSERT_FALSE(store_report.chains.empty());
+  ASSERT_EQ(frozen_report.chains.size(), store_report.chains.size());
+  for (std::size_t i = 0; i < store_report.chains.size(); ++i)
+    EXPECT_EQ(frozen_report.chains[i].to_string(), store_report.chains[i].to_string());
+
+  for (const char* query : {"MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE",
+                            "MATCH (m:Method {IS_SOURCE: true}) RETURN m.SIGNATURE LIMIT 3",
+                            "MATCH (a:Method)-[:CALL]->(b:Method) RETURN b.SIGNATURE LIMIT 5"}) {
+    auto store_rows = cypher::run_query(cpg.db, query);
+    auto frozen_rows = cypher::run_query(fg, query);
+    ASSERT_TRUE(store_rows.ok()) << query;
+    ASSERT_TRUE(frozen_rows.ok()) << query;
+    EXPECT_EQ(frozen_rows.value().to_string(fg), store_rows.value().to_string(cpg.db)) << query;
+  }
+}
+
+// --- Cache + pipeline + CLI integration -------------------------------------
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  CliRun result;
+  result.code = cli::run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+void flip_byte(const fs::path& path, std::size_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(byte ^ 0x5a));
+}
+
+class FrozenCacheFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("tabby_frozen_cache_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    jar_ = (dir_ / "one.tjar").string();
+    ASSERT_TRUE(jar::write_archive_file(corpus::build_component("BeanShell1").jar, jar_).ok());
+    cache_dir_ = (dir_ / "cache").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::vector<fs::path> frozen_frames() {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(fs::path(cache_dir_) / "snapshots"))
+      if (entry.path().extension() == ".tfzn") out.push_back(entry.path());
+    return out;
+  }
+
+  fs::path dir_;
+  std::string jar_, cache_dir_;
+};
+
+TEST_F(FrozenCacheFixture, StoreAndLoadFrozenRoundTrip) {
+  auto cache = cache::AnalysisCache::open(cache_dir_);
+  ASSERT_TRUE(cache.ok()) << cache.error().message;
+
+  graph::GraphDb db = kitchen_sink_graph();
+  std::uint64_t key = 0xABCD;
+  graph::FrozenGraph fg = freeze_or_die(db, key);
+  ASSERT_TRUE(cache.value().store_frozen(key, fg).ok());
+
+  std::string reason = "sentinel";
+  auto loaded = cache.value().load_frozen(key, &reason);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(reason.empty());
+  EXPECT_EQ(loaded->content_key(), key);
+  expect_equivalent(db, *loaded);
+
+  // Content-key mismatch on publish is an error, not a silent bad entry.
+  EXPECT_FALSE(cache.value().store_frozen(key + 1, fg).ok());
+
+  // A miss on an absent key leaves the corrupt reason empty.
+  reason = "sentinel";
+  EXPECT_FALSE(cache.value().load_frozen(key + 2, &reason).has_value());
+  EXPECT_TRUE(reason.empty());
+
+  // A bit-flipped frame is a miss WITH a structural reason.
+  auto frames = frozen_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  flip_byte(frames[0], fs::file_size(frames[0]) / 2);
+  reason.clear();
+  EXPECT_FALSE(cache.value().load_frozen(key, &reason).has_value());
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST_F(FrozenCacheFixture, AuditSeesFrozenFramesAndPrunesOrphans) {
+  // Warm the cache through the pipeline so the .tfzn sits next to its .tsnp.
+  CliRun cold = run({"find", jar_, "--cache", cache_dir_});
+  ASSERT_EQ(cold.code, 0) << cold.err;
+  ASSERT_EQ(frozen_frames().size(), 1u);
+
+  auto report = cache::audit_cache(cache_dir_, /*prune=*/false);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report.value().clean());
+  EXPECT_EQ(report.value().frozen_checked, 1u);
+  bool saw_frozen = false;
+  for (const auto& entry : report.value().entries)
+    saw_frozen |= entry.kind == cache::CacheAuditEntry::Kind::FrozenSnapshot;
+  EXPECT_TRUE(saw_frozen);
+
+  // Deleting the companion snapshot orphans the frame; prune reclaims it.
+  for (const auto& entry : fs::directory_iterator(fs::path(cache_dir_) / "snapshots"))
+    if (entry.path().extension() == ".tsnp") fs::remove(entry.path());
+  auto orphaned = cache::audit_cache(cache_dir_, /*prune=*/true);
+  ASSERT_TRUE(orphaned.ok()) << orphaned.error().message;
+  EXPECT_EQ(orphaned.value().orphaned, 1u);
+  EXPECT_GT(orphaned.value().reclaimed_bytes, 0u);
+  EXPECT_TRUE(frozen_frames().empty());
+}
+
+TEST_F(FrozenCacheFixture, WarmFrozenStartSkipsTheStoreDecode) {
+  pipeline::Options options;
+  options.cache_dir = cache_dir_;
+  options.use_frozen = true;
+  auto cold = pipeline::run({jar_}, options);
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  EXPECT_FALSE(cold.value().warm);
+  ASSERT_TRUE(cold.value().frozen.has_value());
+  EXPECT_FALSE(cold.value().db_skipped);
+
+  auto warm = pipeline::run({jar_}, options);
+  ASSERT_TRUE(warm.ok()) << warm.error().message;
+  EXPECT_TRUE(warm.value().warm);
+  ASSERT_TRUE(warm.value().frozen.has_value());
+  EXPECT_TRUE(warm.value().db_skipped);
+  EXPECT_TRUE(warm.value().frozen->mapped());
+  EXPECT_EQ(warm.value().db.node_count(), 0u);
+  // The graph bytes still carry the verified store blob either way.
+  EXPECT_EQ(warm.value().graph_bytes, cold.value().graph_bytes);
+  EXPECT_EQ(warm.value().frozen->node_count(), cold.value().frozen->node_count());
+
+  // Corrupt the cached frame: the next warm run degrades to the store
+  // decode with a warning — and self-heals by republishing a fresh frame.
+  auto frames = frozen_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  std::vector<char> before(fs::file_size(frames[0]));
+  std::ifstream(frames[0], std::ios::binary).read(before.data(), before.size());
+  flip_byte(frames[0], fs::file_size(frames[0]) - 3);
+  auto healed = pipeline::run({jar_}, options);
+  ASSERT_TRUE(healed.ok()) << healed.error().message;
+  EXPECT_TRUE(healed.value().warm);
+  EXPECT_FALSE(healed.value().db_skipped);
+  ASSERT_TRUE(healed.value().frozen.has_value());
+  bool warned = false;
+  for (const auto& warning : healed.value().warnings)
+    warned |= warning.find("frozen") != std::string::npos;
+  EXPECT_TRUE(warned);
+  std::vector<char> after(fs::file_size(frames[0]));
+  std::ifstream(frames[0], std::ios::binary).read(after.data(), after.size());
+  EXPECT_EQ(before, after);  // byte-identical republish
+}
+
+TEST_F(FrozenCacheFixture, CliFindIsByteIdenticalFrozenVsStore) {
+  CliRun frozen = run({"find", jar_, "--frozen"});
+  CliRun store = run({"find", jar_, "--no-frozen"});
+  ASSERT_EQ(frozen.code, store.code);
+  EXPECT_EQ(frozen.out, store.out);
+  ASSERT_FALSE(frozen.out.empty());
+
+  CliRun jobs = run({"find", jar_, "--frozen", "--jobs", "4"});
+  EXPECT_EQ(jobs.out, store.out);
+
+  CliRun query_frozen =
+      run({"query", jar_, "MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE", "--frozen"});
+  CliRun query_store =
+      run({"query", jar_, "MATCH (m:Method {IS_SINK: true}) RETURN m.SIGNATURE", "--no-frozen"});
+  ASSERT_EQ(query_frozen.code, 0) << query_frozen.err;
+  EXPECT_EQ(query_frozen.out, query_store.out);
+}
+
+}  // namespace
+}  // namespace tabby
