@@ -291,6 +291,91 @@ void BM_FrozenAttach(benchmark::State& state) {
 }
 BENCHMARK(BM_FrozenAttach);
 
+// --- Adversarial query workloads: planner vs naive (docs/CYPHER.md) --------
+//
+// Pattern shapes chosen to be worst-case for left-to-right enumeration and
+// best-case for the planner's backward reachability filters: an unbound (or
+// huge-label) start flowing into a tiny selective end. Each class is
+// measured twice — BM_*Naive forces the naive evaluator (--no-plan), BM_*
+// Planned uses the planner — so the speedup is the ratio of the paired rows.
+// Acceptance bar: >= 5x on at least one class; the planner must also never
+// lose on the existing BM_CypherVarLengthQuery workload (source-anchored,
+// which the planner correctly declines to reverse).
+
+/// 20k Method nodes with random CALL wiring, plus 8 Sink nodes fed by a
+/// handful of CALL edges — the "everything calls something, almost nothing
+/// reaches a sink" shape of real gadget hunting.
+graph::GraphDb planner_adversarial_graph() {
+  graph::GraphDb db;
+  util::Rng rng(2026);
+  constexpr std::size_t kMethods = 20000;
+  for (std::size_t i = 0; i < kMethods; ++i) {
+    db.add_node("Method", {{"NAME", graph::Value{std::string("m") + std::to_string(i)}},
+                           {"ID", graph::Value{static_cast<std::int64_t>(i)}}});
+  }
+  for (std::size_t i = 0; i < 2 * kMethods; ++i) {
+    db.add_edge(rng.next_below(kMethods), rng.next_below(kMethods), "CALL");
+  }
+  for (std::size_t s = 0; s < 8; ++s) {
+    graph::NodeId sink =
+        db.add_node("Sink", {{"NAME", graph::Value{std::string("sink") + std::to_string(s)}}});
+    for (std::size_t k = 0; k < 5; ++k) db.add_edge(rng.next_below(kMethods), sink, "CALL");
+  }
+  return db;
+}
+
+void bench_query(benchmark::State& state, const graph::GraphDb& db, const char* query,
+                 bool use_planner) {
+  cypher::QueryOptions options;
+  options.use_planner = use_planner;
+  for (auto _ : state) {
+    auto result = cypher::run_query(db, query, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+
+constexpr const char* kUnboundStartQuery = "MATCH (a)-[:CALL]->(b:Sink) RETURN b.NAME";
+constexpr const char* kLongPathQuery =
+    "MATCH (a:Method)-[:CALL*1..4]->(b:Sink) RETURN b.NAME";
+constexpr const char* kSelectiveEndQuery =
+    "MATCH (a:Method)-[:CALL]->(b:Method) WHERE b.ID = 17 RETURN a.ID";
+
+void BM_QueryUnboundStartNaive(benchmark::State& state) {
+  graph::GraphDb db = planner_adversarial_graph();
+  bench_query(state, db, kUnboundStartQuery, false);
+}
+BENCHMARK(BM_QueryUnboundStartNaive);
+
+void BM_QueryUnboundStartPlanned(benchmark::State& state) {
+  graph::GraphDb db = planner_adversarial_graph();
+  bench_query(state, db, kUnboundStartQuery, true);
+}
+BENCHMARK(BM_QueryUnboundStartPlanned);
+
+void BM_QueryLongPathNaive(benchmark::State& state) {
+  graph::GraphDb db = planner_adversarial_graph();
+  bench_query(state, db, kLongPathQuery, false);
+}
+BENCHMARK(BM_QueryLongPathNaive);
+
+void BM_QueryLongPathPlanned(benchmark::State& state) {
+  graph::GraphDb db = planner_adversarial_graph();
+  bench_query(state, db, kLongPathQuery, true);
+}
+BENCHMARK(BM_QueryLongPathPlanned);
+
+void BM_QuerySelectiveEndNaive(benchmark::State& state) {
+  graph::GraphDb db = planner_adversarial_graph();
+  bench_query(state, db, kSelectiveEndQuery, false);
+}
+BENCHMARK(BM_QuerySelectiveEndNaive);
+
+void BM_QuerySelectiveEndPlanned(benchmark::State& state) {
+  graph::GraphDb db = planner_adversarial_graph();
+  bench_query(state, db, kSelectiveEndQuery, true);
+}
+BENCHMARK(BM_QuerySelectiveEndPlanned);
+
 void BM_FrozenGadgetChainSearch(benchmark::State& state) {
   corpus::Component component = corpus::build_component("commons-collections(3.2.1)");
   cpg::Cpg cpg = cpg::build_cpg(component.link());

@@ -28,6 +28,10 @@
 //                              intact sibling .tsnp is an orphan: the cache
 //                              never reads it (the .tsnp is the source of
 //                              truth the audit and warm store paths trust).
+//                              Frames carry an optional planner-stats section
+//                              (docs/GRAPH.md); the pipeline treats a
+//                              stats-less frame as a miss and republishes an
+//                              upgraded one from the decoded store.
 //
 // Invalidation is purely structural: there are no timestamps and no
 // in-place updates. A changed input or option produces a different key and

@@ -59,6 +59,8 @@ struct Args {
   bool metrics = false;
   bool strict = false;  // promote degradation to failure (FailurePolicy::kStrict)
   bool prune = false;   // `cache` subcommand: remove what the audit flags
+  bool explain = false;  // `query`: print the compiled plan before the rows
+  bool plan = true;      // `query`: --no-plan forces the naive evaluator
   BudgetSpec budgets;   // validated form of deadline/phase_budgets
   std::string error;
 };
@@ -109,6 +111,11 @@ constexpr FlagSpec kFlags[] = {
     {.name = "--phase-budget", .kind = FlagSpec::Kind::Multi, .multi = &Args::phase_budgets},
     {.name = "--strict", .kind = FlagSpec::Kind::Switch, .toggle = &Args::strict},
     {.name = "--prune", .kind = FlagSpec::Kind::Switch, .toggle = &Args::prune},
+    {.name = "--explain", .kind = FlagSpec::Kind::Switch, .toggle = &Args::explain},
+    {.name = "--no-plan",
+     .kind = FlagSpec::Kind::Switch,
+     .toggle = &Args::plan,
+     .switch_value = false},
 };
 
 /// Validates --deadline / --phase-budget text into a BudgetSpec. Returns a
@@ -221,7 +228,7 @@ int usage(std::ostream& err) {
          "  tabby analyze JAR... [--store FILE] [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-frozen] [--jobs N]\n"
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
-         "  tabby query --store FILE \"MATCH ... RETURN ...\"\n"
+         "  tabby query --store FILE \"MATCH ... RETURN ...\" [--explain] [--no-plan]\n"
          "  tabby cache DIR [--prune]\n"
          "\n"
          "  --jobs N      worker threads for the parallel stages (default: all\n"
@@ -256,6 +263,12 @@ int usage(std::ostream& err) {
          "                phases: load (archive decode, duration), finder\n"
          "                (per-sink search, duration), finder-mem (frontier byte\n"
          "                pool, size). Repeatable.\n"
+         "  --explain     `tabby query` only: print the compiled query plan\n"
+         "                (start selection, estimates, pushdowns) before the\n"
+         "                rows. Purely additive — rows are unchanged.\n"
+         "  --no-plan     `tabby query` only: skip the cost-based planner and\n"
+         "                run the naive evaluator. Escape hatch; output is\n"
+         "                byte-identical either way, only speed differs.\n"
          "  --strict      fail on the first malformed input or exceeded budget\n"
          "                instead of quarantining it (exit 1 instead of 3).\n"
          "  --prune       `tabby cache` only: delete the corrupt and orphaned\n"
@@ -511,6 +524,10 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
   graph::GraphDb db;
   std::optional<graph::FrozenGraph> frozen;
   int degraded = 0;
+  // Pool and budget outlive the query: the planner's backward prepass
+  // parallelizes over the pool and its filter bitsets are metered.
+  std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+  std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
   if (!args.store.empty()) {
     auto loaded = graph::load(args.store);
     if (!loaded.ok()) {
@@ -523,8 +540,6 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
       err << "usage: tabby query JAR... \"MATCH ...\"\n";
       return 2;
     }
-    std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
-    std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
     pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/false,
                                                /*need_graph_bytes=*/false, budget.get());
     popts.use_frozen = args.frozen;
@@ -538,25 +553,23 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
     frozen = std::move(result.value().frozen);
     db = std::move(result.value().db);
   }
-  // Queries print byte-identically over either representation; the frozen
-  // path just reads sorted CSR segments instead of adjacency vectors.
-  if (frozen.has_value()) {
-    auto query_result = cypher::run_query(*frozen, query_text);
-    if (!query_result.ok()) {
-      err << "query error: " << query_result.error().to_string() << "\n";
-      return 1;
-    }
-    out << query_result.value().to_string(*frozen) << "(" << query_result.value().rows.size()
-        << " row(s))\n";
-    return degraded;
-  }
-  auto query_result = cypher::run_query(db, query_text);
+  cypher::QueryOptions qopts;
+  qopts.use_planner = args.plan;
+  qopts.executor = pool.get();
+  qopts.memory = budget.get();
+  // Queries print byte-identically over either representation (and with or
+  // without the planner); the frozen path just reads sorted CSR segments
+  // instead of adjacency vectors.
+  auto query_result = frozen.has_value() ? cypher::run_query(*frozen, query_text, qopts)
+                                         : cypher::run_query(db, query_text, qopts);
   if (!query_result.ok()) {
     err << "query error: " << query_result.error().to_string() << "\n";
     return 1;
   }
-  out << query_result.value().to_string(db) << "(" << query_result.value().rows.size()
-      << " row(s))\n";
+  if (args.explain) out << query_result.value().plan;
+  out << (frozen.has_value() ? query_result.value().to_string(*frozen)
+                             : query_result.value().to_string(db))
+      << "(" << query_result.value().rows.size() << " row(s))\n";
   return degraded;
 }
 

@@ -1,0 +1,66 @@
+// Parsed representation of the Cypher subset (see docs/CYPHER.md for the
+// grammar). Split out of the evaluator so the planner can inspect a Query
+// without dragging in execution machinery: parse_query() -> Query -> either
+// the naive evaluator or a compiled Plan, both in cypher.cpp.
+#pragma once
+
+#include <climits>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/value.hpp"
+#include "util/result.hpp"
+
+namespace tabby::cypher {
+
+struct NodePattern {
+  std::string var;
+  std::string label;
+  std::vector<std::pair<std::string, graph::Value>> props;
+};
+
+struct RelPattern {
+  std::string var;
+  std::string type;   // empty = any
+  int direction = 1;  // +1 ->, -1 <-, 0 either
+  int min_len = 1;
+  int max_len = 1;
+};
+
+/// Cap for unbounded `*` / `*n..` ranges — bounds the traversal like the
+/// finder's depth limit does.
+inline constexpr int kUnboundedHops = 32;
+
+struct Pattern {
+  std::string path_var;  // "p" in MATCH p = (...)
+  std::vector<NodePattern> nodes;
+  std::vector<RelPattern> rels;
+};
+
+enum class CmpKind { Eq, Ne, Lt, Gt, Le, Ge, Contains, StartsWith, EndsWith };
+
+struct Condition {
+  std::string var;
+  std::string key;
+  CmpKind op = CmpKind::Eq;
+  graph::Value literal;
+};
+
+struct ReturnItem {
+  std::string var;
+  std::string key;  // empty: the binding itself
+};
+
+struct Query {
+  Pattern pattern;
+  std::vector<Condition> where;
+  std::vector<ReturnItem> items;
+  std::size_t limit = SIZE_MAX;
+};
+
+/// Lex + parse one query. Malformed input reports Error with a byte offset.
+util::Result<Query> parse_query(std::string_view text);
+
+}  // namespace tabby::cypher

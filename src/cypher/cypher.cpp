@@ -1,12 +1,29 @@
+// Evaluation of parsed queries (AST in ast.hpp, parser in parser.cpp,
+// planner in planner.cpp) over either graph representation.
+//
+// Two execution modes share one enumerator:
+//   - naive: left-to-right pattern matching, the reference semantics;
+//   - planned: the same enumeration augmented with the Plan's prunings —
+//     backward reachability filters from the anchor, per-segment distance
+//     bounds, pushed-down WHERE conditions, and empty proofs.
+// Every pruning skips only subtrees that provably emit zero rows, so the
+// planned row stream is byte-identical (order included) to the naive one —
+// the invariant the differential fuzz harness (tests/cypher_fuzz_test.cpp)
+// locks down.
 #include "cypher/cypher.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <bit>
 #include <map>
 #include <optional>
 
+#include "cypher/ast.hpp"
+#include "cypher/planner.hpp"
+#include "obs/obs.hpp"
 #include "util/failpoint.hpp"
+#include "util/memory_budget.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tabby::cypher {
 
@@ -19,351 +36,6 @@ using graph::NodeId;
 using graph::Value;
 using util::Error;
 using util::Result;
-
-// --- AST ---------------------------------------------------------------------
-
-struct NodePattern {
-  std::string var;
-  std::string label;
-  std::vector<std::pair<std::string, Value>> props;
-};
-
-struct RelPattern {
-  std::string var;
-  std::string type;          // empty = any
-  int direction = 1;         // +1 ->, -1 <-, 0 either
-  int min_len = 1;
-  int max_len = 1;
-};
-
-inline constexpr int kUnboundedHops = 32;
-
-struct Pattern {
-  std::string path_var;  // "p" in MATCH p = (...)
-  std::vector<NodePattern> nodes;
-  std::vector<RelPattern> rels;
-};
-
-enum class CmpKind { Eq, Ne, Lt, Gt, Le, Ge, Contains, StartsWith, EndsWith };
-
-struct Condition {
-  std::string var;
-  std::string key;
-  CmpKind op = CmpKind::Eq;
-  Value literal;
-};
-
-struct ReturnItem {
-  std::string var;
-  std::string key;  // empty: the binding itself
-};
-
-struct Query {
-  Pattern pattern;
-  std::vector<Condition> where;
-  std::vector<ReturnItem> items;
-  std::size_t limit = SIZE_MAX;
-};
-
-// --- Lexer ---------------------------------------------------------------------
-
-enum class TokKind { Word, Int, Str, Sym, End };
-
-struct Token {
-  TokKind kind = TokKind::End;
-  std::string text;
-  std::int64_t int_value = 0;
-  std::size_t pos = 0;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view text) : text_(text) {}
-
-  Result<std::vector<Token>> lex() {
-    std::vector<Token> out;
-    while (true) {
-      while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-      if (pos_ >= text_.size()) break;
-      char c = text_[pos_];
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        std::size_t start = pos_;
-        while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-                                       text_[pos_] == '_')) {
-          ++pos_;
-        }
-        out.push_back(Token{TokKind::Word, std::string(text_.substr(start, pos_ - start)), 0,
-                            start});
-      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
-                 (c == '-' && pos_ + 1 < text_.size() &&
-                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) && numeric_context(out))) {
-        std::size_t start = pos_;
-        if (c == '-') ++pos_;
-        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-        std::string digits(text_.substr(start, pos_ - start));
-        out.push_back(Token{TokKind::Int, digits, std::strtoll(digits.c_str(), nullptr, 10),
-                            start});
-      } else if (c == '"' || c == '\'') {
-        char quote = c;
-        std::size_t start = ++pos_;
-        std::string value;
-        while (pos_ < text_.size() && text_[pos_] != quote) {
-          char ch = text_[pos_++];
-          if (ch == '\\' && pos_ < text_.size()) ch = text_[pos_++];
-          value.push_back(ch);
-        }
-        if (pos_ >= text_.size()) return Error{"unterminated string", start};
-        ++pos_;
-        out.push_back(Token{TokKind::Str, std::move(value), 0, start});
-      } else {
-        static constexpr std::string_view kTwoChar[] = {"->", "<-", "<>", "<=", ">=", ".."};
-        bool matched = false;
-        for (std::string_view two : kTwoChar) {
-          if (text_.substr(pos_, 2) == two) {
-            out.push_back(Token{TokKind::Sym, std::string(two), 0, pos_});
-            pos_ += 2;
-            matched = true;
-            break;
-          }
-        }
-        if (!matched) {
-          out.push_back(Token{TokKind::Sym, std::string(1, c), 0, pos_});
-          ++pos_;
-        }
-      }
-    }
-    out.push_back(Token{TokKind::End, "", 0, text_.size()});
-    return out;
-  }
-
- private:
-  /// A '-' starts a negative number only after '=' ':' ',' '(' comparison
-  /// symbols — otherwise it is a relationship dash.
-  bool numeric_context(const std::vector<Token>& out) const {
-    if (out.empty()) return false;
-    const Token& prev = out.back();
-    if (prev.kind != TokKind::Sym) return false;
-    return prev.text == "=" || prev.text == ":" || prev.text == "," || prev.text == "(" ||
-           prev.text == "<" || prev.text == ">" || prev.text == "<=" || prev.text == ">=" ||
-           prev.text == "<>";
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-bool word_is(const Token& tok, std::string_view keyword) {
-  if (tok.kind != TokKind::Word || tok.text.size() != keyword.size()) return false;
-  for (std::size_t i = 0; i < keyword.size(); ++i) {
-    if (std::toupper(static_cast<unsigned char>(tok.text[i])) != keyword[i]) return false;
-  }
-  return true;
-}
-
-// --- Parser ---------------------------------------------------------------------
-
-class Parser {
- public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
-
-  Result<Query> parse() {
-    Query query;
-    if (!match_keyword("MATCH")) return err("expected MATCH");
-    auto pattern = parse_pattern();
-    if (!pattern.ok()) return pattern.error();
-    query.pattern = std::move(pattern.value());
-
-    if (match_keyword("WHERE")) {
-      do {
-        auto condition = parse_condition();
-        if (!condition.ok()) return condition.error();
-        query.where.push_back(std::move(condition.value()));
-      } while (match_keyword("AND"));
-    }
-
-    if (!match_keyword("RETURN")) return err("expected RETURN");
-    do {
-      auto item = parse_return_item();
-      if (!item.ok()) return item.error();
-      query.items.push_back(std::move(item.value()));
-    } while (match_sym(","));
-
-    if (match_keyword("LIMIT")) {
-      if (peek().kind != TokKind::Int) return err("expected LIMIT count");
-      query.limit = static_cast<std::size_t>(advance().int_value);
-    }
-    if (peek().kind != TokKind::End) return err("trailing input after query");
-    return query;
-  }
-
- private:
-  const Token& peek(std::size_t ahead = 0) const {
-    std::size_t i = pos_ + ahead;
-    return i < tokens_.size() ? tokens_[i] : tokens_.back();
-  }
-  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
-  Error err(std::string message) const { return Error{std::move(message), peek().pos}; }
-
-  bool match_sym(std::string_view sym) {
-    if (peek().kind == TokKind::Sym && peek().text == sym) {
-      advance();
-      return true;
-    }
-    return false;
-  }
-  bool match_keyword(std::string_view keyword) {
-    if (word_is(peek(), keyword)) {
-      advance();
-      return true;
-    }
-    return false;
-  }
-
-  Result<Value> parse_literal() {
-    if (peek().kind == TokKind::Int) return Value{advance().int_value};
-    if (peek().kind == TokKind::Str) return Value{advance().text};
-    if (match_keyword("TRUE")) return Value{true};
-    if (match_keyword("FALSE")) return Value{false};
-    if (match_keyword("NULL")) return Value{};
-    return err("expected literal");
-  }
-
-  Result<NodePattern> parse_node() {
-    NodePattern node;
-    if (!match_sym("(")) return err("expected '('");
-    if (peek().kind == TokKind::Word && !word_is(peek(), "WHERE")) node.var = advance().text;
-    if (match_sym(":")) {
-      if (peek().kind != TokKind::Word) return err("expected node label");
-      node.label = advance().text;
-    }
-    if (match_sym("{")) {
-      do {
-        if (peek().kind != TokKind::Word) return err("expected property key");
-        std::string key = advance().text;
-        if (!match_sym(":")) return err("expected ':' in property map");
-        auto value = parse_literal();
-        if (!value.ok()) return value.error();
-        node.props.emplace_back(std::move(key), std::move(value.value()));
-      } while (match_sym(","));
-      if (!match_sym("}")) return err("expected '}'");
-    }
-    if (!match_sym(")")) return err("expected ')'");
-    return node;
-  }
-
-  Result<RelPattern> parse_rel() {
-    RelPattern rel;
-    bool from_left = false;
-    if (match_sym("<-")) {
-      rel.direction = -1;
-      from_left = true;
-    } else if (!match_sym("-")) {
-      return err("expected relationship");
-    }
-    if (match_sym("[")) {
-      if (peek().kind == TokKind::Word) rel.var = advance().text;
-      if (match_sym(":")) {
-        if (peek().kind != TokKind::Word) return err("expected relationship type");
-        rel.type = advance().text;
-      }
-      if (match_sym("*")) {
-        rel.min_len = 1;
-        rel.max_len = kUnboundedHops;
-        if (peek().kind == TokKind::Int) {
-          rel.min_len = static_cast<int>(advance().int_value);
-          rel.max_len = rel.min_len;
-        }
-        if (match_sym("..")) {
-          rel.max_len = kUnboundedHops;
-          if (peek().kind == TokKind::Int) rel.max_len = static_cast<int>(advance().int_value);
-        }
-      }
-      if (!match_sym("]")) return err("expected ']'");
-    }
-    if (match_sym("->")) {
-      if (from_left) return err("relationship cannot point both ways");
-      rel.direction = 1;
-    } else if (match_sym("-")) {
-      if (!from_left) rel.direction = 0;
-    } else {
-      return err("expected '->' or '-'");
-    }
-    if (rel.min_len < 0 || rel.max_len < rel.min_len) return err("bad hop range");
-    return rel;
-  }
-
-  Result<Pattern> parse_pattern() {
-    Pattern pattern;
-    // Optional "p =" path binding.
-    if (peek().kind == TokKind::Word && peek(1).kind == TokKind::Sym && peek(1).text == "=") {
-      pattern.path_var = advance().text;
-      advance();  // '='
-    }
-    auto first = parse_node();
-    if (!first.ok()) return first.error();
-    pattern.nodes.push_back(std::move(first.value()));
-    while (peek().kind == TokKind::Sym && (peek().text == "-" || peek().text == "<-")) {
-      auto rel = parse_rel();
-      if (!rel.ok()) return rel.error();
-      auto node = parse_node();
-      if (!node.ok()) return node.error();
-      pattern.rels.push_back(std::move(rel.value()));
-      pattern.nodes.push_back(std::move(node.value()));
-    }
-    return pattern;
-  }
-
-  Result<Condition> parse_condition() {
-    Condition condition;
-    if (peek().kind != TokKind::Word) return err("expected variable in WHERE");
-    condition.var = advance().text;
-    if (!match_sym(".")) return err("expected '.' after variable");
-    if (peek().kind != TokKind::Word) return err("expected property key");
-    condition.key = advance().text;
-
-    if (match_sym("=")) {
-      condition.op = CmpKind::Eq;
-    } else if (match_sym("<>")) {
-      condition.op = CmpKind::Ne;
-    } else if (match_sym("<=")) {
-      condition.op = CmpKind::Le;
-    } else if (match_sym(">=")) {
-      condition.op = CmpKind::Ge;
-    } else if (match_sym("<")) {
-      condition.op = CmpKind::Lt;
-    } else if (match_sym(">")) {
-      condition.op = CmpKind::Gt;
-    } else if (match_keyword("CONTAINS")) {
-      condition.op = CmpKind::Contains;
-    } else if (match_keyword("STARTS")) {
-      if (!match_keyword("WITH")) return err("expected WITH after STARTS");
-      condition.op = CmpKind::StartsWith;
-    } else if (match_keyword("ENDS")) {
-      if (!match_keyword("WITH")) return err("expected WITH after ENDS");
-      condition.op = CmpKind::EndsWith;
-    } else {
-      return err("expected comparison operator");
-    }
-    auto literal = parse_literal();
-    if (!literal.ok()) return literal.error();
-    condition.literal = std::move(literal.value());
-    return condition;
-  }
-
-  Result<ReturnItem> parse_return_item() {
-    ReturnItem item;
-    if (peek().kind != TokKind::Word) return err("expected RETURN item");
-    item.var = advance().text;
-    if (match_sym(".")) {
-      if (peek().kind != TokKind::Word) return err("expected property key");
-      item.key = advance().text;
-    }
-    return item;
-  }
-
-  std::vector<Token> tokens_;
-  std::size_t pos_ = 0;
-};
 
 // --- Representation adapters -------------------------------------------------
 // The executor below is generic over the graph representation (mutable
@@ -444,7 +116,7 @@ void db_for_each_in(const graph::FrozenGraph& db, NodeId n, const std::string& t
   for (std::size_t k = 0; k < adj.size(); ++k) fn(EdgeId{adj.edge[k]}, NodeId{adj.nbr[k]});
 }
 
-// --- Executor ----------------------------------------------------------------
+// --- Shared predicates -------------------------------------------------------
 
 template <typename DB>
 bool node_satisfies(const DB& db, NodeId id, const NodePattern& pattern) {
@@ -521,26 +193,207 @@ bool compare_values(const Value& lhs, CmpKind op, const Value& rhs) {
   return false;
 }
 
+/// True when node `v` satisfies every condition the plan pushed to pattern
+/// position `j` (the exact checks emission would apply later).
+template <typename DB>
+bool passes_pushed(const DB& db, const Query& query, const Plan& plan, std::size_t j, NodeId v) {
+  if (j >= plan.pushed.size()) return true;  // planning disabled: nothing pushed
+  for (std::size_t c : plan.pushed[j]) {
+    const Condition& cond = query.where[c];
+    std::optional<Value> actual = db_prop(db, v, cond.key);
+    if (!actual.has_value() || !compare_values(*actual, cond.op, cond.literal)) return false;
+  }
+  return true;
+}
+
+// --- Plan filters ------------------------------------------------------------
+
+/// Dense node-id bitset sized to the representation's id capacity.
+struct Bitset {
+  std::vector<std::uint64_t> words;
+
+  void resize(std::size_t bits) { words.assign((bits + 63) / 64, 0); }
+  bool test(std::uint64_t i) const { return ((words[i >> 6] >> (i & 63)) & 1) != 0; }
+  void set(std::uint64_t i) { words[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool none() const {
+    for (std::uint64_t w : words) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  void or_with(const Bitset& other) {
+    for (std::size_t i = 0; i < words.size(); ++i) words[i] |= other.words[i];
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      std::uint64_t bits = words[w];
+      while (bits != 0) {
+        unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+        fn(static_cast<NodeId>(w * 64 + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+};
+
+inline constexpr std::uint8_t kDistInf = 255;
+
+/// Materialized backward reachability filters for a reversed plan:
+/// `allowed[j]` over-approximates the nodes that can stand at pattern
+/// position j (for j in [0, anchor]) in any complete match, and `dist[j]`
+/// holds each node's minimum hop count across segment j into allowed[j+1]
+/// (kDistInf = unreachable) for mid-expansion pruning. Over-approximation
+/// (edge uniqueness is ignored) keeps every pruning sound.
+struct FilterSet {
+  bool active = false;
+  std::size_t anchor = 0;
+  std::vector<Bitset> allowed;
+  std::vector<std::vector<std::uint8_t>> dist;
+  util::ScopedCharge charge;
+};
+
+/// One backward step across segment `rel`: the set of position-j nodes with
+/// a single rel-conforming hop into `cur`. Forward expansion follows
+/// out-edges for `->` and in-edges for `<-`, so the reverse walk mirrors
+/// them. Large levels fan out across the executor in fixed chunks; the
+/// serial OR-merge of chunk bitsets is commutative, so the result is
+/// identical at any concurrency.
+template <typename DB>
+Bitset backward_step(const DB& db, const Bitset& cur, const RelPattern& rel, std::size_t capacity,
+                     util::Executor* executor) {
+  std::vector<NodeId> members;
+  cur.for_each([&](NodeId v) { members.push_back(v); });
+
+  auto expand_into = [&](NodeId v, Bitset& out) {
+    if (rel.direction >= 0) {
+      db_for_each_in(db, v, rel.type, [&](EdgeId, NodeId u) { out.set(u); });
+    }
+    if (rel.direction <= 0) {
+      db_for_each_out(db, v, rel.type, [&](EdgeId, NodeId u) { out.set(u); });
+    }
+  };
+
+  constexpr std::size_t kChunk = 256;
+  std::size_t chunks = (members.size() + kChunk - 1) / kChunk;
+  Bitset out;
+  out.resize(capacity);
+  if (executor == nullptr || chunks <= 1) {
+    for (NodeId v : members) expand_into(v, out);
+    return out;
+  }
+  std::vector<Bitset> parts(chunks);
+  util::run_indexed(executor, chunks, [&](std::size_t c) {
+    parts[c].resize(capacity);
+    std::size_t end = std::min(members.size(), (c + 1) * kChunk);
+    for (std::size_t i = c * kChunk; i < end; ++i) expand_into(members[i], parts[c]);
+  });
+  for (const Bitset& part : parts) out.or_with(part);
+  return out;
+}
+
+template <typename DB>
+FilterSet build_filters(const DB& db, const Query& query, const Plan& plan,
+                        const QueryOptions& options) {
+  FilterSet filters;
+  if (!plan.reverse || plan.always_empty) return filters;
+  const std::size_t capacity = db.node_capacity();
+  const auto& nodes = query.pattern.nodes;
+  const auto& rels = query.pattern.rels;
+
+  filters.active = true;
+  filters.anchor = plan.anchor;
+  filters.allowed.resize(plan.anchor + 1);
+  filters.dist.resize(plan.anchor);
+  std::size_t bytes =
+      (plan.anchor + 1) * ((capacity + 63) / 64) * 8 + plan.anchor * capacity;
+  filters.charge = util::ScopedCharge(options.memory, bytes);
+
+  // Anchor candidates (already the pattern's cheapest position).
+  Bitset& anchor_set = filters.allowed[plan.anchor];
+  anchor_set.resize(capacity);
+  for (NodeId id : candidate_nodes(db, nodes[plan.anchor])) {
+    if (passes_pushed(db, query, plan, plan.anchor, id)) anchor_set.set(id);
+  }
+
+  // Walk backward: S_j from S_{j+1} across segment j. Per level k we hold
+  // the *exact k-step walk set* L_k (not a first-reach frontier): a node
+  // first reached at k may still need a longer walk to satisfy min_len, so
+  // membership must union the full L_k for k in [min_len, max_len].
+  for (std::size_t j = plan.anchor; j-- > 0;) {
+    const RelPattern& rel = rels[j];
+    std::vector<std::uint8_t>& dist = filters.dist[j];
+    dist.assign(capacity, kDistInf);
+
+    Bitset reach;
+    reach.resize(capacity);
+    Bitset level = filters.allowed[j + 1];  // L_0
+    level.for_each([&](NodeId v) { dist[v] = 0; });
+    if (rel.min_len <= 0) reach.or_with(level);
+    for (int k = 1; k <= rel.max_len; ++k) {
+      if (level.none()) break;
+      level = backward_step(db, level, rel, capacity, options.executor);
+      level.for_each([&](NodeId v) {
+        if (dist[v] == kDistInf) dist[v] = static_cast<std::uint8_t>(k);
+      });
+      if (k >= rel.min_len) reach.or_with(level);
+    }
+
+    Bitset& allowed = filters.allowed[j];
+    allowed.resize(capacity);
+    reach.for_each([&](NodeId v) {
+      if (node_satisfies(db, v, nodes[j]) && passes_pushed(db, query, plan, j, v)) {
+        allowed.set(v);
+      }
+    });
+  }
+  return filters;
+}
+
+// --- Executor ----------------------------------------------------------------
+
 template <typename DB>
 class Executor {
  public:
-  Executor(const DB& db, const Query& query) : db_(db), query_(query) {}
+  Executor(const DB& db, const Query& query, const Plan& plan, const FilterSet& filters,
+           util::MemoryBudget* memory)
+      : db_(db), query_(query), plan_(plan), filters_(filters), memory_(memory) {}
+
+  std::uint64_t starts_pruned() const { return starts_pruned_; }
+  std::uint64_t expansions_pruned() const { return expansions_pruned_; }
 
   QueryResult run() {
     QueryResult result;
     for (const ReturnItem& item : query_.items) {
       result.columns.push_back(item.key.empty() ? item.var : item.var + "." + item.key);
     }
+    if (plan_.always_empty) return result;
     for (NodeId start : candidate_nodes(db_, query_.pattern.nodes[0])) {
+      if (!accepts(0, start)) {
+        ++starts_pruned_;
+        continue;
+      }
       graph::Path path;
       path.nodes.push_back(start);
       extend(0, path, result);
       if (result.rows.size() >= query_.limit) break;
     }
+    util::maybe_release(memory_, rows_bytes_);
+    rows_bytes_ = 0;
     return result;
   }
 
  private:
+  /// Position gate: the filter bitsets where they exist (pushed conditions
+  /// are baked in), the pushed conditions alone elsewhere. Always a sound
+  /// over-approximation of "some complete match puts this node here".
+  bool accepts(std::size_t position, NodeId v) const {
+    if (filters_.active && position <= filters_.anchor) {
+      return filters_.allowed[position].test(v);
+    }
+    return passes_pushed(db_, query_, plan_, position, v);
+  }
+
   /// Recursively match relationship `rel_index` onwards; `path` covers node
   /// patterns [0, rel_index].
   void extend(std::size_t rel_index, graph::Path& path, QueryResult& result) {
@@ -557,7 +410,17 @@ class Executor {
   void expand_hops(const RelPattern& rel, const NodePattern& target, graph::Path& path,
                    NodeId frontier, int hops, std::size_t rel_index, QueryResult& result) {
     if (result.rows.size() >= query_.limit) return;
-    if (hops >= rel.min_len && node_satisfies(db_, frontier, target)) {
+    // Distance bound: within a filtered segment, a frontier that cannot
+    // reach allowed[rel_index + 1] inside the remaining hop budget heads a
+    // subtree that emits nothing — skip it (acceptance included: dist 0 is
+    // exactly membership in the target set).
+    if (filters_.active && rel_index < filters_.anchor &&
+        filters_.dist[rel_index][frontier] > rel.max_len - hops) {
+      ++expansions_pruned_;
+      return;
+    }
+    if (hops >= rel.min_len && node_satisfies(db_, frontier, target) &&
+        accepts(rel_index + 1, frontier)) {
       extend(rel_index + 1, path, result);
     }
     if (hops >= rel.max_len) return;
@@ -575,26 +438,8 @@ class Executor {
     if (rel.direction <= 0) db_for_each_in(db_, frontier, rel.type, try_edge);
   }
 
-  /// Bind pattern variables to concrete path positions. Variable-length
-  /// segments make node-pattern positions non-trivial: recompute by walking
-  /// the rels and counting realised hops. Simpler and robust: re-derive the
-  /// binding map during emission by matching pattern hops against the path.
   void emit(const graph::Path& path, QueryResult& result) {
-    // Anchored node positions: nodes[0] is path.nodes[0]; each subsequent
-    // anchored node is located after the realised hops of its segment. We
-    // recover segment lengths by re-walking: since expand_hops only calls
-    // extend() when the target matches, the path is consistent; we track
-    // anchor positions in a side array built during matching instead.
-    //
-    // To avoid threading state, re-match greedily: anchors are the only
-    // positions where the next rel segment starts. We reconstruct them from
-    // the stored lengths in anchors_ (maintained by extend/emit callers).
-    //
-    // Implementation note: anchors are simply the frontier positions at each
-    // extend() call; capture them here from path length bookkeeping.
     std::map<std::string, Binding> bindings;
-    // nodes[0] anchor is always position 0; for the remaining anchors we use
-    // the positions recorded in anchor_stack_.
     bindings_from_path(path, bindings);
 
     if (!query_.pattern.path_var.empty()) {
@@ -624,6 +469,13 @@ class Executor {
         row.push_back(Binding::of_scalar(Value{}));
       }
     }
+    // Meter accumulated rows (ledger only: pressure never drops answers).
+    std::size_t delta = sizeof(row) + row.capacity() * sizeof(Binding);
+    for (const Binding& b : row) {
+      delta += (b.path.nodes.capacity() + b.path.edges.capacity()) * sizeof(std::uint64_t);
+    }
+    rows_bytes_ += delta;
+    util::maybe_charge(memory_, delta);
     result.rows.push_back(std::move(row));
   }
 
@@ -672,7 +524,15 @@ class Executor {
 
   const DB& db_;
   const Query& query_;
+  const Plan& plan_;
+  const FilterSet& filters_;
+  util::MemoryBudget* memory_;
+  std::size_t rows_bytes_ = 0;
+  std::uint64_t starts_pruned_ = 0;
+  std::uint64_t expansions_pruned_ = 0;
 };
+
+// --- Rendering ---------------------------------------------------------------
 
 template <typename DB>
 std::string render_node(const DB& db, NodeId id) {
@@ -719,18 +579,63 @@ std::string result_to_string(const QueryResult& result, const DB& db) {
   return out;
 }
 
+// --- Entry point -------------------------------------------------------------
+
+StatsView make_stats_view(const GraphDb& db, graph::CardinalityStats& storage) {
+  storage = db.cardinality();  // O(distinct names): exact and always available
+  return StatsView{db.node_count(), db.edge_count(), &storage};
+}
+StatsView make_stats_view(const graph::FrozenGraph& db, graph::CardinalityStats& storage) {
+  (void)storage;
+  const auto& stats = db.stats();
+  return StatsView{db.node_count(), db.edge_count(),
+                   stats.has_value() ? &stats.value() : nullptr};
+}
+
 template <typename DB>
-util::Result<QueryResult> run_query_impl(const DB& db, std::string_view query_text) {
+util::Result<QueryResult> run_query_impl(const DB& db, std::string_view query_text,
+                                         const QueryOptions& options) {
   // Fault seam for the chaos harness: evaluation faults surface as the
   // structured error a malformed plan would produce, never as a crash.
   if (util::failpoint::poll("cypher.eval")) {
     return util::Error{"failpoint: injected query evaluation failure"};
   }
-  auto tokens = Lexer(query_text).lex();
-  if (!tokens.ok()) return tokens.error();
-  auto query = Parser(std::move(tokens.value())).parse();
+  auto query = parse_query(query_text);
   if (!query.ok()) return query.error();
-  return Executor<DB>(db, query.value()).run();
+
+  Plan plan;
+  FilterSet filters;
+  if (options.use_planner) {
+    TABBY_SPAN("cypher.plan");
+    // Planner fault seam: a planning failure must degrade to the naive
+    // evaluator (same rows, slower), never a wrong answer or an error.
+    if (util::failpoint::poll("cypher.plan")) {
+      plan.reason = "failpoint: injected planner failure, fell back to naive evaluation";
+      obs::counter_add("cypher.plan.fallback");
+    } else {
+      graph::CardinalityStats storage;
+      plan = plan_query(query.value(), make_stats_view(db, storage));
+      filters = build_filters(db, query.value(), plan, options);
+      obs::counter_add(plan.mode == Plan::Mode::Planned ? "cypher.plan.planned"
+                                                        : "cypher.plan.naive");
+      std::uint64_t pushdowns = 0;
+      for (const auto& p : plan.pushed) pushdowns += p.size();
+      if (pushdowns > 0) obs::counter_add("cypher.plan.pushdown", pushdowns);
+    }
+  } else {
+    plan.reason = "planning disabled (--no-plan)";
+  }
+
+  Executor<DB> executor(db, query.value(), plan, filters, options.memory);
+  QueryResult result = executor.run();
+  result.plan = plan.to_string(query.value());
+  if (executor.starts_pruned() > 0) {
+    obs::counter_add("cypher.plan.starts_pruned", executor.starts_pruned());
+  }
+  if (executor.expansions_pruned() > 0) {
+    obs::counter_add("cypher.plan.expansions_pruned", executor.expansions_pruned());
+  }
+  return result;
 }
 
 }  // namespace
@@ -744,11 +649,21 @@ std::string QueryResult::to_string(const graph::FrozenGraph& db) const {
 }
 
 util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query_text) {
-  return run_query_impl(db, query_text);
+  return run_query_impl(db, query_text, QueryOptions{});
+}
+
+util::Result<QueryResult> run_query(const graph::GraphDb& db, std::string_view query_text,
+                                    const QueryOptions& options) {
+  return run_query_impl(db, query_text, options);
 }
 
 util::Result<QueryResult> run_query(const graph::FrozenGraph& db, std::string_view query_text) {
-  return run_query_impl(db, query_text);
+  return run_query_impl(db, query_text, QueryOptions{});
+}
+
+util::Result<QueryResult> run_query(const graph::FrozenGraph& db, std::string_view query_text,
+                                    const QueryOptions& options) {
+  return run_query_impl(db, query_text, options);
 }
 
 }  // namespace tabby::cypher

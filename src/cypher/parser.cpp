@@ -1,0 +1,321 @@
+// Lexer and recursive-descent parser for the Cypher subset (grammar in
+// docs/CYPHER.md). Produces the Query AST in ast.hpp; evaluation and
+// planning live in cypher.cpp / planner.cpp.
+#include <cctype>
+#include <cstdlib>
+
+#include "cypher/ast.hpp"
+
+namespace tabby::cypher {
+
+namespace {
+
+using graph::Value;
+using util::Error;
+using util::Result;
+
+enum class TokKind { Word, Int, Str, Sym, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t int_value = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> lex() {
+    std::vector<Token> out;
+    while (true) {
+      while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                       text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(Token{TokKind::Word, std::string(text_.substr(start, pos_ - start)), 0,
+                            start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) && numeric_context(out))) {
+        std::size_t start = pos_;
+        if (c == '-') ++pos_;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+        std::string digits(text_.substr(start, pos_ - start));
+        out.push_back(Token{TokKind::Int, digits, std::strtoll(digits.c_str(), nullptr, 10),
+                            start});
+      } else if (c == '"' || c == '\'') {
+        char quote = c;
+        std::size_t start = ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          char ch = text_[pos_++];
+          if (ch == '\\' && pos_ < text_.size()) ch = text_[pos_++];
+          value.push_back(ch);
+        }
+        if (pos_ >= text_.size()) return Error{"unterminated string", start};
+        ++pos_;
+        out.push_back(Token{TokKind::Str, std::move(value), 0, start});
+      } else {
+        static constexpr std::string_view kTwoChar[] = {"->", "<-", "<>", "<=", ">=", ".."};
+        bool matched = false;
+        for (std::string_view two : kTwoChar) {
+          if (text_.substr(pos_, 2) == two) {
+            out.push_back(Token{TokKind::Sym, std::string(two), 0, pos_});
+            pos_ += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          out.push_back(Token{TokKind::Sym, std::string(1, c), 0, pos_});
+          ++pos_;
+        }
+      }
+    }
+    out.push_back(Token{TokKind::End, "", 0, text_.size()});
+    return out;
+  }
+
+ private:
+  /// A '-' starts a negative number only after '=' ':' ',' '(' comparison
+  /// symbols — otherwise it is a relationship dash.
+  bool numeric_context(const std::vector<Token>& out) const {
+    if (out.empty()) return false;
+    const Token& prev = out.back();
+    if (prev.kind != TokKind::Sym) return false;
+    return prev.text == "=" || prev.text == ":" || prev.text == "," || prev.text == "(" ||
+           prev.text == "<" || prev.text == ">" || prev.text == "<=" || prev.text == ">=" ||
+           prev.text == "<>";
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool word_is(const Token& tok, std::string_view keyword) {
+  if (tok.kind != TokKind::Word || tok.text.size() != keyword.size()) return false;
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(tok.text[i])) != keyword[i]) return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> parse() {
+    Query query;
+    if (!match_keyword("MATCH")) return err("expected MATCH");
+    auto pattern = parse_pattern();
+    if (!pattern.ok()) return pattern.error();
+    query.pattern = std::move(pattern.value());
+
+    if (match_keyword("WHERE")) {
+      do {
+        auto condition = parse_condition();
+        if (!condition.ok()) return condition.error();
+        query.where.push_back(std::move(condition.value()));
+      } while (match_keyword("AND"));
+    }
+
+    if (!match_keyword("RETURN")) return err("expected RETURN");
+    do {
+      auto item = parse_return_item();
+      if (!item.ok()) return item.error();
+      query.items.push_back(std::move(item.value()));
+    } while (match_sym(","));
+
+    if (match_keyword("LIMIT")) {
+      if (peek().kind != TokKind::Int) return err("expected LIMIT count");
+      query.limit = static_cast<std::size_t>(advance().int_value);
+    }
+    if (peek().kind != TokKind::End) return err("trailing input after query");
+    return query;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  Error err(std::string message) const { return Error{std::move(message), peek().pos}; }
+
+  bool match_sym(std::string_view sym) {
+    if (peek().kind == TokKind::Sym && peek().text == sym) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool match_keyword(std::string_view keyword) {
+    if (word_is(peek(), keyword)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_literal() {
+    if (peek().kind == TokKind::Int) return Value{advance().int_value};
+    if (peek().kind == TokKind::Str) return Value{advance().text};
+    if (match_keyword("TRUE")) return Value{true};
+    if (match_keyword("FALSE")) return Value{false};
+    if (match_keyword("NULL")) return Value{};
+    return err("expected literal");
+  }
+
+  Result<NodePattern> parse_node() {
+    NodePattern node;
+    if (!match_sym("(")) return err("expected '('");
+    if (peek().kind == TokKind::Word && !word_is(peek(), "WHERE")) node.var = advance().text;
+    if (match_sym(":")) {
+      if (peek().kind != TokKind::Word) return err("expected node label");
+      node.label = advance().text;
+    }
+    if (match_sym("{")) {
+      do {
+        if (peek().kind != TokKind::Word) return err("expected property key");
+        std::string key = advance().text;
+        if (!match_sym(":")) return err("expected ':' in property map");
+        auto value = parse_literal();
+        if (!value.ok()) return value.error();
+        node.props.emplace_back(std::move(key), std::move(value.value()));
+      } while (match_sym(","));
+      if (!match_sym("}")) return err("expected '}'");
+    }
+    if (!match_sym(")")) return err("expected ')'");
+    return node;
+  }
+
+  Result<RelPattern> parse_rel() {
+    RelPattern rel;
+    bool from_left = false;
+    if (match_sym("<-")) {
+      rel.direction = -1;
+      from_left = true;
+    } else if (!match_sym("-")) {
+      return err("expected relationship");
+    }
+    if (match_sym("[")) {
+      if (peek().kind == TokKind::Word) rel.var = advance().text;
+      if (match_sym(":")) {
+        if (peek().kind != TokKind::Word) return err("expected relationship type");
+        rel.type = advance().text;
+      }
+      if (match_sym("*")) {
+        rel.min_len = 1;
+        rel.max_len = kUnboundedHops;
+        if (peek().kind == TokKind::Int) {
+          rel.min_len = static_cast<int>(advance().int_value);
+          rel.max_len = rel.min_len;
+        }
+        if (match_sym("..")) {
+          rel.max_len = kUnboundedHops;
+          if (peek().kind == TokKind::Int) rel.max_len = static_cast<int>(advance().int_value);
+        }
+      }
+      if (!match_sym("]")) return err("expected ']'");
+    }
+    if (match_sym("->")) {
+      if (from_left) return err("relationship cannot point both ways");
+      rel.direction = 1;
+    } else if (match_sym("-")) {
+      if (!from_left) rel.direction = 0;
+    } else {
+      return err("expected '->' or '-'");
+    }
+    if (rel.min_len < 0 || rel.max_len < rel.min_len) return err("bad hop range");
+    return rel;
+  }
+
+  Result<Pattern> parse_pattern() {
+    Pattern pattern;
+    // Optional "p =" path binding.
+    if (peek().kind == TokKind::Word && peek(1).kind == TokKind::Sym && peek(1).text == "=") {
+      pattern.path_var = advance().text;
+      advance();  // '='
+    }
+    auto first = parse_node();
+    if (!first.ok()) return first.error();
+    pattern.nodes.push_back(std::move(first.value()));
+    while (peek().kind == TokKind::Sym && (peek().text == "-" || peek().text == "<-")) {
+      auto rel = parse_rel();
+      if (!rel.ok()) return rel.error();
+      auto node = parse_node();
+      if (!node.ok()) return node.error();
+      pattern.rels.push_back(std::move(rel.value()));
+      pattern.nodes.push_back(std::move(node.value()));
+    }
+    return pattern;
+  }
+
+  Result<Condition> parse_condition() {
+    Condition condition;
+    if (peek().kind != TokKind::Word) return err("expected variable in WHERE");
+    condition.var = advance().text;
+    if (!match_sym(".")) return err("expected '.' after variable");
+    if (peek().kind != TokKind::Word) return err("expected property key");
+    condition.key = advance().text;
+
+    if (match_sym("=")) {
+      condition.op = CmpKind::Eq;
+    } else if (match_sym("<>")) {
+      condition.op = CmpKind::Ne;
+    } else if (match_sym("<=")) {
+      condition.op = CmpKind::Le;
+    } else if (match_sym(">=")) {
+      condition.op = CmpKind::Ge;
+    } else if (match_sym("<")) {
+      condition.op = CmpKind::Lt;
+    } else if (match_sym(">")) {
+      condition.op = CmpKind::Gt;
+    } else if (match_keyword("CONTAINS")) {
+      condition.op = CmpKind::Contains;
+    } else if (match_keyword("STARTS")) {
+      if (!match_keyword("WITH")) return err("expected WITH after STARTS");
+      condition.op = CmpKind::StartsWith;
+    } else if (match_keyword("ENDS")) {
+      if (!match_keyword("WITH")) return err("expected WITH after ENDS");
+      condition.op = CmpKind::EndsWith;
+    } else {
+      return err("expected comparison operator");
+    }
+    auto literal = parse_literal();
+    if (!literal.ok()) return literal.error();
+    condition.literal = std::move(literal.value());
+    return condition;
+  }
+
+  Result<ReturnItem> parse_return_item() {
+    ReturnItem item;
+    if (peek().kind != TokKind::Word) return err("expected RETURN item");
+    item.var = advance().text;
+    if (match_sym(".")) {
+      if (peek().kind != TokKind::Word) return err("expected property key");
+      item.key = advance().text;
+    }
+    return item;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Query> parse_query(std::string_view text) {
+  auto tokens = Lexer(text).lex();
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens.value())).parse();
+}
+
+}  // namespace tabby::cypher

@@ -33,8 +33,13 @@ namespace {
 using util::Error;
 using util::Result;
 
-constexpr std::size_t kDirSize = kFrozenSectionCount * kFrozenDirEntrySize;
-constexpr std::size_t kMinFrameSize = kFrozenHeaderSize + kDirSize + kFrozenChecksumSize;
+// The directory is sized by the declared section count (16 stats-less, 17
+// with stats); the minimum uses the smaller of the two.
+constexpr std::size_t dir_size(std::size_t section_count) {
+  return section_count * kFrozenDirEntrySize;
+}
+constexpr std::size_t kMinFrameSize =
+    kFrozenHeaderSize + dir_size(kFrozenSectionCount) + kFrozenChecksumSize;
 
 std::uint64_t align8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
 
@@ -298,7 +303,7 @@ std::string_view FrozenColumn::mixed_string(std::uint64_t i) const {
 // --- Freeze -----------------------------------------------------------------
 
 util::Result<FrozenGraph> FrozenGraph::freeze(const GraphDb& db, std::uint64_t content_key,
-                                              util::MemoryBudget* memory) {
+                                              util::MemoryBudget* memory, bool with_stats) {
   if (util::failpoint::poll("graph.freeze")) {
     return Error{"failpoint: injected graph freeze failure", 0};
   }
@@ -395,9 +400,11 @@ util::Result<FrozenGraph> FrozenGraph::freeze(const GraphDb& db, std::uint64_t c
   w.u64(content_key);
   w.u64(n);
   w.u64(m);
-  w.u64(kFrozenSectionCount);
+  const std::size_t section_count =
+      with_stats ? kFrozenSectionCountWithStats : kFrozenSectionCount;
+  w.u64(section_count);
   const std::size_t dir_at = w.size();
-  w.zeros(kDirSize);
+  w.zeros(dir_size(section_count));
 
   std::uint32_t next_id = 0;
   std::size_t section_start = 0;
@@ -468,6 +475,15 @@ util::Result<FrozenGraph> FrozenGraph::freeze(const GraphDb& db, std::uint64_t c
   raw_section(etype.data(), etype.size() * sizeof(std::uint16_t));      // 14
   prop_sections(node_cols, n);                                          // 15
   prop_sections(edge_cols, m);                                          // 16
+  if (with_stats) {                                                     // 17
+    util::ByteWriter stats;
+    encode_stats(stats, db.cardinality());
+    std::vector<std::byte> stats_payload = stats.take();
+    begin_section();
+    w.u64(stats_payload.size());
+    w.raw(stats_payload.data(), stats_payload.size());
+    end_section();
+  }
 
   w.patch_u64(8, w.size() + kFrozenChecksumSize);
   w.u64(util::fnv1a(std::span<const std::byte>(w.buf)));
@@ -519,8 +535,12 @@ util::Result<FrozenGraph> FrozenGraph::attach(std::span<const std::byte> frame,
   g.content_key_ = rd_u64(frame, 16);
   std::uint64_t n = rd_u64(frame, 24);
   std::uint64_t m = rd_u64(frame, 32);
-  if (rd_u64(frame, 40) != kFrozenSectionCount) {
-    return frozen_err("bad section count " + std::to_string(rd_u64(frame, 40)), 40);
+  std::uint64_t section_count = rd_u64(frame, 40);
+  if (section_count != kFrozenSectionCount && section_count != kFrozenSectionCountWithStats) {
+    return frozen_err("bad section count " + std::to_string(section_count), 40);
+  }
+  if (frame.size() < kFrozenHeaderSize + dir_size(section_count) + kFrozenChecksumSize) {
+    return frozen_err("truncated: frame too small for its section directory", 40);
   }
   if (n > UINT32_MAX || m > UINT32_MAX) {
     return frozen_err("node/edge count exceeds the dense 32-bit id space", 24);
@@ -528,16 +548,16 @@ util::Result<FrozenGraph> FrozenGraph::attach(std::span<const std::byte> frame,
   g.node_count_ = static_cast<std::size_t>(n);
   g.edge_count_ = static_cast<std::size_t>(m);
 
-  // Directory: ids 1..16 in order, sections 8-aligned, in-bounds,
+  // Directory: ids 1..count in order, sections 8-aligned, in-bounds,
   // non-overlapping and ascending.
   struct Section {
     std::uint64_t off = 0;
     std::uint64_t len = 0;
   };
-  Section sections[kFrozenSectionCount];
+  std::vector<Section> sections(section_count);
   const std::uint64_t body_end = frame.size() - kFrozenChecksumSize;
-  std::uint64_t prev_end = kFrozenHeaderSize + kDirSize;
-  for (std::size_t i = 0; i < kFrozenSectionCount; ++i) {
+  std::uint64_t prev_end = kFrozenHeaderSize + dir_size(section_count);
+  for (std::size_t i = 0; i < section_count; ++i) {
     std::size_t entry = kFrozenHeaderSize + i * kFrozenDirEntrySize;
     std::uint32_t id = rd_u32(frame, entry);
     if (id != i + 1) {
@@ -804,6 +824,24 @@ util::Result<FrozenGraph> FrozenGraph::attach(std::span<const std::byte> frame,
   }
   if (auto st = parse_columns(kSecEdgeProps, m, "edge", g.edge_columns_); !st.ok()) {
     return st.error();
+  }
+
+  // --- Cardinality stats (optional section 17) ---
+  if (section_count == kFrozenSectionCountWithStats) {
+    const Section& s = sections[kSecStats - 1];
+    if (s.len < 8) return frozen_err("stats section truncated", s.off);
+    std::uint64_t payload_len = rd_u64(frame, s.off);
+    if (payload_len > s.len - 8) return frozen_err("stats payload out of bounds", s.off);
+    util::ByteReader in(frame.subspan(s.off + 8, payload_len));
+    auto stats = decode_stats(in);
+    if (!stats.ok()) return frozen_err("stats section corrupt: " + stats.error().message, s.off);
+    if (!in.at_end()) return frozen_err("trailing bytes in the stats section", s.off);
+    // The totals must agree with the frame header; a lying stats section is
+    // as fatal as any other structural corruption.
+    if (stats.value().nodes != n || stats.value().edges != m) {
+      return frozen_err("stats section disagrees with the frame's node/edge counts", s.off);
+    }
+    g.stats_ = std::move(stats.value());
   }
 
   g.owned_ = std::move(storage);

@@ -52,14 +52,19 @@ namespace tabby::graph {
 //                     (0 = unbound standalone frame)
 //   node count   u64
 //   edge count   u64
-//   section cnt  u64  = 16
-//   directory    16 x { id u32, reserved u32, offset u64, length u64 }
-//   sections     each 8-byte aligned (ids 1..16, see kSec* below)
+//   section cnt  u64  = 16 (stats-less) or 17 (with the cardinality stats)
+//   directory    cnt x { id u32, reserved u32, offset u64, length u64 }
+//   sections     each 8-byte aligned (ids 1..cnt, see kSec* below)
 //   checksum     u64  FNV-1a64 over every byte before it
+// The optional section 17 carries the graph's CardinalityStats for the
+// cypher planner (same payload codec as the store v2 stats block). The
+// version stays 1: frames written before the planner existed declare 16
+// sections and still attach — the planner falls back to defaults.
 inline constexpr std::uint32_t kFrozenMagic = 0x5A524654;
 inline constexpr std::uint16_t kFrozenVersion = 1;
 inline constexpr std::size_t kFrozenHeaderSize = 48;
 inline constexpr std::size_t kFrozenSectionCount = 16;
+inline constexpr std::size_t kFrozenSectionCountWithStats = 17;
 inline constexpr std::size_t kFrozenDirEntrySize = 24;
 inline constexpr std::size_t kFrozenChecksumSize = 8;
 
@@ -80,6 +85,7 @@ inline constexpr std::uint32_t kSecEdgeTo = 13;       // u32[M]
 inline constexpr std::uint32_t kSecEdgeType = 14;     // u16[M]
 inline constexpr std::uint32_t kSecNodeProps = 15;    // column blocks
 inline constexpr std::uint32_t kSecEdgeProps = 16;    // column blocks
+inline constexpr std::uint32_t kSecStats = 17;        // u64 len + stats payload (optional)
 
 /// Column value encodings inside the property sections. A column is typed
 /// when every present value holds the same scalar alternative; anything else
@@ -185,10 +191,13 @@ class FrozenGraph {
   /// store equals a freeze of the original). Builds the serialized frame and
   /// attaches views to it — freeze() output always round-trips save()/load().
   /// `content_key` binds the frame to a cache snapshot key (0 = unbound).
+  /// `with_stats` controls the optional cardinality-stats section (off
+  /// reproduces the pre-planner 16-section frame byte-exactly).
   /// Fails when the graph exceeds the dense u32/u16 id spaces, or at the
   /// `graph.freeze` failpoint.
   static util::Result<FrozenGraph> freeze(const GraphDb& db, std::uint64_t content_key = 0,
-                                          util::MemoryBudget* memory = nullptr);
+                                          util::MemoryBudget* memory = nullptr,
+                                          bool with_stats = true);
 
   /// Validates and attaches a frame, copying the bytes into owned storage.
   static util::Result<FrozenGraph> from_bytes(std::span<const std::byte> frame,
@@ -289,6 +298,13 @@ class FrozenGraph {
   std::vector<NodeId> find_nodes(std::string_view label, std::string_view key,
                                  const Value& value) const;
 
+  // --- Planner statistics ---------------------------------------------------
+
+  /// Cardinality stats decoded from the optional section 17; nullopt for
+  /// frames written before the planner existed (the planner then plans
+  /// against fallback defaults).
+  const std::optional<CardinalityStats>& stats() const { return stats_; }
+
  private:
   struct StringTable {
     std::uint64_t count = 0;
@@ -361,6 +377,8 @@ class FrozenGraph {
   // Sorted by key (string_views into the frame).
   std::vector<std::pair<std::string_view, FrozenColumn>> node_columns_;
   std::vector<std::pair<std::string_view, FrozenColumn>> edge_columns_;
+
+  std::optional<CardinalityStats> stats_;
 };
 
 }  // namespace tabby::graph

@@ -45,6 +45,7 @@ EdgeId GraphDb::add_edge(NodeId from, NodeId to, std::string type, PropertyMap p
   out_[from].push_back(id);
   in_[to].push_back(id);
   ++live_edges_;
+  ++type_counts_[edges_.back().type];
   return id;
 }
 
@@ -76,6 +77,8 @@ void GraphDb::remove_edge(EdgeId id) {
   unlink(out_[e.from]);
   unlink(in_[e.to]);
   --live_edges_;
+  auto tally = type_counts_.find(e.type);
+  if (tally != type_counts_.end() && tally->second > 0) --tally->second;
 }
 
 void GraphDb::remove_node(NodeId id) {
@@ -240,6 +243,38 @@ GraphStats GraphDb::stats() const {
   for (const Edge& e : edges_) {
     if (e.alive) ++s.edges_by_type[e.type];
   }
+  return s;
+}
+
+std::uint64_t CardinalityStats::label_count(std::string_view label) const {
+  auto it = std::lower_bound(labels.begin(), labels.end(), label,
+                             [](const auto& entry, std::string_view l) { return entry.first < l; });
+  return it != labels.end() && it->first == label ? it->second : 0;
+}
+
+std::uint64_t CardinalityStats::type_count(std::string_view type) const {
+  auto it =
+      std::lower_bound(edge_types.begin(), edge_types.end(), type,
+                       [](const auto& entry, std::string_view t) { return entry.first < t; });
+  return it != edge_types.end() && it->first == type ? it->second : 0;
+}
+
+CardinalityStats GraphDb::cardinality() const {
+  CardinalityStats s;
+  s.nodes = live_nodes_;
+  s.edges = live_edges_;
+  s.labels.reserve(by_label_.size());
+  for (const auto& [label, bucket] : by_label_) {
+    // remove_node erases ids from their bucket, so the size is the exact
+    // live count; labels whose nodes were all removed drop out entirely.
+    if (!bucket.empty()) s.labels.emplace_back(label, bucket.size());
+  }
+  s.edge_types.reserve(type_counts_.size());
+  for (const auto& [type, count] : type_counts_) {
+    if (count > 0) s.edge_types.emplace_back(type, count);
+  }
+  std::sort(s.labels.begin(), s.labels.end());
+  std::sort(s.edge_types.begin(), s.edge_types.end());
   return s;
 }
 

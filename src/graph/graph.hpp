@@ -73,6 +73,25 @@ struct GraphStats {
   std::unordered_map<std::string, std::size_t> edges_by_type;
 };
 
+/// Label/edge-type cardinalities in a deterministic (name-ascending) layout,
+/// cheap to collect and small enough to persist next to every serialized
+/// graph. The cypher planner reads these to pick start points and expansion
+/// directions; entries count live elements only.
+struct CardinalityStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> labels;      // sorted by name
+  std::vector<std::pair<std::string, std::uint64_t>> edge_types;  // sorted by name
+
+  std::uint64_t label_count(std::string_view label) const;
+  std::uint64_t type_count(std::string_view type) const;
+
+  bool operator==(const CardinalityStats& other) const {
+    return nodes == other.nodes && edges == other.edges && labels == other.labels &&
+           edge_types == other.edge_types;
+  }
+};
+
 class GraphDb {
  public:
   GraphDb() = default;
@@ -150,6 +169,12 @@ class GraphDb {
 
   GraphStats stats() const;
 
+  /// Deterministic label/edge-type cardinalities, O(distinct names) — label
+  /// counts come from the label buckets, edge-type counts from an
+  /// incrementally maintained tally, so this is cheap enough to call at
+  /// every serialize/freeze.
+  CardinalityStats cardinality() const;
+
  private:
   std::string index_name(const std::string& label, const std::string& key) const {
     return label + "" + key;
@@ -166,6 +191,9 @@ class GraphDb {
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
   std::unordered_map<std::string, std::vector<NodeId>> by_label_;
+  // Live-edge tally per type, maintained by add_edge/remove_edge so
+  // cardinality() never scans the edge store.
+  std::unordered_map<std::string, std::uint64_t> type_counts_;
   // (label \x01 key) -> value index-key -> node ids
   std::unordered_map<std::string, std::unordered_map<std::string, std::vector<NodeId>>> indexes_;
   std::size_t live_nodes_ = 0;

@@ -145,7 +145,48 @@ Result<PropertyMap> read_props(ByteReader& in) {
 
 }  // namespace
 
-std::vector<std::byte> serialize(const GraphDb& db) {
+void encode_stats(ByteWriter& out, const CardinalityStats& stats) {
+  out.uvarint(stats.nodes);
+  out.uvarint(stats.edges);
+  out.uvarint(stats.labels.size());
+  for (const auto& [label, count] : stats.labels) {
+    out.bytes(label);
+    out.uvarint(count);
+  }
+  out.uvarint(stats.edge_types.size());
+  for (const auto& [type, count] : stats.edge_types) {
+    out.bytes(type);
+    out.uvarint(count);
+  }
+}
+
+Result<CardinalityStats> decode_stats(ByteReader& in) {
+  CardinalityStats stats;
+  auto nodes = in.uvarint();
+  if (!nodes.ok()) return nodes.error();
+  stats.nodes = nodes.value();
+  auto edges = in.uvarint();
+  if (!edges.ok()) return edges.error();
+  stats.edges = edges.value();
+  for (auto* entries : {&stats.labels, &stats.edge_types}) {
+    auto n = in.count("stats entry");
+    if (!n.ok()) return n.error();
+    entries->reserve(n.value());
+    for (std::size_t i = 0; i < n.value(); ++i) {
+      auto name = in.bytes();
+      if (!name.ok()) return name.error();
+      auto count = in.uvarint();
+      if (!count.ok()) return count.error();
+      if (!entries->empty() && entries->back().first >= name.value()) {
+        return Error{"cardinality stats entries out of order", in.position()};
+      }
+      entries->emplace_back(std::move(name.value()), count.value());
+    }
+  }
+  return stats;
+}
+
+std::vector<std::byte> serialize(const GraphDb& db, bool with_stats) {
   // Payload first: the header needs its size, the trailer its checksum.
   ByteWriter out;
 
@@ -179,6 +220,14 @@ std::vector<std::byte> serialize(const GraphDb& db) {
   store.u16(kGraphStoreVersion);
   store.u64(payload.size());
   for (std::byte b : payload) store.u8(static_cast<std::uint8_t>(b));
+  if (with_stats) {
+    ByteWriter stats;
+    encode_stats(stats, db.cardinality());
+    std::vector<std::byte> stats_payload = stats.take();
+    store.u32(kGraphStoreStatsMagic);
+    store.u64(stats_payload.size());
+    for (std::byte b : stats_payload) store.u8(static_cast<std::uint8_t>(b));
+  }
   store.u64(util::fnv1a(store.data()));
   return store.take();
 }
@@ -215,11 +264,38 @@ util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
   auto declared = header.u64();
   if (!declared.ok()) return declared.error();
   std::size_t body = data.size() - kHeaderSize - kChecksumSize;
-  if (declared.value() != body) {
-    return Error{"graph store truncated or oversized: header declares " +
-                     std::to_string(declared.value()) + " payload byte(s) but " +
-                     std::to_string(body) + " are present",
+  if (declared.value() > body) {
+    return Error{"graph store truncated: header declares " + std::to_string(declared.value()) +
+                     " payload byte(s) but only " + std::to_string(body) + " are present",
                  kHeaderSize};
+  }
+  // Bytes beyond the declared payload must be exactly one stats block
+  // (stores written before the planner existed end right at the payload).
+  // Size-check the tail before the checksum so a store with appended or
+  // missing bytes is diagnosed as such rather than as generic corruption.
+  std::size_t stats_size = body - declared.value();
+  constexpr std::size_t kStatsHeaderSize = 4 + 8;
+  if (stats_size != 0) {
+    if (stats_size < kStatsHeaderSize) {
+      return Error{"graph store truncated or oversized: " + std::to_string(stats_size) +
+                       " trailing byte(s) after the payload, too few for a stats block",
+                   kHeaderSize + declared.value()};
+    }
+    ByteReader sizing(data.subspan(kHeaderSize + declared.value(), kStatsHeaderSize));
+    auto sizing_magic = sizing.u32();
+    if (!sizing_magic.ok()) return sizing_magic.error();
+    if (sizing_magic.value() != kGraphStoreStatsMagic) {
+      return Error{"trailing bytes after graph store payload are not a stats block",
+                   kHeaderSize + declared.value()};
+    }
+    auto sizing_len = sizing.u64();
+    if (!sizing_len.ok()) return sizing_len.error();
+    if (kStatsHeaderSize + sizing_len.value() != stats_size) {
+      return Error{"graph store truncated or oversized: stats block declares " +
+                       std::to_string(sizing_len.value()) + " byte(s) but " +
+                       std::to_string(stats_size - kStatsHeaderSize) + " follow",
+                   kHeaderSize + declared.value() + 4};
+    }
   }
   ByteReader trailer(data.subspan(data.size() - kChecksumSize));
   auto stored_sum = trailer.u64();
@@ -232,7 +308,32 @@ util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
                  data.size() - kChecksumSize};
   }
 
-  ByteReader in(data.subspan(kHeaderSize, body));
+  std::optional<CardinalityStats> stored_stats;
+  if (stats_size != 0) {
+    ByteReader tail(data.subspan(kHeaderSize + declared.value(), stats_size));
+    auto stats_magic = tail.u32();
+    if (!stats_magic.ok()) return stats_magic.error();
+    if (stats_magic.value() != kGraphStoreStatsMagic) {
+      return Error{"trailing bytes after graph store payload are not a stats block",
+                   kHeaderSize + declared.value()};
+    }
+    auto stats_len = tail.u64();
+    if (!stats_len.ok()) return stats_len.error();
+    if (stats_len.value() != stats_size - kStatsHeaderSize) {
+      return Error{"graph store stats block length mismatch: declares " +
+                       std::to_string(stats_len.value()) + " byte(s) but " +
+                       std::to_string(stats_size - kStatsHeaderSize) + " are present",
+                   kHeaderSize + declared.value() + 4};
+    }
+    auto stats = decode_stats(tail);
+    if (!stats.ok()) return stats.error();
+    if (!tail.at_end()) {
+      return Error{"trailing bytes after graph store stats block", tail.position()};
+    }
+    stored_stats = std::move(stats.value());
+  }
+
+  ByteReader in(data.subspan(kHeaderSize, declared.value()));
   GraphDb db;
   auto node_count = in.count("node");
   if (!node_count.ok()) return node_count.error();
@@ -262,6 +363,12 @@ util::Result<GraphDb> deserialize(std::span<const std::byte> data) {
     db.add_edge(from.value(), to.value(), std::move(type.value()), std::move(props.value()));
   }
   if (!in.at_end()) return Error{"trailing bytes after graph store payload", in.position()};
+  // A stats block that disagrees with the graph it rides next to is as
+  // corrupt as a bad checksum: reject rather than hand the planner lies.
+  if (stored_stats.has_value() && !(*stored_stats == db.cardinality())) {
+    return Error{"graph store stats block disagrees with the decoded graph",
+                 kHeaderSize + declared.value()};
+  }
   return db;
 }
 

@@ -159,6 +159,15 @@ util::Result<Outcome> run_impl(const std::vector<std::string>& jar_paths, const 
   if (options.use_frozen) {
     std::string corrupt_reason;
     auto frozen = cache.load_frozen(key, &corrupt_reason);
+    if (frozen.has_value() && !frozen->stats().has_value()) {
+      // A frame from before the planner-stats section still attaches, but
+      // queries over it would plan with fallback estimates. Treat it like a
+      // miss: the store path below re-freezes (now with stats) and
+      // republishes, upgrading the cache in place.
+      outcome.warnings.push_back(
+          "cached frozen graph predates cardinality stats (re-freezing to upgrade)");
+      frozen.reset();
+    }
     if (frozen.has_value()) {
       warm_frozen = std::move(frozen);
     } else if (!corrupt_reason.empty()) {

@@ -17,6 +17,7 @@ constexpr const char* kSites[] = {
     "cache.publish.rename",    // the rename inside one atomic-publish attempt
     "cache.snapshot.publish",  // whole-classpath snapshot publish
     "cypher.eval",             // query evaluation entry (run_query)
+    "cypher.plan",             // query planning (degrades to naive evaluation)
     "fs.read",                 // any file read feeding the pipeline
     "graph.deserialize",       // graph store / snapshot blob decode
     "graph.freeze",            // building the frozen CSR snapshot

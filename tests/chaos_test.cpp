@@ -170,8 +170,16 @@ TEST_F(ChaosFixture, QueryWorkloadSweepStaysStructured) {
                   r.err.find("query error:") != std::string::npos)
           << site << "\n" << r.err;
     }
+    if (site == "cypher.plan") {
+      // A planner fault is strictly weaker than an evaluator fault: it must
+      // degrade to naive evaluation — same rows, clean exit — never an error
+      // and never a different answer.
+      EXPECT_EQ(r.code, 0) << "cypher.plan fault did not degrade to naive\n" << r.err;
+      EXPECT_EQ(r.out, clean.out) << "cypher.plan fault changed the answer";
+    }
   }
   EXPECT_TRUE(sites_that_fired.count("cypher.eval") == 1) << "cypher.eval never fired";
+  EXPECT_TRUE(sites_that_fired.count("cypher.plan") == 1) << "cypher.plan never fired";
   EXPECT_TRUE(sites_that_fired.count("graph.index.rebuild") == 1)
       << "graph.index.rebuild never fired";
 
