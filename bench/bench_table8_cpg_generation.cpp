@@ -19,6 +19,7 @@
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/engine.hpp"
 #include "util/digest.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -236,6 +237,70 @@ int main() {
   std::printf("acceptance (>=5x warm speedup): %s\n", cache_speedup >= 5.0 ? "PASS" : "FAIL");
   std::printf("acceptance (frozen warm start beats the store decode): %s\n",
               frozen_median <= warm_median ? "PASS" : "FAIL");
+
+  // Resident engine vs one-shot: the session API (pipeline::Engine, the
+  // machinery behind `tabby serve`). The one-shot path pays load + link +
+  // analysis + CPG build on every request; a resident Analysis pays it on
+  // the first open and answers later find() requests straight from the
+  // already-built frozen CSR. Same ysoserial classpath, median of 3.
+  std::printf("\nResident engine vs one-shot — find request latency (median of 3)\n");
+  {
+    std::vector<std::string> classpath;
+    for (const fs::path& file : jar_files) classpath.push_back(file.string());
+
+    auto one_shot_request = [&] {
+      pipeline::Options options;
+      options.use_frozen = true;
+      auto outcome = pipeline::run(classpath, options);
+      graph::FrozenGraph& frame = outcome.value().frozen.value();
+      return finder::GadgetChainFinder(frame).find_all().chains.size();
+    };
+
+    pipeline::Engine engine;
+    pipeline::ExecContext ctx;
+    auto resident_request = [&] {
+      auto analysis = engine.open(classpath, ctx);
+      return analysis.value()->find(ctx).report.chains.size();
+    };
+
+    double one_shot_times[3], first_open = 0.0, resident_times[3];
+    std::size_t one_shot_chains = 0, resident_chains = 0;
+    for (double& t : one_shot_times) {
+      util::Stopwatch watch;
+      one_shot_chains = one_shot_request();
+      t = watch.elapsed_seconds();
+    }
+    {
+      util::Stopwatch watch;
+      resident_chains = resident_request();  // cold: builds + admits
+      first_open = watch.elapsed_seconds();
+    }
+    for (double& t : resident_times) {
+      util::Stopwatch watch;
+      resident_chains = resident_request();  // warm: resident LRU hit
+      t = watch.elapsed_seconds();
+    }
+    std::sort(std::begin(one_shot_times), std::end(one_shot_times));
+    std::sort(std::begin(resident_times), std::end(resident_times));
+    double one_shot_median = one_shot_times[1];
+    double resident_median = resident_times[1];
+    double resident_speedup = resident_median > 0.0 ? one_shot_median / resident_median : 0.0;
+
+    util::Table engine_table({"Path", "Time(s)", "Speedup", "What runs"});
+    engine_table.add_row({"one-shot", util::format_double(one_shot_median, 4), "1.00x",
+                          "pipeline::run + finder, everything per request"});
+    engine_table.add_row({"resident (1st open)", util::format_double(first_open, 4),
+                          util::format_double(one_shot_median / first_open, 2) + "x",
+                          "cold open: build + admit to the engine LRU"});
+    engine_table.add_row({"resident (hit)", util::format_double(resident_median, 4),
+                          util::format_double(resident_speedup, 2) + "x",
+                          "digest lookup + finder over the resident frame"});
+    std::printf("%s\n", engine_table.render().c_str());
+    std::printf("chains identical across paths: %s\n",
+                one_shot_chains == resident_chains ? "yes" : "NO — engine bug");
+    std::printf("acceptance (resident hit >= 2x faster than one-shot): %s\n",
+                resident_speedup >= 2.0 ? "PASS" : "FAIL");
+  }
   fs::remove_all(work);
 
   // Tracer overhead: the observability layer (src/obs) is compiled into

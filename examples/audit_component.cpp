@@ -8,7 +8,7 @@
 
 #include "corpus/components.hpp"
 #include "evalkit/evalkit.hpp"
-#include "pipeline/pipeline.hpp"
+#include "pipeline/engine.hpp"
 #include "util/strings.hpp"
 
 using namespace tabby;
@@ -35,11 +35,15 @@ int main(int argc, char** argv) {
   std::printf("linked program: %zu classes, %zu methods\n", program.class_count(),
               program.method_count());
 
-  // Tabby's own view of the component, through the public pipeline facade.
-  pipeline::Outcome cpg = pipeline::run(program, pipeline::Options{});
+  // Tabby's own view of the component, through the session engine (the
+  // supported embedding surface; pipeline::run remains as the one-shot
+  // compatibility wrapper).
+  pipeline::Engine engine;
+  pipeline::AnalysisPtr analysis = engine.open(program);
+  const cpg::CpgStats& stats = analysis->outcome().stats;
   std::printf("CPG: %zu classes, %zu methods, %zu edges, %zu sinks, %zu call sites pruned\n\n",
-              cpg.stats.class_nodes, cpg.stats.method_nodes, cpg.stats.relationship_edges,
-              cpg.stats.sink_methods, cpg.stats.pruned_call_sites);
+              stats.class_nodes, stats.method_nodes, stats.relationship_edges,
+              stats.sink_methods, stats.pruned_call_sites);
 
   for (evalkit::Tool tool : {evalkit::Tool::GadgetInspector, evalkit::Tool::Tabby,
                              evalkit::Tool::Serianalyzer}) {

@@ -7,27 +7,31 @@
 #include <cstdio>
 
 #include "corpus/components.hpp"
-#include "cpg/builder.hpp"
-#include "cypher/cypher.hpp"
+#include "pipeline/engine.hpp"
 
 using namespace tabby;
 
 int main(int argc, char** argv) {
   corpus::Component component = corpus::build_component("commons-collections(3.2.1)");
   jir::Program program = component.link();
-  cpg::Cpg cpg = cpg::build_cpg(program);
+  // "Build once, query many" IS the engine's shape: open the analysis one
+  // time, keep the handle, iterate. (`tabby serve` does exactly this across
+  // processes; here the session lives inside one.)
+  pipeline::Engine engine;
+  pipeline::ExecContext ctx;
+  pipeline::AnalysisPtr analysis = engine.open(program, ctx);
+  const cpg::CpgStats& stats = analysis->outcome().stats;
   std::printf("CPG for %s: %zu classes, %zu methods, %zu edges\n\n", component.name.c_str(),
-              cpg.stats.class_nodes, cpg.stats.method_nodes, cpg.stats.relationship_edges);
+              stats.class_nodes, stats.method_nodes, stats.relationship_edges);
 
   auto run = [&](const char* text) {
     std::printf("> %s\n", text);
-    auto result = cypher::run_query(cpg.db, text);
+    auto result = analysis->query(text, ctx);
     if (!result.ok()) {
       std::printf("  error: %s\n\n", result.error().to_string().c_str());
       return;
     }
-    std::printf("%s  (%zu row(s))\n\n", result.value().to_string(cpg.db).c_str(),
-                result.value().rows.size());
+    std::printf("%s\n", analysis->render(result.value()).c_str());
   };
 
   if (argc > 1) {

@@ -11,7 +11,7 @@
 #include "finder/finder.hpp"
 #include "jir/builder.hpp"
 #include "jir/parser.hpp"
-#include "pipeline/pipeline.hpp"
+#include "pipeline/engine.hpp"
 #include "runtime/objectgraph.hpp"
 #include "runtime/vm.hpp"
 
@@ -66,9 +66,13 @@ int main() {
   // Merge: quickest path is to re-add the parsed classes onto the core.
   for (const jir::ClassDecl& cls : parsed.value().classes()) core_program.add_class(cls);
 
-  // Build the CPG (ORG + PCG + MAG, §III-B) through the public pipeline
-  // facade — the same entry point the `tabby` CLI uses.
-  pipeline::Outcome outcome = pipeline::run(core_program, pipeline::Options{});
+  // Build the CPG (ORG + PCG + MAG, §III-B) through the session engine —
+  // the supported embedding surface, and the same machinery `tabby serve`
+  // keeps resident. One Engine per process, one Analysis per program.
+  pipeline::Engine engine;
+  pipeline::ExecContext ctx;
+  pipeline::AnalysisPtr analysis = engine.open(core_program, ctx);
+  const pipeline::Outcome& outcome = analysis->outcome();
   std::printf("CPG: %zu class nodes, %zu method nodes, %zu edges (%zu CALL, %zu ALIAS)\n",
               outcome.stats.class_nodes, outcome.stats.method_nodes,
               outcome.stats.relationship_edges, outcome.stats.call_edges,
@@ -77,11 +81,11 @@ int main() {
               outcome.stats.source_methods, outcome.stats.sink_methods,
               outcome.stats.pruned_call_sites);
 
-  // Find gadget chains (§III-D).
-  finder::GadgetChainFinder finder(outcome.db);
-  finder::FinderReport report = finder.find_all();
-  std::printf("Found %zu gadget chain(s):\n\n", report.chains.size());
-  for (const finder::GadgetChain& chain : report.chains) {
+  // Find gadget chains (§III-D): Analysis::find carries the whole finder
+  // orchestration (depth, deadlines, frozen/store dispatch) in one call.
+  pipeline::FindResult found = analysis->find(ctx);
+  std::printf("Found %zu gadget chain(s):\n\n", found.report.chains.size());
+  for (const finder::GadgetChain& chain : found.report.chains) {
     std::printf("%s\n", chain.to_string().c_str());
   }
 

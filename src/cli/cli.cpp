@@ -19,7 +19,10 @@
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/engine.hpp"
 #include "pipeline/pipeline.hpp"
+#include "serve/json.hpp"
+#include "serve/serve.hpp"
 #include "util/deadline.hpp"
 #include "util/memory_budget.hpp"
 #include "util/strings.hpp"
@@ -53,6 +56,7 @@ struct Args {
   std::vector<std::string> phase_budgets;   // --phase-budget PHASE=DUR, repeatable
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
+  int max_resident = 0;  // `serve`: LRU entry cap for resident analyses (0 = bytes only)
   bool verify = false;
   bool frozen = true;  // find/query: use the frozen CSR snapshot (docs/GRAPH.md)
   bool with_jdk = true;
@@ -95,6 +99,7 @@ constexpr FlagSpec kFlags[] = {
     {.name = "--trace", .kind = FlagSpec::Kind::Text, .text = &Args::trace_file},
     {.name = "--depth", .kind = FlagSpec::Kind::Count, .count = &Args::depth, .min = 1},
     {.name = "--jobs", .kind = FlagSpec::Kind::Count, .count = &Args::jobs, .min = 1},
+    {.name = "--max-resident", .kind = FlagSpec::Kind::Count, .count = &Args::max_resident, .min = 1},
     {.name = "--verify", .kind = FlagSpec::Kind::Switch, .toggle = &Args::verify},
     {.name = "--frozen", .kind = FlagSpec::Kind::Switch, .toggle = &Args::frozen},
     {.name = "--no-frozen",
@@ -230,6 +235,9 @@ int usage(std::ostream& err) {
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\" [--explain] [--no-plan]\n"
          "  tabby cache DIR [--prune]\n"
+         "  tabby serve SOCKET [--cache DIR] [--jobs N] [--mem-budget SIZE]\n"
+         "                     [--max-resident N] [--no-jdk]\n"
+         "  tabby client SOCKET (open|find|query|stats|evict|shutdown) [ARG...]\n"
          "\n"
          "  --jobs N      worker threads for the parallel stages (default: all\n"
          "                hardware threads; 1 = serial). Output is identical at\n"
@@ -269,6 +277,11 @@ int usage(std::ostream& err) {
          "  --no-plan     `tabby query` only: skip the cost-based planner and\n"
          "                run the naive evaluator. Escape hatch; output is\n"
          "                byte-identical either way, only speed differs.\n"
+         "  --max-resident N\n"
+         "                `tabby serve` only: cap the number of resident\n"
+         "                analyses; least-recently-used idle entries are\n"
+         "                evicted past it (bytes are governed by --mem-budget\n"
+         "                regardless; see docs/SERVING.md).\n"
          "  --strict      fail on the first malformed input or exceeded budget\n"
          "                instead of quarantining it (exit 1 instead of 3).\n"
          "  --prune       `tabby cache` only: delete the corrupt and orphaned\n"
@@ -295,26 +308,42 @@ bool write_bytes(const std::vector<std::byte>& bytes, const fs::path& path, std:
   return true;
 }
 
-/// pipeline::Options for one analyze/find/query invocation. The CLI defaults
-/// to quarantine (a partial answer with a degradation report and exit 3
-/// beats no answer on a big real-world classpath); --strict restores the
-/// library default of failing on the first malformed unit. Deadlines are
-/// anchored here, i.e. when the budgeted work is about to start.
-pipeline::Options pipeline_options(const Args& args, util::Executor* executor, bool need_program,
-                                   bool need_graph_bytes,
-                                   util::MemoryBudget* memory = nullptr) {
-  pipeline::Options options;
-  options.with_jdk = args.with_jdk;
+/// Engine-lifetime configuration from the flag set: the pool, cache and
+/// budget that a one-shot command builds fresh and `tabby serve` keeps for
+/// its whole life. One helper, every subcommand — the knobs can no longer
+/// drift apart between analyze/find/query/serve.
+pipeline::EngineOptions engine_options(const Args& args) {
+  pipeline::EngineOptions options;
+  options.jobs = args.jobs;
   options.cache_dir = args.cache_dir;
-  options.need_program = need_program;
-  options.need_graph_bytes = need_graph_bytes;
-  options.executor = executor;
-  options.policy =
-      args.strict ? pipeline::FailurePolicy::kStrict : pipeline::FailurePolicy::kQuarantine;
-  options.deadline = maybe_after(args.budgets.run);
-  options.load_deadline = maybe_after(args.budgets.load);
-  options.memory = memory;
+  options.memory_budget_bytes = static_cast<std::size_t>(args.budgets.mem.value_or(0));
+  options.max_resident = static_cast<std::size_t>(args.max_resident);
+  options.with_jdk = args.with_jdk;
+  options.use_frozen = args.frozen;
   return options;
+}
+
+/// The per-request ExecContext from the flag set. The CLI defaults to
+/// quarantine (a partial answer with a degradation report and exit 3 beats
+/// no answer on a big real-world classpath); --strict restores the library
+/// default of failing on the first malformed unit. The whole-run deadline is
+/// anchored here — when the budgeted work is about to start — while the
+/// phase budgets stay durations that open()/find() anchor themselves.
+pipeline::ExecContext exec_context(const Args& args) {
+  pipeline::ExecContext ctx;
+  ctx.deadline = maybe_after(args.budgets.run);
+  ctx.load_budget = args.budgets.load;
+  ctx.finder_budget = args.budgets.finder;
+  ctx.policy =
+      args.strict ? pipeline::FailurePolicy::kStrict : pipeline::FailurePolicy::kQuarantine;
+  ctx.max_depth = args.depth;
+  // finder-mem= carves a dedicated frontier pool; otherwise the whole
+  // --mem-budget doubles as the pool. Shard caps come from the pool size
+  // alone, so the chain set is identical at any --jobs count.
+  ctx.frontier_byte_pool = static_cast<std::size_t>(
+      args.budgets.finder_mem.value_or(args.budgets.mem.value_or(0)));
+  ctx.use_planner = args.plan;
+  return ctx;
 }
 
 /// Renders a pipeline outcome's preamble (warnings and degradation lines to
@@ -389,17 +418,17 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: tabby analyze JAR... [--store FILE]\n";
     return 2;
   }
-  std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
-  std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
-  auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()},
-                              pipeline_options(args, pool.get(), /*need_program=*/false,
-                                               /*need_graph_bytes=*/!args.store.empty(),
-                                               budget.get()));
+  pipeline::Engine engine(engine_options(args));
+  pipeline::OpenOptions oopts;
+  oopts.need_graph_bytes = !args.store.empty();
+  oopts.use_frozen = false;  // analyze reports stats / store bytes; no CSR freeze
+  auto result =
+      engine.open({args.positional.begin() + 1, args.positional.end()}, exec_context(args), oopts);
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
     return 1;
   }
-  pipeline::Outcome& outcome = result.value();
+  const pipeline::Outcome& outcome = result.value()->outcome();
   report_outcome(outcome, out, err);
   out << "classes:  " << outcome.stats.class_nodes << "\n"
       << "methods:  " << outcome.stats.method_nodes << "\n"
@@ -423,40 +452,27 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: tabby find JAR... [--depth N] [--verify]\n";
     return 2;
   }
-  std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
-  std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
-  pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/args.verify,
-                                             /*need_graph_bytes=*/false, budget.get());
+  pipeline::Engine engine(engine_options(args));
+  pipeline::ExecContext ctx = exec_context(args);
+  pipeline::OpenOptions oopts;
+  oopts.need_program = args.verify;
   // auto-verify replays chains against the mutable store's node ids, so
   // --verify pins the run to the store-backed representation.
-  popts.use_frozen = args.frozen && !args.verify;
-  auto result = pipeline::run({args.positional.begin() + 1, args.positional.end()}, popts);
+  oopts.use_frozen = args.frozen && !args.verify;
+  auto result = engine.open({args.positional.begin() + 1, args.positional.end()}, ctx, oopts);
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
     return 1;
   }
-  pipeline::Outcome& outcome = result.value();
+  const pipeline::Analysis& analysis = *result.value();
+  const pipeline::Outcome& outcome = analysis.outcome();
   report_outcome(outcome, out, err);
 
-  finder::FinderOptions options;
-  options.max_depth = args.depth;
-  options.executor = pool.get();
-  // The finder races whatever is left of the whole-run budget (the very
-  // Deadline the pipeline ran under), tightened with its own phase budget
-  // anchored now, at finder start.
-  options.deadline = popts.deadline.tightened(maybe_after(args.budgets.finder));
-  // finder-mem= carves a dedicated frontier pool; otherwise the whole
-  // --mem-budget doubles as the pool. Shard caps come from the pool size
-  // alone, so the chain set is identical at any --jobs count.
-  options.frontier_byte_pool = static_cast<std::size_t>(
-      args.budgets.finder_mem.value_or(args.budgets.mem.value_or(0)));
-  options.memory = budget.get();
-  // Same search, same report bytes — the frozen finder only changes how the
-  // adjacency and properties are read.
-  finder::GadgetChainFinder finder = outcome.frozen.has_value()
-                                         ? finder::GadgetChainFinder(*outcome.frozen, options)
-                                         : finder::GadgetChainFinder(outcome.db, options);
-  finder::FinderReport report = finder.find_all();
+  // One call is the whole finder orchestration the CLI used to hand-roll:
+  // depth, deadline folding, frontier pool, frozen/store dispatch, and a
+  // DegradationReport that already merges the finder's partial view.
+  pipeline::FindResult found = analysis.find(ctx);
+  const finder::FinderReport& report = found.report;
 
   out << report.chains.size() << " gadget chain(s), "
       << util::format_double(report.search_seconds, 3) << " s search\n\n";
@@ -489,11 +505,9 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
             << sink.expansions << " expansion(s)\n";
       }
     }
-    outcome.degradation.partial_sinks = report.partial_sinks.size();
-    outcome.degradation.frontier_pruned = report.frontier_pruned;
     return 3;
   }
-  return degradation_exit(outcome);
+  return found.degradation.degraded() ? 3 : 0;
 }
 
 int cmd_cache(const Args& args, std::ostream& out, std::ostream& err) {
@@ -521,56 +535,222 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   std::string query_text = args.positional.back();
-  graph::GraphDb db;
-  std::optional<graph::FrozenGraph> frozen;
-  int degraded = 0;
-  // Pool and budget outlive the query: the planner's backward prepass
-  // parallelizes over the pool and its filter bitsets are metered.
-  std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
-  std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
   if (!args.store.empty()) {
+    // Direct store mode never runs the pipeline: load the serialized graph,
+    // query it, done. (The engine is for classpath-keyed analyses.)
     auto loaded = graph::load(args.store);
     if (!loaded.ok()) {
       err << "error: " << loaded.error().to_string() << "\n";
       return 1;
     }
-    db = std::move(loaded.value());
-  } else {
-    if (args.positional.size() < 3) {
-      err << "usage: tabby query JAR... \"MATCH ...\"\n";
-      return 2;
-    }
-    pipeline::Options popts = pipeline_options(args, pool.get(), /*need_program=*/false,
-                                               /*need_graph_bytes=*/false, budget.get());
-    popts.use_frozen = args.frozen;
-    auto result = pipeline::run({args.positional.begin() + 1, args.positional.end() - 1}, popts);
-    if (!result.ok()) {
-      err << "error: " << result.error().to_string() << "\n";
+    std::unique_ptr<util::ThreadPool> pool = pipeline::make_pool(args.jobs);
+    std::unique_ptr<util::MemoryBudget> budget = make_budget(args);
+    cypher::QueryOptions qopts;
+    qopts.use_planner = args.plan;
+    qopts.executor = pool.get();
+    qopts.memory = budget.get();
+    auto query_result = cypher::run_query(loaded.value(), query_text, qopts);
+    if (!query_result.ok()) {
+      err << "query error: " << query_result.error().to_string() << "\n";
       return 1;
     }
-    report_outcome(result.value(), out, err);
-    degraded = degradation_exit(result.value());
-    frozen = std::move(result.value().frozen);
-    db = std::move(result.value().db);
+    if (args.explain) out << query_result.value().plan;
+    out << query_result.value().to_string(loaded.value()) << "("
+        << query_result.value().rows.size() << " row(s))\n";
+    return 0;
   }
-  cypher::QueryOptions qopts;
-  qopts.use_planner = args.plan;
-  qopts.executor = pool.get();
-  qopts.memory = budget.get();
+  if (args.positional.size() < 3) {
+    err << "usage: tabby query JAR... \"MATCH ...\"\n";
+    return 2;
+  }
+  pipeline::Engine engine(engine_options(args));
+  pipeline::ExecContext ctx = exec_context(args);
+  pipeline::OpenOptions oopts;
+  oopts.use_frozen = args.frozen;
+  auto result = engine.open({args.positional.begin() + 1, args.positional.end() - 1}, ctx, oopts);
+  if (!result.ok()) {
+    err << "error: " << result.error().to_string() << "\n";
+    return 1;
+  }
+  const pipeline::Analysis& analysis = *result.value();
+  report_outcome(analysis.outcome(), out, err);
   // Queries print byte-identically over either representation (and with or
   // without the planner); the frozen path just reads sorted CSR segments
   // instead of adjacency vectors.
-  auto query_result = frozen.has_value() ? cypher::run_query(*frozen, query_text, qopts)
-                                         : cypher::run_query(db, query_text, qopts);
+  auto query_result = analysis.query(query_text, ctx);
   if (!query_result.ok()) {
     err << "query error: " << query_result.error().to_string() << "\n";
     return 1;
   }
   if (args.explain) out << query_result.value().plan;
-  out << (frozen.has_value() ? query_result.value().to_string(*frozen)
-                             : query_result.value().to_string(db))
-      << "(" << query_result.value().rows.size() << " row(s))\n";
-  return degraded;
+  out << analysis.render(query_result.value());
+  return degradation_exit(analysis.outcome());
+}
+
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "usage: tabby serve SOCKET [--cache DIR] [--jobs N] [--mem-budget SIZE] "
+           "[--max-resident N]\n";
+    return 2;
+  }
+  serve::ServeOptions options;
+  options.engine = engine_options(args);
+  auto status = serve::serve(args.positional[1], std::move(options), out, err);
+  if (!status.ok()) {
+    err << "error: " << status.error().to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// The request fields shared by every client op: phase budgets, policy and
+/// representation, translated from the same flags the one-shot commands use.
+serve::Json client_request_base(const Args& args) {
+  serve::Json request = serve::Json::object();
+  if (args.budgets.run.has_value()) {
+    request.set("deadline_ms", static_cast<std::int64_t>(args.budgets.run->count()));
+  }
+  if (args.budgets.load.has_value()) {
+    request.set("load_ms", static_cast<std::int64_t>(args.budgets.load->count()));
+  }
+  if (args.budgets.finder.has_value()) {
+    request.set("finder_ms", static_cast<std::int64_t>(args.budgets.finder->count()));
+  }
+  std::uint64_t pool = args.budgets.finder_mem.value_or(args.budgets.mem.value_or(0));
+  if (pool != 0) request.set("frontier_pool", pool);
+  if (args.strict) request.set("strict", true);
+  if (!args.frozen) request.set("use_frozen", false);
+  return request;
+}
+
+/// Renders a daemon response with the same stdout/stderr/exit-code contract
+/// as the equivalent one-shot command, so scripts (and the CI smoke) can
+/// diff the two directly.
+int render_client_response(const std::string& op, const Args& args, const serve::Json& response,
+                           std::ostream& out, std::ostream& err) {
+  if (!response.flag("ok")) {
+    err << "error: " << response.str("error", "malformed daemon response") << "\n";
+    return response.str("kind") == "usage" ? 2 : 1;
+  }
+  for (const std::string& warning : response.strings("warnings")) {
+    err << "warning: " << warning << "\n";
+  }
+  if (response.has("cache_line")) out << response.str("cache_line") << "\n";
+  if (op == "open") {
+    out << "opened " << response.str("fingerprint") << ": "
+        << static_cast<std::uint64_t>(response.num("classes")) << " classes, "
+        << static_cast<std::uint64_t>(response.num("methods")) << " methods, "
+        << static_cast<std::uint64_t>(response.num("edges")) << " edges ("
+        << (response.flag("warm") ? "warm" : "cold") << ", "
+        << (response.flag("resident") ? "resident" : "transient") << ", "
+        << static_cast<std::uint64_t>(response.num("resident_bytes")) << " bytes)\n";
+    return response.flag("degraded") ? 3 : 0;
+  }
+  if (op == "find") {
+    auto partial = static_cast<std::uint64_t>(response.num("partial"));
+    if (partial > 0 && args.strict) {
+      err << "error: finder budget exceeded (" << partial << " sink search(es) incomplete)\n";
+      return 1;
+    }
+    out << response.str("text");
+    for (const std::string& line : response.strings("degraded_lines")) err << line << "\n";
+    if (partial > 0) return 3;
+    return response.flag("degraded") ? 3 : 0;
+  }
+  if (op == "query") {
+    if (response.has("plan")) out << response.str("plan");
+    out << response.str("text");
+    return response.flag("degraded") ? 3 : 0;
+  }
+  if (op == "stats") {
+    out << "requests:       " << static_cast<std::uint64_t>(response.num("requests")) << "\n"
+        << "in_flight:      " << static_cast<std::uint64_t>(response.num("in_flight")) << "\n"
+        << "opens:          " << static_cast<std::uint64_t>(response.num("opens")) << "\n"
+        << "resident_hits:  " << static_cast<std::uint64_t>(response.num("resident_hits")) << "\n"
+        << "evictions:      " << static_cast<std::uint64_t>(response.num("evictions")) << "\n"
+        << "over_capacity:  " << static_cast<std::uint64_t>(response.num("over_capacity")) << "\n"
+        << "audits:         " << static_cast<std::uint64_t>(response.num("audits")) << "\n"
+        << "resident_bytes: " << static_cast<std::uint64_t>(response.num("resident_bytes")) << "\n"
+        << "budget_bytes:   " << static_cast<std::uint64_t>(response.num("budget_bytes")) << "\n";
+    if (const serve::Json* resident = response.find("resident")) {
+      out << "resident:       " << resident->items().size() << " analysis(es)\n";
+      for (const serve::Json& entry : resident->items()) {
+        out << "  " << entry.str("fingerprint") << "  "
+            << static_cast<std::uint64_t>(entry.num("bytes")) << " bytes, "
+            << static_cast<std::uint64_t>(entry.num("hits")) << " hit(s)\n";
+      }
+    }
+    return 0;
+  }
+  if (op == "evict") {
+    out << "evicted " << static_cast<std::uint64_t>(response.num("evicted")) << " analysis(es)\n";
+    return 0;
+  }
+  if (op == "shutdown") {
+    out << "daemon stopping\n";
+    return 0;
+  }
+  return 0;
+}
+
+int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() < 3) {
+    err << "usage: tabby client SOCKET (open|find|query|stats|evict|shutdown) [ARG...]\n";
+    return 2;
+  }
+  const std::string& socket_path = args.positional[1];
+  const std::string& op = args.positional[2];
+  serve::Json request = client_request_base(args);
+  request.set("op", op);
+  if (op == "open" || op == "find") {
+    if (args.positional.size() < 4) {
+      err << "usage: tabby client SOCKET " << op << " JAR...\n";
+      return 2;
+    }
+    serve::Json classpath = serve::Json::array();
+    for (std::size_t i = 3; i < args.positional.size(); ++i) {
+      classpath.push(serve::Json::string(args.positional[i]));
+    }
+    request.set("classpath", std::move(classpath));
+    if (op == "find") request.set("depth", static_cast<std::int64_t>(args.depth));
+  } else if (op == "query") {
+    if (args.positional.size() < 5) {
+      err << "usage: tabby client SOCKET query JAR... \"MATCH ...\"\n";
+      return 2;
+    }
+    serve::Json classpath = serve::Json::array();
+    for (std::size_t i = 3; i + 1 < args.positional.size(); ++i) {
+      classpath.push(serve::Json::string(args.positional[i]));
+    }
+    request.set("classpath", std::move(classpath));
+    request.set("text", args.positional.back());
+    if (args.explain) request.set("explain", true);
+    if (!args.plan) request.set("no_plan", true);
+  } else if (op == "evict") {
+    if (args.positional.size() != 4) {
+      err << "usage: tabby client SOCKET evict (FINGERPRINT|all)\n";
+      return 2;
+    }
+    if (args.positional[3] == "all") {
+      request.set("all", true);
+    } else {
+      request.set("fingerprint", args.positional[3]);
+    }
+  } else if (op != "stats" && op != "shutdown") {
+    err << "error: unknown client op: " << op << "\n";
+    return 2;
+  }
+  auto reply = serve::client_request(socket_path, request.dump());
+  if (!reply.ok()) {
+    err << "error: " << reply.error().to_string() << "\n";
+    return 1;
+  }
+  std::optional<serve::Json> response = serve::Json::parse(reply.value());
+  if (!response || !response->is_object()) {
+    err << "error: malformed daemon response: " << reply.value() << "\n";
+    return 1;
+  }
+  return render_client_response(op, args, *response, out, err);
 }
 
 int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
@@ -583,6 +763,8 @@ int dispatch(const Args& args, std::ostream& out, std::ostream& err) {
   if (command == "find") return cmd_find(args, out, err);
   if (command == "cache") return cmd_cache(args, out, err);
   if (command == "query") return cmd_query(args, out, err);
+  if (command == "serve") return cmd_serve(args, out, err);
+  if (command == "client") return cmd_client(args, out, err);
   err << "error: unknown command: " << command << "\n";
   return usage(err);
 }

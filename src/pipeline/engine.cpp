@@ -1,0 +1,363 @@
+#include "pipeline/engine.hpp"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "corpus/jdk.hpp"
+#include "jar/archive.hpp"
+#include "obs/obs.hpp"
+#include "util/digest.hpp"
+#include "util/strings.hpp"
+
+namespace tabby::pipeline {
+
+namespace {
+
+/// Anchors an optional phase budget as a Deadline starting now — phases own
+/// their budgets from the moment they start, never from request arrival.
+util::Deadline anchor(const std::optional<std::chrono::milliseconds>& budget) {
+  return budget.has_value() ? util::Deadline::after(*budget) : util::Deadline{};
+}
+
+/// Bytes an Outcome keeps resident. The frozen frame and store bytes are
+/// exact; a decoded GraphDb (mutable vectors + property maps) is estimated
+/// from its node/edge counts. The estimate only has to be stable and
+/// monotone in graph size — admission compares sums of it against the cap,
+/// it never pretends to be an allocator audit.
+std::size_t resident_estimate(const Outcome& outcome) {
+  std::size_t bytes = 0;
+  if (outcome.frozen.has_value()) bytes += outcome.frozen->frame().size();
+  bytes += outcome.graph_bytes.size();
+  if (!outcome.db_skipped) {
+    bytes += outcome.db.node_count() * 192 + outcome.db.edge_count() * 64;
+  }
+  if (outcome.program.has_value()) {
+    bytes += outcome.program->method_count() * 512;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+bool is_over_capacity(const util::Error& error) {
+  return util::starts_with(error.message, kOverCapacityPrefix);
+}
+
+// --- Analysis ---------------------------------------------------------------
+
+FindResult Analysis::find(const ExecContext& ctx) const {
+  obs::Span span("engine.find");
+  finder::FinderOptions options;
+  options.max_depth = ctx.max_depth;
+  options.executor = executor_;
+  // The finder races whatever is left of the request budget, tightened with
+  // its own phase budget anchored now, at finder start.
+  util::Deadline deadline = ctx.deadline;
+  deadline.bind(ctx.cancel);
+  options.deadline = deadline.tightened(anchor(ctx.finder_budget));
+  options.frontier_byte_pool = ctx.frontier_byte_pool;
+  options.memory = memory_;
+
+  // Same search, same report bytes — the frozen finder only changes how the
+  // adjacency and properties are read.
+  finder::GadgetChainFinder finder = outcome_.frozen.has_value()
+                                         ? finder::GadgetChainFinder(*outcome_.frozen, options)
+                                         : finder::GadgetChainFinder(outcome_.db, options);
+  FindResult result;
+  result.report = finder.find_all();
+  result.used_frozen = outcome_.frozen.has_value();
+  // Every entry point reports the same degradation: the open-phase units
+  // merged with the finder's partial view (previously each caller filled
+  // partial_sinks/frontier_pruned — or forgot to).
+  result.degradation = outcome_.degradation;
+  result.degradation.partial_sinks = result.report.partial_sinks.size();
+  result.degradation.frontier_pruned = result.report.frontier_pruned;
+  return result;
+}
+
+util::Result<cypher::QueryResult> Analysis::query(std::string_view text,
+                                                  const ExecContext& ctx) const {
+  obs::Span span("engine.query");
+  cypher::QueryOptions options;
+  options.use_planner = ctx.use_planner;
+  options.executor = executor_;
+  options.memory = memory_;
+  return outcome_.frozen.has_value() ? cypher::run_query(*outcome_.frozen, text, options)
+                                     : cypher::run_query(outcome_.db, text, options);
+}
+
+std::string Analysis::render(const cypher::QueryResult& result) const {
+  std::string out = outcome_.frozen.has_value() ? result.to_string(*outcome_.frozen)
+                                                : result.to_string(outcome_.db);
+  out += "(";
+  out += std::to_string(result.rows.size());
+  out += " row(s))\n";
+  return out;
+}
+
+// --- Engine -----------------------------------------------------------------
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  pool_ = make_pool(options_.jobs);
+  if (options_.memory_budget_bytes > 0) {
+    budget_ = std::make_unique<util::MemoryBudget>(options_.memory_budget_bytes);
+  }
+}
+
+Engine::~Engine() = default;
+
+std::optional<std::uint64_t> Engine::fingerprint_classpath(
+    const std::vector<std::string>& jar_paths) const {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(jar_paths.size() + 1);
+  if (options_.with_jdk) {
+    digests.push_back(util::fnv1a(jar::write_archive(corpus::jdk_base_archive())));
+  }
+  for (const std::string& path : jar_paths) {
+    auto digest = cache::AnalysisCache::digest_file(path);
+    // An undigestable archive means the key cannot describe the on-disk
+    // bytes: the open still runs (quarantine may salvage it), but the
+    // result must not be resident under a lying key.
+    if (!digest.ok()) return std::nullopt;
+    digests.push_back(digest.value());
+  }
+  return cache::AnalysisCache::snapshot_key(cpg::options_fingerprint(cpg::CpgOptions{}), digests);
+}
+
+util::Result<AnalysisPtr> Engine::open(const std::vector<std::string>& jar_paths,
+                                       const ExecContext& ctx, const OpenOptions& opts) {
+  obs::Span span("engine.open");
+  obs::counter_add("engine.opens");
+  const bool want_frozen = opts.use_frozen.value_or(options_.use_frozen);
+  std::optional<std::uint64_t> fp = fingerprint_classpath(jar_paths);
+
+  if (fp.has_value()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++opens_;
+    auto it = resident_.find(*fp);
+    if (it != resident_.end()) {
+      const Outcome& have = it->second.analysis->outcome();
+      // A resident analysis satisfies this open only when it materialized
+      // everything the open needs; otherwise fall through and rebuild (the
+      // replacement below upgrades the resident entry in place).
+      bool satisfies = (!opts.need_program || have.program.has_value()) &&
+                       (!opts.need_graph_bytes || !have.graph_bytes.empty()) &&
+                       (want_frozen || !have.db_skipped);
+      if (satisfies) {
+        ++it->second.hits;
+        ++resident_hits_;
+        obs::counter_add("engine.resident_hits");
+        lru_.erase(it->second.lru);
+        lru_.push_front(*fp);
+        it->second.lru = lru_.begin();
+        return AnalysisPtr(it->second.analysis);
+      }
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++opens_;
+  }
+
+  // Cheap pre-admission check: when even the raw classpath bytes exceed the
+  // whole budget, reject before decoding a single archive — no eviction
+  // could make the analysis fit.
+  if (opts.require_admission && budget_ != nullptr && budget_->bounded()) {
+    std::uintmax_t raw_bytes = 0;
+    for (const std::string& path : jar_paths) {
+      std::error_code ec;
+      std::uintmax_t size = std::filesystem::file_size(path, ec);
+      if (!ec) raw_bytes += size;
+    }
+    if (raw_bytes > budget_->cap()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++over_capacity_;
+      obs::counter_add("engine.over_capacity");
+      return util::Error{std::string(kOverCapacityPrefix) + "classpath is " +
+                         std::to_string(raw_bytes) + " raw byte(s); engine budget is " +
+                         std::to_string(budget_->cap()) + " byte(s)"};
+    }
+  }
+
+  Options options;
+  options.with_jdk = options_.with_jdk;
+  options.cache_dir = options_.cache_dir;
+  options.need_program = opts.need_program;
+  options.need_graph_bytes = opts.need_graph_bytes;
+  options.use_frozen = want_frozen;
+  options.executor = pool_.get();
+  options.policy = ctx.policy;
+  options.deadline = ctx.deadline;
+  options.load_deadline = anchor(ctx.load_budget);
+  options.cancel = ctx.cancel;
+  options.memory = budget_.get();
+
+  auto outcome = run(jar_paths, options);
+  if (!outcome.ok()) return outcome.error();
+
+  auto analysis = std::shared_ptr<Analysis>(new Analysis());
+  analysis->outcome_ = std::move(outcome.value());
+  analysis->fingerprint_ = fp.value_or(0);
+  analysis->executor_ = pool_.get();
+  analysis->memory_ = budget_.get();
+  analysis->resident_bytes_ = resident_estimate(analysis->outcome_);
+
+  if (!fp.has_value()) return AnalysisPtr(std::move(analysis));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Another request may have built and admitted the same classpath while
+  // this one ran unlocked; keep whichever is already resident when it
+  // satisfies the request (first admit wins — both are byte-identical).
+  auto it = resident_.find(*fp);
+  if (it != resident_.end()) {
+    const Outcome& have = it->second.analysis->outcome();
+    bool satisfies = (!opts.need_program || have.program.has_value()) &&
+                     (!opts.need_graph_bytes || !have.graph_bytes.empty()) &&
+                     (want_frozen || !have.db_skipped);
+    if (satisfies) return AnalysisPtr(it->second.analysis);
+    evict_locked(*fp);
+  }
+  if (budget_ != nullptr && budget_->bounded()) {
+    make_room_locked(analysis->resident_bytes_);
+    if (resident_bytes_ + analysis->resident_bytes_ > budget_->cap()) {
+      if (opts.require_admission) {
+        ++over_capacity_;
+        obs::counter_add("engine.over_capacity");
+        return util::Error{std::string(kOverCapacityPrefix) + "analysis needs " +
+                           std::to_string(analysis->resident_bytes_) +
+                           " resident byte(s); engine budget is " +
+                           std::to_string(budget_->cap()) + " byte(s) with " +
+                           std::to_string(resident_bytes_) + " already resident"};
+      }
+      // One-shot caller: hand the analysis back non-resident instead of
+      // rejecting — the handle's lifetime is the caller's problem, the
+      // engine keeps governing only what it retains.
+      return AnalysisPtr(std::move(analysis));
+    }
+  }
+  // Admitted: the resident bytes are charged to the engine ledger for the
+  // lifetime of residency (telemetry; admission itself compares the exact
+  // sums above, never the racy live total).
+  util::maybe_charge(budget_.get(), analysis->resident_bytes_);
+  resident_bytes_ += analysis->resident_bytes_;
+  lru_.push_front(*fp);
+  Entry entry;
+  entry.analysis = analysis;
+  entry.lru = lru_.begin();
+  resident_.emplace(*fp, std::move(entry));
+  if (options_.max_resident > 0) {
+    while (resident_.size() > options_.max_resident && !lru_.empty()) {
+      // Evict idle entries beyond the count cap, LRU first. Entries pinned
+      // by in-flight requests are skipped; the cap is re-applied on the
+      // next open once they quiesce.
+      bool evicted = false;
+      for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+        if (*rit == *fp) continue;  // never evict the analysis just opened
+        auto candidate = resident_.find(*rit);
+        if (candidate != resident_.end() && candidate->second.analysis.use_count() == 1) {
+          evict_locked(*rit);
+          evicted = true;
+          break;
+        }
+      }
+      if (!evicted) break;
+    }
+  }
+  return AnalysisPtr(std::move(analysis));
+}
+
+AnalysisPtr Engine::open(const jir::Program& program, const ExecContext& ctx,
+                         const OpenOptions& opts) {
+  obs::Span span("engine.open");
+  Options options;
+  options.with_jdk = options_.with_jdk;
+  options.use_frozen = opts.use_frozen.value_or(options_.use_frozen);
+  options.executor = pool_.get();
+  options.policy = ctx.policy;
+  options.deadline = ctx.deadline;
+  options.cancel = ctx.cancel;
+  options.memory = budget_.get();
+  auto analysis = std::shared_ptr<Analysis>(new Analysis());
+  analysis->outcome_ = run(program, options);
+  analysis->executor_ = pool_.get();
+  analysis->memory_ = budget_.get();
+  analysis->resident_bytes_ = resident_estimate(analysis->outcome_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++opens_;
+  }
+  return AnalysisPtr(std::move(analysis));
+}
+
+std::size_t Engine::evict_locked(std::uint64_t fingerprint) {
+  auto it = resident_.find(fingerprint);
+  if (it == resident_.end()) return 0;
+  std::size_t bytes = it->second.analysis->resident_bytes();
+  lru_.erase(it->second.lru);
+  resident_.erase(it);
+  resident_bytes_ -= bytes;
+  util::maybe_release(budget_.get(), bytes);
+  ++evictions_;
+  obs::counter_add("engine.evictions");
+  // The callback is the Katana-style eviction hook: by the time it fires
+  // the engine no longer references the analysis, so once request holders
+  // drop their handles the frozen frame is unmapped.
+  if (options_.on_evict) options_.on_evict(fingerprint, bytes);
+  return bytes;
+}
+
+void Engine::make_room_locked(std::size_t needed) {
+  if (budget_ == nullptr || !budget_->bounded()) return;
+  while (resident_bytes_ + needed > budget_->cap() && !lru_.empty()) {
+    bool evicted = false;
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      auto it = resident_.find(*rit);
+      if (it != resident_.end() && it->second.analysis.use_count() == 1) {
+        evict_locked(*rit);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) return;  // everything left is pinned by in-flight requests
+  }
+}
+
+bool Engine::evict(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evict_locked(fingerprint) > 0 || false;
+}
+
+std::size_t Engine::evict_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  while (!lru_.empty()) {
+    std::uint64_t fp = lru_.back();
+    if (evict_locked(fp) == 0) {
+      // Pinned (in use): leave it resident, but stop — the LRU tail no
+      // longer shrinks.
+      break;
+    }
+    ++count;
+  }
+  return count;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats stats;
+  stats.resident_bytes = resident_bytes_;
+  stats.opens = opens_;
+  stats.resident_hits = resident_hits_;
+  stats.evictions = evictions_;
+  stats.over_capacity = over_capacity_;
+  stats.budget_bytes = budget_ != nullptr ? budget_->cap() : 0;
+  for (std::uint64_t fp : lru_) {
+    auto it = resident_.find(fp);
+    if (it == resident_.end()) continue;
+    stats.entries.push_back(
+        {fp, it->second.analysis->resident_bytes(), it->second.hits});
+  }
+  return stats;
+}
+
+}  // namespace tabby::pipeline

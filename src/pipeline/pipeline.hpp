@@ -1,10 +1,17 @@
-// The public pipeline facade: everything between "a classpath of .tjar
-// files" and "a queryable CPG" behind one call, so library consumers get the
-// exact orchestration the `tabby` CLI uses — archive decode (parallel),
+// The one-shot pipeline facade: everything between "a classpath of .tjar
+// files" and "a queryable CPG" behind one call — archive decode (parallel),
 // classpath linking, the incremental cache's warm/cold logic, CPG
 // construction and snapshot publishing — without re-implementing it from the
-// module-level APIs. The CLI, examples/quickstart and
-// examples/audit_component are all thin callers of this header.
+// module-level APIs.
+//
+// run() is the COMPATIBILITY surface: one invocation, one Outcome, caller
+// owns the pool/budget plumbing. New embedding code should prefer the
+// session-oriented pipeline::Engine (pipeline/engine.hpp, docs/SERVING.md),
+// which wraps this same machinery, keeps analyses resident across requests,
+// and consolidates the per-request knobs in one ExecContext; the CLI, the
+// examples and the `tabby serve` daemon all go through it. Engine results
+// are byte-identical to run() — this header is not deprecated, just no
+// longer the first thing to reach for.
 //
 // Errors are structured (util::Result), never pre-formatted text on a
 // stream: callers decide how to render them. Everything here is observable
@@ -64,11 +71,13 @@ struct DegradationReport {
   std::vector<DegradedUnit> units;
   /// The run observed an expired deadline and skipped remaining work.
   bool deadline_hit = false;
-  /// Finder sinks cut short by the deadline or memory pressure (filled by
-  /// callers that run the finder phase; the facade itself stops at the CPG).
+  /// Finder sinks cut short by the deadline or memory pressure. run() stops
+  /// at the CPG and leaves this 0; Analysis::find (pipeline/engine.hpp)
+  /// fills it from the finder report for every entry point.
   std::size_t partial_sinks = 0;
   /// Frontier branches the finder pruned to stay under its byte budget
-  /// (filled by finder-phase callers; > 0 implies MemoryPressure partials).
+  /// (> 0 implies MemoryPressure partials). Same ownership as
+  /// partial_sinks: populated by Analysis::find, not by run().
   std::size_t frontier_pruned = 0;
 
   bool degraded() const {

@@ -1,0 +1,507 @@
+#include "serve/serve.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "obs/obs.hpp"
+#include "serve/json.hpp"
+#include "util/failpoint.hpp"
+#include "util/strings.hpp"
+
+namespace tabby::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out partial writes and EINTR.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The per-request ExecContext, decoded from protocol fields. Deadlines are
+/// anchored here — at dispatch — so a request queued behind a slow neighbour
+/// still gets its full allowance once it actually starts.
+pipeline::ExecContext context_from(const Json& request) {
+  pipeline::ExecContext ctx;
+  if (request.has("deadline_ms")) {
+    ctx.deadline = util::Deadline::after(
+        std::chrono::milliseconds(static_cast<long long>(request.num("deadline_ms"))));
+  }
+  if (request.has("load_ms")) {
+    ctx.load_budget = std::chrono::milliseconds(static_cast<long long>(request.num("load_ms")));
+  }
+  if (request.has("finder_ms")) {
+    ctx.finder_budget =
+        std::chrono::milliseconds(static_cast<long long>(request.num("finder_ms")));
+  }
+  ctx.policy = request.flag("strict") ? pipeline::FailurePolicy::kStrict
+                                      : pipeline::FailurePolicy::kQuarantine;
+  ctx.max_depth = static_cast<int>(request.num("depth", 12));
+  ctx.frontier_byte_pool = static_cast<std::size_t>(request.num("frontier_pool", 0));
+  ctx.use_planner = !request.flag("no_plan");
+  return ctx;
+}
+
+/// The exact per-sink degradation lines `tabby find` prints on stderr.
+std::vector<std::string> degraded_lines(const finder::FinderReport& report) {
+  std::vector<std::string> lines;
+  for (const finder::PartialSink& sink : report.partial_sinks) {
+    std::string line;
+    if (sink.reason == finder::PartialReason::MemoryPressure) {
+      line = "degraded: [finder-memory] ";
+      line += sink.signature;
+      line += ": frontier pruned under memory pressure after ";
+      line += std::to_string(sink.expansions);
+      line += " expansion(s); chains found so far are kept";
+    } else {
+      line = "degraded: [finder-deadline] ";
+      line += sink.signature;
+      line += ": search cut short after ";
+      line += std::to_string(sink.expansions);
+      line += " expansion(s)";
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+class Daemon {
+ public:
+  explicit Daemon(ServeOptions options) {
+    pipeline::EngineOptions engine_options = std::move(options.engine);
+    auto chained = std::move(engine_options.on_evict);
+    engine_options.on_evict = [this, chained](std::uint64_t fingerprint, std::size_t bytes) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add("serve.evictions");
+      if (chained) chained(fingerprint, bytes);
+    };
+    engine_ = std::make_unique<pipeline::Engine>(std::move(engine_options));
+  }
+
+  util::Status run(const std::string& socket_path, std::ostream& out, std::ostream& err);
+
+ private:
+  void serve_connection(int fd);
+  std::string handle_line(const std::string& line);
+  Json dispatch(const Json& request);
+
+  Json op_open(const Json& request);
+  Json op_find(const Json& request);
+  Json op_query(const Json& request);
+  Json op_stats() const;
+  Json op_evict(const Json& request);
+  Json op_shutdown();
+
+  /// Opens (with admission control) and maps failures onto the protocol
+  /// error taxonomy; `error_out` is the ready-to-send error response.
+  util::Result<pipeline::AnalysisPtr> open_for(const Json& request,
+                                               const pipeline::ExecContext& ctx,
+                                               pipeline::OpenOptions opts, Json& error_out);
+
+  static Json error_response(const std::string& kind, const std::string& message) {
+    Json response = Json::object();
+    response.set("ok", false);
+    response.set("kind", kind);
+    response.set("error", message);
+    return response;
+  }
+
+  std::unique_ptr<pipeline::Engine> engine_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failpoint_failures_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> audits_{0};
+  std::atomic<int> in_flight_{0};
+  std::uint64_t last_audited_ = 0;  // audit thread only
+};
+
+util::Status Daemon::run(const std::string& socket_path, std::ostream& out, std::ostream& err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return util::Error{"socket path too long: " + socket_path};
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return util::Error{"cannot create socket: " + std::string(std::strerror(errno))};
+  ::unlink(socket_path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return util::Error{"cannot bind " + socket_path + ": " + std::strerror(saved)};
+  }
+  if (::listen(fd, 16) != 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+    return util::Error{"cannot listen on " + socket_path + ": " + std::strerror(saved)};
+  }
+  listen_fd_ = fd;
+
+  // Opportunistic cache audit: between requests (no request in flight, and
+  // at least one completed since the last pass) re-validate the cache
+  // directory so corrupt or orphaned entries are spotted while the daemon
+  // idles rather than on some future cold start.
+  std::thread auditor;
+  if (!engine_->options().cache_dir.empty()) {
+    auditor = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        std::uint64_t done = completed_.load(std::memory_order_relaxed);
+        if (in_flight_.load(std::memory_order_relaxed) != 0 || done == last_audited_) continue;
+        auto report = cache::audit_cache(engine_->options().cache_dir, /*prune=*/false);
+        (void)report;  // findings surface via the stats op / next `tabby cache`
+        last_audited_ = done;
+        audits_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter_add("serve.audits");
+      }
+    });
+  }
+
+  out << "serving on " << socket_path << "\n" << std::flush;
+
+  std::vector<std::thread> connections;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      if (!stop_.load(std::memory_order_relaxed)) {
+        err << "serve: accept failed: " << std::strerror(errno) << "\n";
+      }
+      break;
+    }
+    connections.emplace_back(&Daemon::serve_connection, this, conn);
+  }
+
+  for (std::thread& t : connections) t.join();
+  if (auditor.joinable()) {
+    stop_.store(true, std::memory_order_relaxed);
+    auditor.join();
+  }
+  ::close(fd);
+  ::unlink(socket_path.c_str());
+  return util::Status::ok_status();
+}
+
+void Daemon::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) == std::string::npos) {
+      ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    std::string response = handle_line(line);
+    response += '\n';
+    if (!write_all(fd, response)) {
+      ::close(fd);
+      return;
+    }
+  }
+}
+
+std::string Daemon::handle_line(const std::string& line) {
+  obs::Span span("serve.request");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  Json response;
+  std::optional<Json> request = Json::parse(line);
+  if (!request || !request->is_object()) {
+    response = error_response("usage", "malformed request: not a JSON object");
+  } else if (util::failpoint::poll("serve.request")) {
+    // The chaos seam: one request dies mid-flight with a structured error;
+    // the daemon must answer the NEXT request cleanly (CI proves it does).
+    failpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add("serve.request_failpoints");
+    response = error_response("internal", "failpoint serve.request fired");
+  } else {
+    try {
+      response = dispatch(*request);
+    } catch (const std::exception& e) {
+      // A request may fault; the daemon never does.
+      response = error_response("internal", std::string("unhandled exception: ") + e.what());
+    }
+  }
+  if (request && request->is_object()) {
+    if (const Json* id = request->find("id")) response.set("id", *id);
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return response.dump();
+}
+
+Json Daemon::dispatch(const Json& request) {
+  std::string op = request.str("op");
+  if (op == "open") return op_open(request);
+  if (op == "find") return op_find(request);
+  if (op == "query") return op_query(request);
+  if (op == "stats") return op_stats();
+  if (op == "evict") return op_evict(request);
+  if (op == "shutdown") return op_shutdown();
+  return error_response("usage", "unknown op: " + (op.empty() ? "(missing)" : op));
+}
+
+util::Result<pipeline::AnalysisPtr> Daemon::open_for(const Json& request,
+                                                     const pipeline::ExecContext& ctx,
+                                                     pipeline::OpenOptions opts,
+                                                     Json& error_out) {
+  std::vector<std::string> classpath = request.strings("classpath");
+  if (classpath.empty()) {
+    error_out = error_response("usage", "request needs a non-empty \"classpath\" array");
+    return util::Error{"usage"};
+  }
+  opts.require_admission = true;
+  if (request.has("use_frozen")) opts.use_frozen = request.flag("use_frozen");
+  auto analysis = engine_->open(classpath, ctx, opts);
+  if (!analysis.ok()) {
+    error_out = pipeline::is_over_capacity(analysis.error())
+                    ? error_response("over-capacity", analysis.error().message)
+                    : error_response("not-found", analysis.error().to_string());
+    return analysis.error();
+  }
+  return analysis;
+}
+
+Json Daemon::op_open(const Json& request) {
+  pipeline::ExecContext ctx = context_from(request);
+  pipeline::OpenOptions opts;
+  opts.need_graph_bytes = request.flag("need_graph_bytes");
+  Json error_out;
+  auto analysis = open_for(request, ctx, opts, error_out);
+  if (!analysis.ok()) return error_out;
+  const pipeline::Outcome& outcome = analysis.value()->outcome();
+
+  Json response = Json::object();
+  response.set("ok", true);
+  response.set("fingerprint", hex64(analysis.value()->fingerprint()));
+  response.set("warm", outcome.warm);
+  response.set("resident", analysis.value()->fingerprint() != 0);
+  response.set("resident_bytes", static_cast<std::uint64_t>(analysis.value()->resident_bytes()));
+  response.set("classes", static_cast<std::uint64_t>(outcome.stats.class_nodes));
+  response.set("methods", static_cast<std::uint64_t>(outcome.stats.method_nodes));
+  response.set("edges", static_cast<std::uint64_t>(outcome.stats.relationship_edges));
+  response.set("call_edges", static_cast<std::uint64_t>(outcome.stats.call_edges));
+  response.set("alias_edges", static_cast<std::uint64_t>(outcome.stats.alias_edges));
+  response.set("sources", static_cast<std::uint64_t>(outcome.stats.source_methods));
+  response.set("sinks", static_cast<std::uint64_t>(outcome.stats.sink_methods));
+  response.set("pruned", static_cast<std::uint64_t>(outcome.stats.pruned_call_sites));
+  response.set("frozen", outcome.frozen.has_value());
+  response.set("degraded", outcome.degradation.degraded());
+  if (!outcome.cache_line.empty()) response.set("cache_line", outcome.cache_line);
+  Json warnings = Json::array();
+  for (const std::string& warning : outcome.warnings) warnings.push(Json::string(warning));
+  response.set("warnings", std::move(warnings));
+  return response;
+}
+
+Json Daemon::op_find(const Json& request) {
+  pipeline::ExecContext ctx = context_from(request);
+  Json error_out;
+  auto analysis = open_for(request, ctx, {}, error_out);
+  if (!analysis.ok()) return error_out;
+  pipeline::FindResult result = analysis.value()->find(ctx);
+  const pipeline::Outcome& outcome = analysis.value()->outcome();
+
+  // The exact bytes `tabby find` prints for the same request (the header's
+  // search time is wall clock — CI filters it the same way it already does
+  // for warm-vs-cold comparisons).
+  std::string text = std::to_string(result.report.chains.size()) + " gadget chain(s), " +
+                     util::format_double(result.report.search_seconds, 3) + " s search\n\n";
+  for (const finder::GadgetChain& chain : result.report.chains) {
+    text += chain.to_string();
+    text += "\n";
+  }
+
+  Json response = Json::object();
+  response.set("ok", true);
+  response.set("fingerprint", hex64(analysis.value()->fingerprint()));
+  response.set("chains", static_cast<std::uint64_t>(result.report.chains.size()));
+  response.set("partial", static_cast<std::uint64_t>(result.report.partial_sinks.size()));
+  response.set("used_frozen", result.used_frozen);
+  response.set("degraded", result.degradation.degraded());
+  response.set("text", std::move(text));
+  if (!outcome.cache_line.empty()) response.set("cache_line", outcome.cache_line);
+  Json warnings = Json::array();
+  for (const std::string& warning : outcome.warnings) warnings.push(Json::string(warning));
+  response.set("warnings", std::move(warnings));
+  Json degraded = Json::array();
+  for (const std::string& line : degraded_lines(result.report)) degraded.push(Json::string(line));
+  response.set("degraded_lines", std::move(degraded));
+  return response;
+}
+
+Json Daemon::op_query(const Json& request) {
+  std::string query_text = request.str("text");
+  if (query_text.empty()) {
+    return error_response("usage", "request needs a non-empty \"text\" query string");
+  }
+  pipeline::ExecContext ctx = context_from(request);
+  Json error_out;
+  auto analysis = open_for(request, ctx, {}, error_out);
+  if (!analysis.ok()) return error_out;
+  auto result = analysis.value()->query(query_text, ctx);
+  if (!result.ok()) return error_response("query", result.error().to_string());
+  const pipeline::Outcome& outcome = analysis.value()->outcome();
+
+  Json response = Json::object();
+  response.set("ok", true);
+  response.set("fingerprint", hex64(analysis.value()->fingerprint()));
+  response.set("rows", static_cast<std::uint64_t>(result.value().rows.size()));
+  response.set("text", analysis.value()->render(result.value()));
+  if (request.flag("explain")) response.set("plan", result.value().plan);
+  response.set("degraded", outcome.degradation.degraded());
+  if (!outcome.cache_line.empty()) response.set("cache_line", outcome.cache_line);
+  Json warnings = Json::array();
+  for (const std::string& warning : outcome.warnings) warnings.push(Json::string(warning));
+  response.set("warnings", std::move(warnings));
+  return response;
+}
+
+Json Daemon::op_stats() const {
+  pipeline::EngineStats stats = engine_->stats();
+  Json response = Json::object();
+  response.set("ok", true);
+  response.set("requests", requests_.load(std::memory_order_relaxed));
+  response.set("in_flight", static_cast<std::uint64_t>(in_flight_.load(std::memory_order_relaxed)));
+  response.set("failpoint_failures", failpoint_failures_.load(std::memory_order_relaxed));
+  response.set("opens", stats.opens);
+  response.set("resident_hits", stats.resident_hits);
+  response.set("evictions", evictions_.load(std::memory_order_relaxed));
+  response.set("over_capacity", stats.over_capacity);
+  response.set("audits", audits_.load(std::memory_order_relaxed));
+  response.set("resident_bytes", static_cast<std::uint64_t>(stats.resident_bytes));
+  response.set("budget_bytes", static_cast<std::uint64_t>(stats.budget_bytes));
+  Json resident = Json::array();
+  for (const pipeline::EngineStats::Resident& entry : stats.entries) {
+    Json row = Json::object();
+    row.set("fingerprint", hex64(entry.fingerprint));
+    row.set("bytes", static_cast<std::uint64_t>(entry.bytes));
+    row.set("hits", entry.hits);
+    resident.push(std::move(row));
+  }
+  response.set("resident", std::move(resident));
+  return response;
+}
+
+Json Daemon::op_evict(const Json& request) {
+  std::size_t evicted = 0;
+  if (request.flag("all")) {
+    evicted = engine_->evict_all();
+  } else {
+    std::optional<std::uint64_t> fingerprint = parse_hex64(request.str("fingerprint"));
+    if (!fingerprint) {
+      return error_response("usage", "evict needs \"all\":true or a 16-hex-digit \"fingerprint\"");
+    }
+    evicted = engine_->evict(*fingerprint) ? 1 : 0;
+  }
+  Json response = Json::object();
+  response.set("ok", true);
+  response.set("evicted", static_cast<std::uint64_t>(evicted));
+  return response;
+}
+
+Json Daemon::op_shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+  // Break the accept loop: shutting down a listening socket makes the
+  // blocked accept() return immediately.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  Json response = Json::object();
+  response.set("ok", true);
+  response.set("stopping", true);
+  return response;
+}
+
+}  // namespace
+
+util::Status serve(const std::string& socket_path, ServeOptions options, std::ostream& out,
+                   std::ostream& err) {
+  Daemon daemon(std::move(options));
+  return daemon.run(socket_path, out, err);
+}
+
+util::Result<std::string> client_request(const std::string& socket_path,
+                                         const std::string& request_line, int connect_retries) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return util::Error{"socket path too long: " + socket_path};
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return util::Error{"cannot create socket: " + std::string(std::strerror(errno))};
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    int saved = errno;
+    ::close(fd);
+    fd = -1;
+    // The daemon may still be starting (no socket file yet, or bound but
+    // not listening): retry on the races, fail fast on anything else.
+    if ((saved == ENOENT || saved == ECONNREFUSED) && attempt < connect_retries) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    return util::Error{"cannot connect to " + socket_path + ": " + std::strerror(saved)};
+  }
+
+  std::string request = request_line;
+  request += '\n';
+  if (!write_all(fd, request)) {
+    int saved = errno;
+    ::close(fd);
+    return util::Error{"cannot write request: " + std::string(std::strerror(saved))};
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (buffer.find('\n') == std::string::npos) {
+    ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      int saved = errno;
+      ::close(fd);
+      return util::Error{"cannot read response: " + std::string(std::strerror(saved))};
+    }
+    if (n == 0) {
+      ::close(fd);
+      return util::Error{"daemon closed the connection without a response"};
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return buffer.substr(0, buffer.find('\n'));
+}
+
+}  // namespace tabby::serve

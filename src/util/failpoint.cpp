@@ -24,6 +24,7 @@ constexpr const char* kSites[] = {
     "graph.index.rebuild",     // (re)creating label/property indexes
     "jar.decode",              // TJAR archive decode
     "pool.task",               // ThreadPool parallel_for task body
+    "serve.request",           // daemon request dispatch (tabby serve)
 };
 
 struct Activation {

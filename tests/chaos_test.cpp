@@ -9,16 +9,19 @@
 // Also exercises the cache publish retry-with-backoff satellite through the
 // cache.publish.rename site.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/cli.hpp"
 #include "corpus/components.hpp"
 #include "jar/archive.hpp"
+#include "serve/serve.hpp"
 #include "util/failpoint.hpp"
 
 namespace tabby {
@@ -231,6 +234,40 @@ TEST_F(ChaosFixture, WorkerTaskFaultIsAStructuredFatalNotACrash) {
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;
   EXPECT_NE(r.err.find("failpoint"), std::string::npos) << r.err;
+}
+
+TEST_F(ChaosFixture, ServeRequestFaultIsContainedToOneRequest) {
+  // The daemon-side site: with serve.request active, every request fails as
+  // a structured internal error — the daemon itself must never die, and must
+  // answer cleanly the moment the injection stops.
+  std::string socket = "/tmp/tchaos_" + std::to_string(::getpid());
+  std::ostringstream daemon_out, daemon_err;
+  int daemon_code = -1;
+  std::thread daemon([&] {
+    daemon_code = cli::run_cli({"serve", socket}, daemon_out, daemon_err);
+  });
+
+  util::failpoint::arm();
+  util::failpoint::activate("serve.request");  // permanent while armed
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto reply = serve::client_request(socket, "{\"op\":\"stats\"}");
+    ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+    EXPECT_NE(reply.value().find("\"ok\":false"), std::string::npos) << reply.value();
+    EXPECT_NE(reply.value().find("\"internal\""), std::string::npos) << reply.value();
+  }
+  EXPECT_GE(util::failpoint::fired("serve.request"), 3u);
+  util::failpoint::disarm();
+
+  // Injection over: the daemon answers real work on the very next request.
+  auto clean = serve::client_request(socket, "{\"op\":\"find\",\"classpath\":[\"" + jar_path_ + "\"]}");
+  ASSERT_TRUE(clean.ok()) << clean.error().to_string();
+  EXPECT_NE(clean.value().find("\"ok\":true"), std::string::npos) << clean.value();
+  EXPECT_NE(clean.value().find("gadget chain"), std::string::npos) << clean.value();
+
+  auto shutdown = serve::client_request(socket, "{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(shutdown.ok());
+  daemon.join();
+  EXPECT_EQ(daemon_code, 0) << daemon_err.str();
 }
 
 }  // namespace
