@@ -67,18 +67,13 @@ util::Status write_file_atomic_once(const fs::path& path, const std::vector<std:
 /// warning) — cache publication is never a run failure.
 util::Status write_file_atomic(const fs::path& path, const std::vector<std::byte>& bytes) {
   constexpr int kAttempts = 3;
-  // Jitter decorrelates concurrent runs retrying the same entry; it only
-  // shapes sleep times, never output, so a wall-clock seed is fine.
-  util::Rng jitter(static_cast<std::uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count()));
   util::Status status = util::Status::ok_status();
   for (int attempt = 1; attempt <= kAttempts; ++attempt) {
     status = write_file_atomic_once(path, bytes);
     if (status.ok()) return status;
     if (attempt == kAttempts) break;
     obs::counter_add("cache.publish_retries");
-    std::this_thread::sleep_for(std::chrono::microseconds(
-        (1u << (attempt - 1)) * 1000 + jitter.next_below(500)));
+    std::this_thread::sleep_for(publish_backoff(path.string(), attempt));
   }
   return status;
 }
@@ -633,6 +628,19 @@ util::Result<CacheAuditReport> audit_cache(const fs::path& dir, bool prune) {
 
   obs::counter_add("cache.entries_audited", report.entries.size());
   return report;
+}
+
+std::chrono::microseconds publish_backoff(std::string_view path, int attempt) {
+  // Exponential base: ~1ms, ~2ms, ... for attempts 1, 2, ...
+  int exponent = std::clamp(attempt - 1, 0, 20);
+  std::uint64_t base = 1000ull << exponent;
+  // Jitter decorrelates concurrent runs retrying the same entry. Seeded
+  // from the path and the attempt — never the clock — so a chaos run
+  // replays with byte-identical sleeps while different entries (and
+  // successive attempts) still spread out.
+  util::Rng jitter(0x7ab1cac4eULL ^ util::fnv1a(path) ^
+                   (static_cast<std::uint64_t>(static_cast<unsigned>(attempt)) << 48));
+  return std::chrono::microseconds(base + jitter.next_below(500));
 }
 
 }  // namespace tabby::cache

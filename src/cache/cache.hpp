@@ -44,10 +44,12 @@
 // own checksum cover the blob, so the warm path hashes the megabytes once.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cpg/builder.hpp"
@@ -208,5 +210,12 @@ struct CacheAuditReport {
 /// the corrupt and orphaned ones (intact entries are never touched). Fails
 /// only when `dir` is not a cache directory at all.
 util::Result<CacheAuditReport> audit_cache(const std::filesystem::path& dir, bool prune);
+
+/// The atomic-publish retry delay before attempt `attempt + 1` (attempt is
+/// the 1-based try that just failed): exponential base (~1ms, ~2ms) plus
+/// jitter seeded from the target path and the attempt number — DETERMINISTIC,
+/// so chaos runs replay with identical sleeps, while concurrent runs
+/// retrying different entries still decorrelate. Exposed for failpoint_test.
+std::chrono::microseconds publish_backoff(std::string_view path, int attempt);
 
 }  // namespace tabby::cache

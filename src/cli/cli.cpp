@@ -56,6 +56,7 @@ struct Args {
   std::vector<std::string> phase_budgets;   // --phase-budget PHASE=DUR, repeatable
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
+  int workers = 0;  // finder worker processes (0 = in-process; docs/ROBUSTNESS.md)
   int max_resident = 0;  // `serve`: LRU entry cap for resident analyses (0 = bytes only)
   bool verify = false;
   bool frozen = true;  // find/query: use the frozen CSR snapshot (docs/GRAPH.md)
@@ -99,6 +100,7 @@ constexpr FlagSpec kFlags[] = {
     {.name = "--trace", .kind = FlagSpec::Kind::Text, .text = &Args::trace_file},
     {.name = "--depth", .kind = FlagSpec::Kind::Count, .count = &Args::depth, .min = 1},
     {.name = "--jobs", .kind = FlagSpec::Kind::Count, .count = &Args::jobs, .min = 1},
+    {.name = "--workers", .kind = FlagSpec::Kind::Count, .count = &Args::workers, .min = 0},
     {.name = "--max-resident", .kind = FlagSpec::Kind::Count, .count = &Args::max_resident, .min = 1},
     {.name = "--verify", .kind = FlagSpec::Kind::Switch, .toggle = &Args::verify},
     {.name = "--frozen", .kind = FlagSpec::Kind::Switch, .toggle = &Args::frozen},
@@ -232,16 +234,23 @@ int usage(std::ostream& err) {
          "  tabby gen <component-or-scene> --out DIR\n"
          "  tabby analyze JAR... [--store FILE] [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-frozen] [--jobs N]\n"
+         "                    [--workers N]\n"
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\" [--explain] [--no-plan]\n"
          "  tabby cache DIR [--prune]\n"
-         "  tabby serve SOCKET [--cache DIR] [--jobs N] [--mem-budget SIZE]\n"
+         "  tabby serve SOCKET [--cache DIR] [--jobs N] [--workers N] [--mem-budget SIZE]\n"
          "                     [--max-resident N] [--no-jdk]\n"
          "  tabby client SOCKET (open|find|query|stats|evict|shutdown) [ARG...]\n"
          "\n"
          "  --jobs N      worker threads for the parallel stages (default: all\n"
          "                hardware threads; 1 = serial). Output is identical at\n"
          "                any job count.\n"
+         "  --workers N   crash-isolated finder: dispatch sink searches to N\n"
+         "                supervised forked worker processes (default 0 = in\n"
+         "                process). A crashed or hung worker is respawned and its\n"
+         "                shard retried; a shard that exhausts retries degrades\n"
+         "                (exit 3) instead of killing the run. Output is\n"
+         "                byte-identical to --workers 0 at any N.\n"
          "  --cache DIR   incremental analysis cache: per-archive fragments plus\n"
          "                whole-classpath CPG snapshots, keyed by content digests.\n"
          "                A warm run on an unchanged classpath skips recomputation\n"
@@ -343,6 +352,10 @@ pipeline::ExecContext exec_context(const Args& args) {
   ctx.frontier_byte_pool = static_cast<std::size_t>(
       args.budgets.finder_mem.value_or(args.budgets.mem.value_or(0)));
   ctx.use_planner = args.plan;
+  // Crash-isolated finder execution: shards run in forked worker processes
+  // whose failures degrade (exit 3) instead of killing the run. Output is
+  // byte-identical to --workers 0 at any count.
+  ctx.workers = args.workers;
   return ctx;
 }
 
@@ -496,14 +509,7 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
       return 1;
     }
     for (const finder::PartialSink& sink : report.partial_sinks) {
-      if (sink.reason == finder::PartialReason::MemoryPressure) {
-        err << "degraded: [finder-memory] " << sink.signature
-            << ": frontier pruned under memory pressure after " << sink.expansions
-            << " expansion(s); chains found so far are kept\n";
-      } else {
-        err << "degraded: [finder-deadline] " << sink.signature << ": search cut short after "
-            << sink.expansions << " expansion(s)\n";
-      }
+      err << finder::degraded_line(sink) << "\n";
     }
     return 3;
   }
@@ -589,12 +595,13 @@ int cmd_query(const Args& args, std::ostream& out, std::ostream& err) {
 
 int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
-    err << "usage: tabby serve SOCKET [--cache DIR] [--jobs N] [--mem-budget SIZE] "
-           "[--max-resident N]\n";
+    err << "usage: tabby serve SOCKET [--cache DIR] [--jobs N] [--workers N] "
+           "[--mem-budget SIZE] [--max-resident N]\n";
     return 2;
   }
   serve::ServeOptions options;
   options.engine = engine_options(args);
+  options.default_workers = args.workers;
   auto status = serve::serve(args.positional[1], std::move(options), out, err);
   if (!status.ok()) {
     err << "error: " << status.error().to_string() << "\n";
@@ -620,6 +627,7 @@ serve::Json client_request_base(const Args& args) {
   if (pool != 0) request.set("frontier_pool", pool);
   if (args.strict) request.set("strict", true);
   if (!args.frozen) request.set("use_frozen", false);
+  if (args.workers > 0) request.set("workers", static_cast<std::int64_t>(args.workers));
   return request;
 }
 
@@ -672,6 +680,19 @@ int render_client_response(const std::string& op, const Args& args, const serve:
         << "audits:         " << static_cast<std::uint64_t>(response.num("audits")) << "\n"
         << "resident_bytes: " << static_cast<std::uint64_t>(response.num("resident_bytes")) << "\n"
         << "budget_bytes:   " << static_cast<std::uint64_t>(response.num("budget_bytes")) << "\n";
+    // Worker-pool churn, shown once any --workers find has run so the
+    // common in-process deployment keeps its historical stats bytes.
+    if (response.num("dist_workers_spawned") > 0) {
+      out << "dist_workers:   " << static_cast<std::uint64_t>(response.num("dist_workers_spawned"))
+          << " spawned, " << static_cast<std::uint64_t>(response.num("dist_respawns"))
+          << " respawn(s)\n"
+          << "dist_failures:  " << static_cast<std::uint64_t>(response.num("dist_crashes"))
+          << " crash(es), " << static_cast<std::uint64_t>(response.num("dist_heartbeat_misses"))
+          << " heartbeat miss(es)\n"
+          << "dist_retries:   " << static_cast<std::uint64_t>(response.num("dist_retries"))
+          << " retry(ies), " << static_cast<std::uint64_t>(response.num("dist_reassignments"))
+          << " reassignment(s)\n";
+    }
     if (const serve::Json* resident = response.find("resident")) {
       out << "resident:       " << resident->items().size() << " analysis(es)\n";
       for (const serve::Json& entry : resident->items()) {

@@ -26,6 +26,13 @@ struct FanoutStressSpec {
   /// Call fan: Fan_i.poke() invokes every hop through an @this field, adding
   /// `call_fans` TC-compatible CALL edges per hop on top of the alias fan.
   int call_fans = 8;
+  /// Plant a second, fully independent fan-out chain (own entry, hops,
+  /// interfaces and call fans) ending in ClassLoader#loadClass instead of
+  /// Runtime#exec. Two sinks then prune under a frontier byte pool, which
+  /// the dist tests need to show a WorkerFailure partial on one sink
+  /// coexisting with a MemoryPressure partial on another. Off by default —
+  /// the single-sink fixture keeps its historical shape byte for byte.
+  bool dual_sink = false;
 };
 
 /// Deterministic: the same spec always produces the identical archive.

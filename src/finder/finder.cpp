@@ -1,12 +1,15 @@
 #include "finder/finder.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <span>
 #include <unordered_set>
 
 #include "analysis/domain.hpp"
 #include "cpg/schema.hpp"
 #include "obs/obs.hpp"
+#include "serve/json.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -49,14 +52,52 @@ const std::vector<std::int64_t>* edge_pp(const Edge& e) {
   return v != nullptr ? std::get_if<std::vector<std::int64_t>>(v) : nullptr;
 }
 
+/// Strict decimal u64 parse for the dist wire codec (ids/counters travel as
+/// strings — the wire format's numbers are doubles).
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
 }  // namespace
 
 const char* to_string(PartialReason reason) {
   switch (reason) {
     case PartialReason::Deadline: return "Deadline";
     case PartialReason::MemoryPressure: return "MemoryPressure";
+    case PartialReason::WorkerFailure: return "WorkerFailure";
   }
   return "Unknown";
+}
+
+std::string degraded_line(const PartialSink& sink) {
+  std::string line;
+  switch (sink.reason) {
+    case PartialReason::MemoryPressure:
+      line = "degraded: [finder-memory] ";
+      line += sink.signature;
+      line += ": frontier pruned under memory pressure after ";
+      line += std::to_string(sink.expansions);
+      line += " expansion(s); chains found so far are kept";
+      break;
+    case PartialReason::WorkerFailure:
+      line = "degraded: [finder-worker] ";
+      line += sink.signature;
+      line += ": ";
+      line += sink.detail.empty() ? "worker failed" : sink.detail;
+      break;
+    case PartialReason::Deadline:
+      line = "degraded: [finder-deadline] ";
+      line += sink.signature;
+      line += ": search cut short after ";
+      line += std::to_string(sink.expansions);
+      line += " expansion(s)";
+      break;
+  }
+  return line;
 }
 
 std::string GadgetChain::to_string() const {
@@ -118,15 +159,24 @@ FinderReport GadgetChainFinder::find_all() {
   // count, so prune decisions are identical at any worker count.
   const std::size_t cap = shard_cap(sinks.size());
   std::vector<SinkSearch> searches(sinks.size());
-  util::run_indexed(options_.executor, sinks.size(), [&](std::size_t i) {
-    obs::Span sink_span("finder.sink");
-    sink_span.attr("sink", static_cast<std::uint64_t>(sinks[i]));
-    searches[i] = db_ != nullptr ? search_sink(sinks[i], is_source, cap)
-                                 : search_sink_frozen(sinks[i], cap);
-    sink_span.attr("chains", static_cast<std::uint64_t>(searches[i].chains.size()));
-    sink_span.attr("expansions", static_cast<std::uint64_t>(searches[i].expansions));
-    obs::counter_add("finder.sinks_searched");
-  });
+  if (options_.dist.workers > 0 && !sinks.empty()) {
+    // Crash-isolated mode: each shard runs inside a supervised forked
+    // worker; a shard whose retries are exhausted comes back as
+    // worker_failed and degrades in the merge below instead of killing the
+    // run. Payloads decode into the same SinkSearch the in-process path
+    // fills, so everything downstream is shared.
+    run_sinks_dist(sinks, cap, searches, report.dist_stats);
+  } else {
+    util::run_indexed(options_.executor, sinks.size(), [&](std::size_t i) {
+      obs::Span sink_span("finder.sink");
+      sink_span.attr("sink", static_cast<std::uint64_t>(sinks[i]));
+      searches[i] = db_ != nullptr ? search_sink(sinks[i], is_source, cap)
+                                   : search_sink_frozen(sinks[i], cap);
+      sink_span.attr("chains", static_cast<std::uint64_t>(searches[i].chains.size()));
+      sink_span.attr("expansions", static_cast<std::uint64_t>(searches[i].expansions));
+      obs::counter_add("finder.sinks_searched");
+    });
+  }
 
   for (std::size_t i = 0; i < searches.size(); ++i) {
     SinkSearch& search = searches[i];
@@ -144,8 +194,9 @@ FinderReport GadgetChainFinder::find_all() {
           db_ != nullptr
               ? db_->node(sinks[i]).prop_string(std::string(cpg::kPropSignature))
               : std::string(frozen_->node_prop_string(sinks[i], cpg::kPropSignature));
-      report.partial_sinks.push_back(
-          PartialSink{sinks[i], std::move(signature), search.expansions, search.reason()});
+      report.partial_sinks.push_back(PartialSink{sinks[i], std::move(signature),
+                                                 search.expansions, search.reason(),
+                                                 std::move(search.worker_error)});
     }
     last_expansions_ = search.expansions;
     last_exhausted_ = search.exhausted;
@@ -192,6 +243,94 @@ std::vector<GadgetChain> GadgetChainFinder::find_from_sink(
   last_exhausted_ = search.exhausted;
   last_partial_ = search.partial();
   return std::move(search.chains);
+}
+
+std::string GadgetChainFinder::encode_sink_search(const SinkSearch& search) {
+  serve::Json doc = serve::Json::object();
+  serve::Json chains = serve::Json::array();
+  for (const GadgetChain& chain : search.chains) {
+    serve::Json jc = serve::Json::object();
+    serve::Json nodes = serve::Json::array();
+    for (NodeId n : chain.nodes) nodes.push(serve::Json::string(std::to_string(n)));
+    serve::Json sigs = serve::Json::array();
+    for (const std::string& sig : chain.signatures) sigs.push(serve::Json::string(sig));
+    jc.set("nodes", std::move(nodes));
+    jc.set("sigs", std::move(sigs));
+    jc.set("type", chain.sink_type);
+    chains.push(std::move(jc));
+  }
+  doc.set("chains", std::move(chains));
+  doc.set("expansions", std::to_string(search.expansions));
+  doc.set("exhausted", search.exhausted);
+  doc.set("deadline", search.deadline_expired);
+  doc.set("pruned", std::to_string(search.frontier_pruned));
+  doc.set("charged", std::to_string(search.bytes_charged));
+  doc.set("peak", std::to_string(search.peak_bytes));
+  doc.set("spilled", std::to_string(search.spilled));
+  return doc.dump();
+}
+
+bool GadgetChainFinder::decode_sink_search(const std::string& payload, SinkSearch& out) {
+  auto doc = serve::Json::parse(payload);
+  if (!doc || !doc->is_object()) return false;
+  SinkSearch search;
+  const serve::Json* chains = doc->find("chains");
+  if (chains == nullptr || !chains->is_array()) return false;
+  for (const serve::Json& jc : chains->items()) {
+    GadgetChain chain;
+    chain.sink_type = jc.str("type");
+    const serve::Json* nodes = jc.find("nodes");
+    if (nodes == nullptr || !nodes->is_array()) return false;
+    for (const serve::Json& n : nodes->items()) {
+      std::uint64_t id = 0;
+      if (!n.is_string() || !parse_u64(n.as_string(), id)) return false;
+      chain.nodes.push_back(id);
+    }
+    chain.signatures = jc.strings("sigs");
+    if (chain.signatures.size() != chain.nodes.size()) return false;
+    search.chains.push_back(std::move(chain));
+  }
+  std::uint64_t v = 0;
+  if (!parse_u64(doc->str("expansions"), v)) return false;
+  search.expansions = v;
+  if (!parse_u64(doc->str("pruned"), v)) return false;
+  search.frontier_pruned = v;
+  if (!parse_u64(doc->str("charged"), v)) return false;
+  search.bytes_charged = v;
+  if (!parse_u64(doc->str("peak"), v)) return false;
+  search.peak_bytes = v;
+  if (!parse_u64(doc->str("spilled"), v)) return false;
+  search.spilled = v;
+  search.exhausted = doc->flag("exhausted");
+  search.deadline_expired = doc->flag("deadline");
+  out = std::move(search);
+  return true;
+}
+
+void GadgetChainFinder::run_sinks_dist(const std::vector<graph::NodeId>& sinks,
+                                       std::size_t frontier_cap,
+                                       std::vector<SinkSearch>& searches,
+                                       dist::DistStats& stats) const {
+  auto is_source = [](const graph::Node& n) {
+    return n.prop_bool(std::string(cpg::kPropIsSource));
+  };
+  // Runs inside the forked worker: single-threaded const search over the
+  // inherited (copy-on-write / shared-mmap) graph, result serialized onto
+  // the worker's socket. No executor, no tracer — neither survives a fork.
+  dist::ShardFn fn = [&](std::size_t i) {
+    SinkSearch search = db_ != nullptr ? search_sink(sinks[i], is_source, frontier_cap)
+                                       : search_sink_frozen(sinks[i], frontier_cap);
+    return encode_sink_search(search);
+  };
+  dist::DistReport dist_report = dist::run_shards(sinks.size(), fn, options_.dist);
+  stats = dist_report.stats;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    dist::ShardResult& shard = dist_report.shards[i];
+    if (shard.ok && decode_sink_search(shard.payload, searches[i])) continue;
+    searches[i] = SinkSearch{};
+    searches[i].worker_failed = true;
+    searches[i].worker_error = shard.ok ? "shard payload decode failed" : std::move(shard.error);
+  }
 }
 
 std::size_t GadgetChainFinder::shard_cap(std::size_t sink_count) const {

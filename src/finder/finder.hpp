@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/dist.hpp"
 #include "graph/frozen.hpp"
 #include "graph/graph.hpp"
 #include "graph/traversal.hpp"
@@ -84,24 +85,47 @@ struct FinderOptions {
   /// Optional process-wide ledger the per-shard charges mirror into
   /// (telemetry / stage checkpoints only). Borrowed, may be null.
   util::MemoryBudget* memory = nullptr;
+  /// Crash-isolated execution (--workers N): with dist.workers > 0,
+  /// find_all() dispatches each sink shard to a supervised pool of forked
+  /// worker processes instead of the in-process executor. The frozen CSR
+  /// mmap is shared read-only with every worker via fork inheritance; shard
+  /// payloads come back over the dist wire protocol and feed the exact merge
+  /// loop the in-process path uses, so the report is byte-identical at any
+  /// worker count. A shard that exhausts its retry budget degrades to a
+  /// PartialSink{WorkerFailure} — never a crashed run.
+  dist::DistOptions dist;
 };
 
 /// Why a sink's search stopped before exhausting the graph.
 enum class PartialReason : std::uint8_t {
   Deadline,        // wall-clock budget expired mid-search
   MemoryPressure,  // frontier byte cap forced branch pruning
+  WorkerFailure,   // dist worker crashed/hung and retries were exhausted
 };
 
 const char* to_string(PartialReason reason);
 
-/// A sink whose search was cut short (deadline or memory pressure): the
-/// chains it did find are in the report, but more may exist.
+/// A sink whose search was cut short (deadline, memory pressure, or — in
+/// --workers mode — a worker failure that survived every retry): the chains
+/// it did find are in the report, but more may exist. A WorkerFailure sink
+/// contributes NO chains (the shard never completed).
 struct PartialSink {
   graph::NodeId sink = graph::kNoNode;
   std::string signature;
   std::size_t expansions = 0;
   PartialReason reason = PartialReason::Deadline;
+  /// Human-readable failure detail (WorkerFailure only: the coordinator's
+  /// rendered error, e.g. "worker crashed (3 attempts)").
+  std::string detail;
 };
+
+/// The canonical one-line degraded-mode rendering of a partial sink, shared
+/// by the CLI and the serve daemon so clients see identical bytes:
+///   "degraded: [finder-memory] <sig>: frontier pruned under memory pressure
+///    after N expansion(s); chains found so far are kept"
+///   "degraded: [finder-deadline] <sig>: search cut short after N expansion(s)"
+///   "degraded: [finder-worker] <sig>: <detail>"
+std::string degraded_line(const PartialSink& sink);
 
 struct FinderReport {
   std::vector<GadgetChain> chains;
@@ -122,6 +146,8 @@ struct FinderReport {
   std::size_t spilled_paths = 0;
   /// Largest single-shard frontier high-water mark, in bytes.
   std::size_t peak_frontier_bytes = 0;
+  /// Worker-pool supervision telemetry (all zero outside --workers mode).
+  dist::DistStats dist_stats;
 
   bool partial() const { return !partial_sinks.empty(); }
 };
@@ -168,9 +194,12 @@ class GadgetChainFinder {
     std::size_t bytes_charged = 0;   // cumulative frontier bytes (monotone)
     std::size_t peak_bytes = 0;      // frontier high-water mark
     std::size_t spilled = 0;         // chains streamed under a byte cap
+    bool worker_failed = false;      // dist shard exhausted its retry budget
+    std::string worker_error;        // coordinator-rendered failure (worker_failed)
 
-    bool partial() const { return deadline_expired || frontier_pruned > 0; }
+    bool partial() const { return worker_failed || deadline_expired || frontier_pruned > 0; }
     PartialReason reason() const {
+      if (worker_failed) return PartialReason::WorkerFailure;
       return deadline_expired ? PartialReason::Deadline : PartialReason::MemoryPressure;
     }
   };
@@ -189,6 +218,18 @@ class GadgetChainFinder {
   /// The deterministic pool split: pool / sinks, floored so a huge sink
   /// count cannot starve every shard to zero.
   std::size_t shard_cap(std::size_t sink_count) const;
+
+  /// Dist wire codec for one shard's SinkSearch (chains + counters), a
+  /// single JSON line built on serve::Json. Node ids and size_t counters
+  /// travel as decimal strings — the wire format's numbers are doubles and
+  /// cannot carry all 64 bits.
+  static std::string encode_sink_search(const SinkSearch& search);
+  static bool decode_sink_search(const std::string& payload, SinkSearch& out);
+
+  /// --workers mode: runs the per-sink searches in the supervised worker
+  /// pool, decoding payloads (or retry-exhausted failures) into `searches`.
+  void run_sinks_dist(const std::vector<graph::NodeId>& sinks, std::size_t frontier_cap,
+                      std::vector<SinkSearch>& searches, dist::DistStats& stats) const;
 
   // Exactly one representation is set; every query dispatches on db_.
   const graph::GraphDb* db_ = nullptr;

@@ -58,6 +58,7 @@ FindResult Analysis::find(const ExecContext& ctx) const {
   options.deadline = deadline.tightened(anchor(ctx.finder_budget));
   options.frontier_byte_pool = ctx.frontier_byte_pool;
   options.memory = memory_;
+  options.dist.workers = ctx.workers;
 
   // Same search, same report bytes — the frozen finder only changes how the
   // adjacency and properties are read.
@@ -73,6 +74,9 @@ FindResult Analysis::find(const ExecContext& ctx) const {
   result.degradation = outcome_.degradation;
   result.degradation.partial_sinks = result.report.partial_sinks.size();
   result.degradation.frontier_pruned = result.report.frontier_pruned;
+  if (dist_ != nullptr && result.report.dist_stats.any()) {
+    dist_->accumulate(result.report.dist_stats);
+  }
   return result;
 }
 
@@ -200,6 +204,7 @@ util::Result<AnalysisPtr> Engine::open(const std::vector<std::string>& jar_paths
   analysis->fingerprint_ = fp.value_or(0);
   analysis->executor_ = pool_.get();
   analysis->memory_ = budget_.get();
+  analysis->dist_ = &dist_telemetry_;
   analysis->resident_bytes_ = resident_estimate(analysis->outcome_);
 
   if (!fp.has_value()) return AnalysisPtr(std::move(analysis));
@@ -281,6 +286,7 @@ AnalysisPtr Engine::open(const jir::Program& program, const ExecContext& ctx,
   analysis->outcome_ = run(program, options);
   analysis->executor_ = pool_.get();
   analysis->memory_ = budget_.get();
+  analysis->dist_ = &dist_telemetry_;
   analysis->resident_bytes_ = resident_estimate(analysis->outcome_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -351,6 +357,12 @@ EngineStats Engine::stats() const {
   stats.evictions = evictions_;
   stats.over_capacity = over_capacity_;
   stats.budget_bytes = budget_ != nullptr ? budget_->cap() : 0;
+  stats.dist_workers_spawned = dist_telemetry_.workers_spawned.load(std::memory_order_relaxed);
+  stats.dist_respawns = dist_telemetry_.respawns.load(std::memory_order_relaxed);
+  stats.dist_crashes = dist_telemetry_.crashes.load(std::memory_order_relaxed);
+  stats.dist_retries = dist_telemetry_.retries.load(std::memory_order_relaxed);
+  stats.dist_reassignments = dist_telemetry_.reassignments.load(std::memory_order_relaxed);
+  stats.dist_heartbeat_misses = dist_telemetry_.heartbeat_misses.load(std::memory_order_relaxed);
   for (std::uint64_t fp : lru_) {
     auto it = resident_.find(fp);
     if (it == resident_.end()) continue;

@@ -48,11 +48,34 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "cypher/cypher.hpp"
 #include "finder/finder.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace tabby::pipeline {
+
+/// Engine-lifetime accumulation of worker-pool supervision events across
+/// every --workers find (all analyses). Atomics because concurrent finds on
+/// different analyses report into the same ledger; read via Engine::stats().
+struct DistTelemetry {
+  std::atomic<std::uint64_t> workers_spawned{0};
+  std::atomic<std::uint64_t> respawns{0};
+  std::atomic<std::uint64_t> crashes{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> reassignments{0};
+  std::atomic<std::uint64_t> heartbeat_misses{0};
+
+  void accumulate(const dist::DistStats& stats) {
+    workers_spawned.fetch_add(stats.workers_spawned, std::memory_order_relaxed);
+    respawns.fetch_add(stats.respawns, std::memory_order_relaxed);
+    crashes.fetch_add(stats.crashes, std::memory_order_relaxed);
+    retries.fetch_add(stats.retries, std::memory_order_relaxed);
+    reassignments.fetch_add(stats.reassignments, std::memory_order_relaxed);
+    heartbeat_misses.fetch_add(stats.heartbeat_misses, std::memory_order_relaxed);
+  }
+};
 
 /// Per-request execution context: everything that scopes ONE open/find/query
 /// request, as opposed to the engine-lifetime machinery (pool, global
@@ -80,6 +103,12 @@ struct ExecContext {
   /// Cypher: use the cost-based planner (--no-plan sets false). Rows are
   /// byte-identical either way.
   bool use_planner = true;
+  /// Finder: crash-isolated worker processes (--workers). 0 = in-process
+  /// (today's behavior); N > 0 dispatches sink shards to a supervised pool
+  /// of forked workers whose failures degrade (PartialSink{WorkerFailure},
+  /// exit 3) instead of killing the request — the property that lets the
+  /// resident daemon survive a wild pointer inside one tenant's search.
+  int workers = 0;
 };
 
 /// Per-open knobs that change what an Analysis materializes (as opposed to
@@ -175,6 +204,7 @@ class Analysis {
   std::size_t resident_bytes_ = 0;
   util::Executor* executor_ = nullptr;   // borrowed from the engine
   util::MemoryBudget* memory_ = nullptr; // borrowed from the engine
+  DistTelemetry* dist_ = nullptr;        // borrowed from the engine
 };
 
 using AnalysisPtr = std::shared_ptr<const Analysis>;
@@ -201,6 +231,13 @@ struct EngineStats {
   std::uint64_t evictions = 0;
   std::uint64_t over_capacity = 0;
   std::size_t budget_bytes = 0;  // 0 = ungoverned
+  // Worker-pool supervision aggregates (all zero until a --workers find).
+  std::uint64_t dist_workers_spawned = 0;
+  std::uint64_t dist_respawns = 0;
+  std::uint64_t dist_crashes = 0;
+  std::uint64_t dist_retries = 0;
+  std::uint64_t dist_reassignments = 0;
+  std::uint64_t dist_heartbeat_misses = 0;
 };
 
 class Engine {
@@ -261,6 +298,8 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<util::MemoryBudget> budget_;
+  /// Shared by every Analysis this engine opens (atomics, no lock).
+  mutable DistTelemetry dist_telemetry_;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> resident_;

@@ -17,6 +17,7 @@
 #include "obs/obs.hpp"
 #include "serve/json.hpp"
 #include "util/failpoint.hpp"
+#include "util/signals.hpp"
 #include "util/strings.hpp"
 
 namespace tabby::serve {
@@ -40,7 +41,7 @@ bool write_all(int fd, const std::string& data) {
 /// The per-request ExecContext, decoded from protocol fields. Deadlines are
 /// anchored here — at dispatch — so a request queued behind a slow neighbour
 /// still gets its full allowance once it actually starts.
-pipeline::ExecContext context_from(const Json& request) {
+pipeline::ExecContext context_from(const Json& request, int default_workers) {
   pipeline::ExecContext ctx;
   if (request.has("deadline_ms")) {
     ctx.deadline = util::Deadline::after(
@@ -58,35 +59,24 @@ pipeline::ExecContext context_from(const Json& request) {
   ctx.max_depth = static_cast<int>(request.num("depth", 12));
   ctx.frontier_byte_pool = static_cast<std::size_t>(request.num("frontier_pool", 0));
   ctx.use_planner = !request.flag("no_plan");
+  ctx.workers = static_cast<int>(request.num("workers", default_workers));
   return ctx;
 }
 
-/// The exact per-sink degradation lines `tabby find` prints on stderr.
+/// The exact per-sink degradation lines `tabby find` prints on stderr
+/// (finder::degraded_line is the single shared rendering).
 std::vector<std::string> degraded_lines(const finder::FinderReport& report) {
   std::vector<std::string> lines;
+  lines.reserve(report.partial_sinks.size());
   for (const finder::PartialSink& sink : report.partial_sinks) {
-    std::string line;
-    if (sink.reason == finder::PartialReason::MemoryPressure) {
-      line = "degraded: [finder-memory] ";
-      line += sink.signature;
-      line += ": frontier pruned under memory pressure after ";
-      line += std::to_string(sink.expansions);
-      line += " expansion(s); chains found so far are kept";
-    } else {
-      line = "degraded: [finder-deadline] ";
-      line += sink.signature;
-      line += ": search cut short after ";
-      line += std::to_string(sink.expansions);
-      line += " expansion(s)";
-    }
-    lines.push_back(std::move(line));
+    lines.push_back(finder::degraded_line(sink));
   }
   return lines;
 }
 
 class Daemon {
  public:
-  explicit Daemon(ServeOptions options) {
+  explicit Daemon(ServeOptions options) : default_workers_(options.default_workers) {
     pipeline::EngineOptions engine_options = std::move(options.engine);
     auto chained = std::move(engine_options.on_evict);
     engine_options.on_evict = [this, chained](std::uint64_t fingerprint, std::size_t bytes) {
@@ -126,6 +116,7 @@ class Daemon {
   }
 
   std::unique_ptr<pipeline::Engine> engine_;
+  int default_workers_ = 0;
   std::atomic<bool> stop_{false};
   int listen_fd_ = -1;
   std::atomic<std::uint64_t> requests_{0};
@@ -138,6 +129,9 @@ class Daemon {
 };
 
 util::Status Daemon::run(const std::string& socket_path, std::ostream& out, std::ostream& err) {
+  // A client vanishing mid-response must surface as EPIPE from write(2), not
+  // kill the daemon; ditto for the dist worker pipes forked under a find.
+  util::ignore_sigpipe();
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -294,7 +288,7 @@ util::Result<pipeline::AnalysisPtr> Daemon::open_for(const Json& request,
 }
 
 Json Daemon::op_open(const Json& request) {
-  pipeline::ExecContext ctx = context_from(request);
+  pipeline::ExecContext ctx = context_from(request, default_workers_);
   pipeline::OpenOptions opts;
   opts.need_graph_bytes = request.flag("need_graph_bytes");
   Json error_out;
@@ -326,7 +320,7 @@ Json Daemon::op_open(const Json& request) {
 }
 
 Json Daemon::op_find(const Json& request) {
-  pipeline::ExecContext ctx = context_from(request);
+  pipeline::ExecContext ctx = context_from(request, default_workers_);
   Json error_out;
   auto analysis = open_for(request, ctx, {}, error_out);
   if (!analysis.ok()) return error_out;
@@ -366,7 +360,7 @@ Json Daemon::op_query(const Json& request) {
   if (query_text.empty()) {
     return error_response("usage", "request needs a non-empty \"text\" query string");
   }
-  pipeline::ExecContext ctx = context_from(request);
+  pipeline::ExecContext ctx = context_from(request, default_workers_);
   Json error_out;
   auto analysis = open_for(request, ctx, {}, error_out);
   if (!analysis.ok()) return error_out;
@@ -402,6 +396,14 @@ Json Daemon::op_stats() const {
   response.set("audits", audits_.load(std::memory_order_relaxed));
   response.set("resident_bytes", static_cast<std::uint64_t>(stats.resident_bytes));
   response.set("budget_bytes", static_cast<std::uint64_t>(stats.budget_bytes));
+  // Worker-pool churn (all zero until a --workers find runs): operators see
+  // respawn/reassignment rates here without collecting trace files.
+  response.set("dist_workers_spawned", stats.dist_workers_spawned);
+  response.set("dist_respawns", stats.dist_respawns);
+  response.set("dist_crashes", stats.dist_crashes);
+  response.set("dist_retries", stats.dist_retries);
+  response.set("dist_reassignments", stats.dist_reassignments);
+  response.set("dist_heartbeat_misses", stats.dist_heartbeat_misses);
   Json resident = Json::array();
   for (const pipeline::EngineStats::Resident& entry : stats.entries) {
     Json row = Json::object();
@@ -452,6 +454,7 @@ util::Status serve(const std::string& socket_path, ServeOptions options, std::os
 
 util::Result<std::string> client_request(const std::string& socket_path,
                                          const std::string& request_line, int connect_retries) {
+  util::ignore_sigpipe();  // a daemon dying mid-request is an error, not SIGPIPE
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {

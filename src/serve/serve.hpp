@@ -33,6 +33,12 @@ struct ServeOptions {
   /// with_jdk, use_frozen default). The daemon chains its eviction counter
   /// onto any on_evict already set here.
   pipeline::EngineOptions engine;
+  /// Default finder worker processes for requests that do not send their own
+  /// "workers" field (`tabby serve --workers N`). 0 = in-process finds. With
+  /// workers, each tenant's search runs crash-isolated in forked workers, so
+  /// a wild pointer in one find degrades that request instead of killing the
+  /// resident daemon (docs/ROBUSTNESS.md, "Process isolation & supervision").
+  int default_workers = 0;
 };
 
 /// Runs the daemon on `socket_path` until a shutdown request (or a fatal

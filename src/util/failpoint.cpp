@@ -18,6 +18,9 @@ constexpr const char* kSites[] = {
     "cache.snapshot.publish",  // whole-classpath snapshot publish
     "cypher.eval",             // query evaluation entry (run_query)
     "cypher.plan",             // query planning (degrades to naive evaluation)
+    "dist.dispatch",           // handing a shard to a worker (retriable, no kill)
+    "dist.worker.crash",       // dispatched worker dies abruptly mid-shard
+    "dist.worker.hang",        // dispatched worker goes silent (heartbeat miss)
     "fs.read",                 // any file read feeding the pipeline
     "graph.deserialize",       // graph store / snapshot blob decode
     "graph.freeze",            // building the frozen CSR snapshot

@@ -1,0 +1,19 @@
+// Signal hygiene for socket/pipe writers. A peer that vanishes mid-write
+// (a client killed between request and response, a SIGKILLed finder worker)
+// raises SIGPIPE, whose default disposition kills the whole process — the
+// opposite of what a fault-tolerant daemon or coordinator wants. Ignoring it
+// process-wide turns the event into an EPIPE errno from write(2), which the
+// I/O loops already treat as "connection gone".
+#pragma once
+
+#include <csignal>
+
+namespace tabby::util {
+
+/// Ignores SIGPIPE for the whole process. Idempotent and cheap; called by
+/// the serve daemon, the protocol client, and the dist coordinator/workers
+/// before their first socket write so no code path can be killed by a
+/// vanished peer.
+inline void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace tabby::util

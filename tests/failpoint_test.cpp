@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
+#include "dist/dist.hpp"
 #include "util/deadline.hpp"
 #include "util/failpoint.hpp"
 #include "util/strings.hpp"
@@ -84,13 +86,57 @@ TEST_F(FailpointFixture, UnknownSitesAreAcceptedButInert) {
 
 TEST_F(FailpointFixture, CatalogListsTheCompiledInSites) {
   std::vector<std::string> sites = failpoint::catalog();
-  EXPECT_GE(sites.size(), 7u);
+  EXPECT_GE(sites.size(), 10u);
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
   for (const char* expected : {"cache.fragment.publish", "cache.publish.rename",
-                               "cache.snapshot.publish", "fs.read", "graph.deserialize",
-                               "jar.decode", "pool.task"}) {
+                               "cache.snapshot.publish", "dist.dispatch", "dist.worker.crash",
+                               "dist.worker.hang", "fs.read", "graph.deserialize", "jar.decode",
+                               "pool.task"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end()) << expected;
   }
+}
+
+// --- deterministic retry backoffs ------------------------------------------
+//
+// Both retry loops (the cache's atomic-publish rename and the dist
+// coordinator's shard redispatch) back off with exponential delays whose
+// jitter is seeded from stable inputs, never the wall clock — so a chaos
+// run replays with identical sleeps and a test can assert exact values.
+
+TEST(PublishBackoff, IsDeterministicPerPathAndAttempt) {
+  for (int attempt : {1, 2, 3}) {
+    EXPECT_EQ(cache::publish_backoff("/tmp/a.tsnp", attempt),
+              cache::publish_backoff("/tmp/a.tsnp", attempt));
+  }
+}
+
+TEST(PublishBackoff, BaseDoublesPerAttemptWithBoundedJitter) {
+  auto first = cache::publish_backoff("/tmp/a.tsnp", 1);
+  auto second = cache::publish_backoff("/tmp/a.tsnp", 2);
+  EXPECT_GE(first, std::chrono::microseconds(1000));
+  EXPECT_LT(first, std::chrono::microseconds(1500));
+  EXPECT_GE(second, std::chrono::microseconds(2000));
+  EXPECT_LT(second, std::chrono::microseconds(2500));
+  EXPECT_GT(second, first);
+  // The exponent clamp keeps pathological attempt numbers finite.
+  EXPECT_GT(cache::publish_backoff("/tmp/a.tsnp", 99).count(), 0);
+}
+
+TEST(PublishBackoff, ConcurrentRunsOnDifferentEntriesDecorrelate) {
+  // Seeded from the target path: two processes retrying different cache
+  // entries do not march in lockstep (equal jitter would need an fnv1a
+  // collision, and these two differ).
+  EXPECT_NE(cache::publish_backoff("/tmp/a.tsnp", 1), cache::publish_backoff("/tmp/b.tsnp", 1));
+}
+
+TEST(RetryBackoff, IsDeterministicAcrossCalls) {
+  dist::DistOptions options;
+  for (int attempt : {1, 2, 3}) {
+    EXPECT_EQ(dist::retry_backoff(options, 4, attempt), dist::retry_backoff(options, 4, attempt));
+  }
+  dist::DistOptions reseeded;
+  reseeded.backoff_seed = options.backoff_seed + 1;
+  EXPECT_NE(dist::retry_backoff(reseeded, 4, 1), dist::retry_backoff(options, 4, 1));
 }
 
 TEST(Deadline, DefaultIsUnlimitedAndNeverExpires) {
