@@ -108,6 +108,33 @@ std::optional<std::span<const std::byte>> open_entry(std::span<const std::byte> 
   return data.subspan(4 + 2, data.size() - kFrameOverhead);
 }
 
+/// Decodes a verdict frame; nullopt on any structural problem or a stored
+/// key that does not match the caller's — every such case is a self-healing
+/// miss, never an error.
+std::optional<CachedVerdict> decode_verdict_entry(std::span<const std::byte> data,
+                                                  std::uint64_t expected_key) {
+  auto body = open_entry(data, kVerdictMagic, kVerdictVersion);
+  if (!body) return std::nullopt;
+  ByteReader in(*body);
+  auto stored_key = in.u64();
+  if (!stored_key.ok() || stored_key.value() != expected_key) return std::nullopt;
+  auto verdict = in.u8();
+  auto reason = in.u8();
+  if (!verdict.ok() || !reason.ok() || verdict.value() > 2 || reason.value() > 4) {
+    return std::nullopt;
+  }
+  auto steps = in.uvarint();
+  if (!steps.ok()) return std::nullopt;
+  auto detail = in.bytes();
+  if (!detail.ok() || !in.at_end()) return std::nullopt;
+  CachedVerdict out;
+  out.verdict = verdict.value();
+  out.reason = reason.value();
+  out.steps = steps.value();
+  out.detail = std::move(detail.value());
+  return out;
+}
+
 void write_stats(ByteWriter& out, const cpg::CpgStats& stats) {
   out.uvarint(stats.class_nodes);
   out.uvarint(stats.method_nodes);
@@ -164,6 +191,8 @@ Result<AnalysisCache> AnalysisCache::open(const fs::path& dir) {
   if (ec) return Error{"cannot create cache directory: " + (dir / "fragments").string()};
   fs::create_directories(dir / "snapshots", ec);
   if (ec) return Error{"cannot create cache directory: " + (dir / "snapshots").string()};
+  fs::create_directories(dir / "verdicts", ec);
+  if (ec) return Error{"cannot create cache directory: " + (dir / "verdicts").string()};
   return AnalysisCache(dir);
 }
 
@@ -194,6 +223,10 @@ fs::path AnalysisCache::snapshot_path(std::uint64_t key) const {
 
 fs::path AnalysisCache::frozen_path(std::uint64_t key) const {
   return dir_ / "snapshots" / (util::digest_hex(key) + ".tfzn");
+}
+
+fs::path AnalysisCache::verdict_path(std::uint64_t key) const {
+  return dir_ / "verdicts" / (util::digest_hex(key) + ".tvdt");
 }
 
 Result<LoadedArchive> AnalysisCache::load_archive(const fs::path& file) {
@@ -398,6 +431,25 @@ util::Status AnalysisCache::store_frozen(std::uint64_t key, const graph::FrozenG
   return write_file_atomic(frozen_path(key), file);
 }
 
+std::optional<CachedVerdict> AnalysisCache::load_verdict(std::uint64_t key) {
+  auto bytes = read_file_bytes(verdict_path(key));
+  if (!bytes.ok()) return std::nullopt;
+  auto verdict = decode_verdict_entry(bytes.value(), key);
+  obs::counter_add(verdict ? "cache.verdict_hits" : "cache.verdict_misses");
+  return verdict;
+}
+
+util::Status AnalysisCache::store_verdict(std::uint64_t key, const CachedVerdict& verdict) {
+  ByteWriter body;
+  body.u64(key);
+  body.u8(verdict.verdict);
+  body.u8(verdict.reason);
+  body.uvarint(verdict.steps);
+  body.bytes(verdict.detail);
+  obs::counter_add("cache.verdicts_published");
+  return write_file_atomic(verdict_path(key), frame_entry(kVerdictMagic, kVerdictVersion, body));
+}
+
 // --- Offline audit ---------------------------------------------------------
 
 namespace {
@@ -467,6 +519,8 @@ std::string CacheAuditReport::to_string() const {
   std::string out = "cache audit: " + std::to_string(fragments_checked) + " fragment(s), " +
                     std::to_string(snapshots_checked) + " snapshot(s), " +
                     std::to_string(frozen_checked) + " frozen frame(s), " +
+                    (verdicts_checked > 0 ? std::to_string(verdicts_checked) + " verdict(s), "
+                                          : std::string()) +
                     std::to_string(corrupt) + " corrupt, " + std::to_string(orphaned) +
                     " orphaned, " + std::to_string(reclaimable_bytes) + " byte(s) reclaimable";
   for (const CacheAuditEntry& entry : entries) {
@@ -622,6 +676,37 @@ util::Result<CacheAuditReport> audit_cache(const fs::path& dir, bool prune) {
       entry.kind = CacheAuditEntry::Kind::Orphan;
       entry.state = CacheAuditEntry::State::Orphaned;
       entry.detail = orphan_detail(file);
+    }
+    finalize(std::move(entry));
+  }
+
+  // Verdicts: one entry kind, one pass (like fragments). The key is both the
+  // file name and an interior field, so a renamed verdict is caught the same
+  // way the hot path's load_verdict would treat it: as not-this-chain's.
+  for (const fs::path& file : list_files(dir / "verdicts")) {
+    CacheAuditEntry entry = make_entry(file);
+    std::optional<std::uint64_t> id;
+    if (file.extension() == ".tvdt") id = parse_digest_hex(file.stem().string());
+    if (!id) {
+      entry.kind = CacheAuditEntry::Kind::Orphan;
+      entry.state = CacheAuditEntry::State::Orphaned;
+      entry.detail = orphan_detail(file);
+    } else {
+      entry.kind = CacheAuditEntry::Kind::Verdict;
+      ++report.verdicts_checked;
+      auto bytes = read_file_bytes(file);
+      std::string why;
+      if (!bytes.ok()) {
+        why = "unreadable: " + bytes.error().message;
+      } else if (!decode_verdict_entry(std::span<const std::byte>(bytes.value()), *id)) {
+        why = "bad verdict frame (checksum, structure or key mismatch)";
+      }
+      if (why.empty()) {
+        entry.state = CacheAuditEntry::State::Intact;
+      } else {
+        entry.state = CacheAuditEntry::State::Corrupt;
+        entry.detail = std::move(why);
+      }
     }
     finalize(std::move(entry));
   }

@@ -32,6 +32,12 @@
 //                              (docs/GRAPH.md); the pipeline treats a
 //                              stats-less frame as a miss and republishes an
 //                              upgraded one from the decoded store.
+//   verdicts/<key>.tvdt        one chain-verification verdict (the `--verify`
+//                              post-pass, docs/ROBUSTNESS.md "Runtime
+//                              re-validation"): warm verify runs skip
+//                              re-executing chains whose verdict is already
+//                              known. Keyed by the chain digest folded with
+//                              the classpath and verify-options fingerprints.
 //
 // Invalidation is purely structural: there are no timestamps and no
 // in-place updates. A changed input or option produces a different key and
@@ -65,6 +71,8 @@ inline constexpr std::uint32_t kFragmentMagic = 0x54465247;  // "TFRG"
 inline constexpr std::uint16_t kFragmentVersion = 1;
 inline constexpr std::uint32_t kSnapshotMagic = 0x54534E50;  // "TSNP"
 inline constexpr std::uint16_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kVerdictMagic = 0x54564454;  // "TVDT"
+inline constexpr std::uint16_t kVerdictVersion = 1;
 
 /// Hit/miss telemetry for one pipeline run, rendered as the CLI's
 /// "cache:" stats line.
@@ -83,6 +91,17 @@ struct LoadedArchive {
   jar::Archive archive;
   std::uint64_t digest = 0;  // FNV-1a64 of the raw .tjar file bytes
   bool from_fragment = false;
+};
+
+/// One cached chain-verification verdict (see src/finder/verify.hpp; the
+/// cache stores the taxonomy as raw codes so it does not depend on the
+/// finder's types). Keyed by (chain digest × verify-options fingerprint ×
+/// classpath fingerprint) — computed by the pipeline, opaque here.
+struct CachedVerdict {
+  std::uint8_t verdict = 0;
+  std::uint8_t reason = 0;
+  std::uint64_t steps = 0;
+  std::string detail;
 };
 
 /// A warm-started CPG: the deserialized graph plus the cold run's stats and
@@ -142,6 +161,15 @@ class AnalysisCache {
   /// a silent bad entry). Written atomically like every other cache file.
   util::Status store_frozen(std::uint64_t key, const graph::FrozenGraph& frozen);
 
+  /// Verdict warm-start lookup: verdicts/<key>.tvdt. nullopt on miss
+  /// (absent, corrupt, version-skewed, or key mismatch — all self-healing).
+  std::optional<CachedVerdict> load_verdict(std::uint64_t key);
+
+  /// Persists one verdict atomically (temp file + rename), like every other
+  /// cache artifact. Best-effort: a failed publish is not an error the
+  /// verify stage surfaces.
+  util::Status store_verdict(std::uint64_t key, const CachedVerdict& verdict);
+
   CacheStats& stats() { return stats_; }
   const std::filesystem::path& dir() const { return dir_; }
 
@@ -156,6 +184,7 @@ class AnalysisCache {
   std::filesystem::path fragment_path(std::uint64_t digest) const;
   std::filesystem::path snapshot_path(std::uint64_t key) const;
   std::filesystem::path frozen_path(std::uint64_t key) const;
+  std::filesystem::path verdict_path(std::uint64_t key) const;
 
   std::filesystem::path dir_;
   CacheStats stats_;
@@ -178,7 +207,7 @@ class AnalysisCache {
 
 /// One file examined by audit_cache(), in deterministic (sorted) walk order.
 struct CacheAuditEntry {
-  enum class Kind : std::uint8_t { Fragment, Snapshot, FrozenSnapshot, Orphan };
+  enum class Kind : std::uint8_t { Fragment, Snapshot, FrozenSnapshot, Verdict, Orphan };
   enum class State : std::uint8_t { Intact, Corrupt, Orphaned };
 
   std::filesystem::path path;
@@ -194,6 +223,7 @@ struct CacheAuditReport {
   std::size_t fragments_checked = 0;
   std::size_t snapshots_checked = 0;
   std::size_t frozen_checked = 0;
+  std::size_t verdicts_checked = 0;
   std::size_t corrupt = 0;
   std::size_t orphaned = 0;
   /// Bytes held by corrupt + orphaned entries (what prune mode reclaims).

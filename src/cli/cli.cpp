@@ -16,6 +16,7 @@
 #include "cypher/cypher.hpp"
 #include "finder/finder.hpp"
 #include "finder/payload.hpp"
+#include "finder/verify.hpp"
 #include "graph/serialize.hpp"
 #include "jar/archive.hpp"
 #include "obs/obs.hpp"
@@ -41,6 +42,7 @@ struct BudgetSpec {
   std::optional<std::chrono::milliseconds> run;     // --deadline
   std::optional<std::chrono::milliseconds> load;    // --phase-budget load=
   std::optional<std::chrono::milliseconds> finder;  // --phase-budget finder=
+  std::optional<std::chrono::milliseconds> verify;  // --phase-budget verify=
   std::optional<std::uint64_t> mem;                 // --mem-budget (bytes)
   std::optional<std::uint64_t> finder_mem;          // --phase-budget finder-mem=
 };
@@ -57,6 +59,7 @@ struct Args {
   int depth = 12;
   int jobs = 0;  // 0 = hardware default; 1 = serial (historical pipeline)
   int workers = 0;  // finder worker processes (0 = in-process; docs/ROBUSTNESS.md)
+  int verify_workers = 0;  // verify post-pass worker processes (0 = in-process shards)
   int max_resident = 0;  // `serve`: LRU entry cap for resident analyses (0 = bytes only)
   bool verify = false;
   bool frozen = true;  // find/query: use the frozen CSR snapshot (docs/GRAPH.md)
@@ -101,6 +104,10 @@ constexpr FlagSpec kFlags[] = {
     {.name = "--depth", .kind = FlagSpec::Kind::Count, .count = &Args::depth, .min = 1},
     {.name = "--jobs", .kind = FlagSpec::Kind::Count, .count = &Args::jobs, .min = 1},
     {.name = "--workers", .kind = FlagSpec::Kind::Count, .count = &Args::workers, .min = 0},
+    {.name = "--verify-workers",
+     .kind = FlagSpec::Kind::Count,
+     .count = &Args::verify_workers,
+     .min = 0},
     {.name = "--max-resident", .kind = FlagSpec::Kind::Count, .count = &Args::max_resident, .min = 1},
     {.name = "--verify", .kind = FlagSpec::Kind::Switch, .toggle = &Args::verify},
     {.name = "--frozen", .kind = FlagSpec::Kind::Switch, .toggle = &Args::frozen},
@@ -162,8 +169,11 @@ std::string parse_budgets(Args& args) {
       args.budgets.load = std::chrono::milliseconds{ms.value()};
     } else if (phase == "finder") {
       args.budgets.finder = std::chrono::milliseconds{ms.value()};
+    } else if (phase == "verify") {
+      args.budgets.verify = std::chrono::milliseconds{ms.value()};
     } else {
-      return "unknown --phase-budget phase: " + phase + " (known phases: load, finder, finder-mem)";
+      return "unknown --phase-budget phase: " + phase +
+             " (known phases: load, finder, finder-mem, verify)";
     }
   }
   return "";
@@ -233,8 +243,8 @@ int usage(std::ostream& err) {
          "  tabby list\n"
          "  tabby gen <component-or-scene> --out DIR\n"
          "  tabby analyze JAR... [--store FILE] [--cache DIR] [--no-jdk] [--jobs N]\n"
-         "  tabby find JAR... [--depth N] [--verify] [--cache DIR] [--no-frozen] [--jobs N]\n"
-         "                    [--workers N]\n"
+         "  tabby find JAR... [--depth N] [--verify] [--verify-workers N] [--cache DIR]\n"
+         "                    [--no-frozen] [--jobs N] [--workers N]\n"
          "  tabby query JAR... \"MATCH ... RETURN ...\" [--cache DIR] [--no-jdk] [--jobs N]\n"
          "  tabby query --store FILE \"MATCH ... RETURN ...\" [--explain] [--no-plan]\n"
          "  tabby cache DIR [--prune]\n"
@@ -251,6 +261,21 @@ int usage(std::ostream& err) {
          "                shard retried; a shard that exhausts retries degrades\n"
          "                (exit 3) instead of killing the run. Output is\n"
          "                byte-identical to --workers 0 at any N.\n"
+         "  --verify      `tabby find` only: re-validate every found chain in\n"
+         "                the runtime mini-VM (docs/ROBUSTNESS.md, \"Runtime\n"
+         "                re-validation\"). Each chain gets one verdict:\n"
+         "                EFFECTIVE, REFUTED, or UNCONFIRMED(reason) when the\n"
+         "                VM could not decide (budget | timeout | crash |\n"
+         "                fault) — undecided chains are kept and the run\n"
+         "                degrades (exit 3; --strict: 1). With --cache,\n"
+         "                verdicts are cached and warm runs skip re-execution.\n"
+         "  --verify-workers N\n"
+         "                crash-isolated verification: replay chains in N\n"
+         "                supervised forked verifier processes (default 0 =\n"
+         "                in-process shards on the --jobs pool). A VM crash or\n"
+         "                hang on one chain demotes that chain to UNCONFIRMED\n"
+         "                instead of killing the run. Verdicts are\n"
+         "                byte-identical at any N.\n"
          "  --cache DIR   incremental analysis cache: per-archive fragments plus\n"
          "                whole-classpath CPG snapshots, keyed by content digests.\n"
          "                A warm run on an unchanged classpath skips recomputation\n"
@@ -260,8 +285,9 @@ int usage(std::ostream& err) {
          "                snapshot (default on; see docs/GRAPH.md). With --cache\n"
          "                the frame is persisted next to the snapshot and warm\n"
          "                runs mmap it zero-copy, skipping the graph decode.\n"
-         "                Output is byte-identical either way; --verify and a\n"
-         "                corrupt cached frame fall back to the graph store.\n"
+         "                Output is byte-identical either way (including under\n"
+         "                --verify); a corrupt cached frame falls back to the\n"
+         "                graph store.\n"
          "  --trace FILE  write a Chrome trace-event JSON of the run (open in\n"
          "                chrome://tracing or https://ui.perfetto.dev; one track\n"
          "                per worker thread). Does not change any output.\n"
@@ -279,7 +305,8 @@ int usage(std::ostream& err) {
          "                per-phase budget on top of --deadline/--mem-budget;\n"
          "                phases: load (archive decode, duration), finder\n"
          "                (per-sink search, duration), finder-mem (frontier byte\n"
-         "                pool, size). Repeatable.\n"
+         "                pool, size), verify (runtime re-validation, duration).\n"
+         "                Repeatable.\n"
          "  --explain     `tabby query` only: print the compiled query plan\n"
          "                (start selection, estimates, pushdowns) before the\n"
          "                rows. Purely additive — rows are unchanged.\n"
@@ -301,8 +328,9 @@ int usage(std::ostream& err) {
          "  1  fatal error (nothing usable produced)\n"
          "  2  usage error\n"
          "  3  completed with degradation: quarantined inputs, an expired\n"
-         "     deadline, memory-pressure pruning, or partial sink searches\n"
-         "     (details on stderr)\n";
+         "     deadline, memory-pressure pruning, partial sink searches, or\n"
+         "     chains left UNCONFIRMED by runtime re-validation (details on\n"
+         "     stderr)\n";
   return 2;
 }
 
@@ -356,6 +384,11 @@ pipeline::ExecContext exec_context(const Args& args) {
   // whose failures degrade (exit 3) instead of killing the run. Output is
   // byte-identical to --workers 0 at any count.
   ctx.workers = args.workers;
+  // The verify post-pass: supervised runtime re-validation of every found
+  // chain, with its own phase budget and (optionally) its own worker pool.
+  ctx.verify = args.verify;
+  ctx.verify_workers = args.verify_workers;
+  ctx.verify_budget = args.budgets.verify;
   return ctx;
 }
 
@@ -469,9 +502,9 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
   pipeline::ExecContext ctx = exec_context(args);
   pipeline::OpenOptions oopts;
   oopts.need_program = args.verify;
-  // auto-verify replays chains against the mutable store's node ids, so
-  // --verify pins the run to the store-backed representation.
-  oopts.use_frozen = args.frozen && !args.verify;
+  // The verify post-pass reads alias adjacency through finder::AliasView, so
+  // --verify composes with either representation — no store pin needed.
+  oopts.use_frozen = args.frozen;
   auto result = engine.open({args.positional.begin() + 1, args.positional.end()}, ctx, oopts);
   if (!result.ok()) {
     err << "error: " << result.error().to_string() << "\n";
@@ -489,30 +522,46 @@ int cmd_find(const Args& args, std::ostream& out, std::ostream& err) {
 
   out << report.chains.size() << " gadget chain(s), "
       << util::format_double(report.search_seconds, 3) << " s search\n\n";
-  std::size_t confirmed = 0;
-  for (const finder::GadgetChain& chain : report.chains) {
-    out << chain.to_string();
-    if (args.verify) {
-      finder::AutoVerifyResult verdict = finder::auto_verify(*outcome.program, outcome.db, chain);
-      out << "  auto-verify: " << (verdict.effective ? "EFFECTIVE" : "refuted") << "\n";
-      confirmed += verdict.effective ? 1 : 0;
+  for (std::size_t i = 0; i < report.chains.size(); ++i) {
+    out << report.chains[i].to_string();
+    if (found.verified) {
+      out << "  auto-verify: " << finder::verdict_line(found.verify.verdicts[i]) << "\n";
     }
     out << "\n";
   }
-  if (args.verify) {
-    out << confirmed << "/" << report.chains.size() << " chains confirmed effective\n";
-  }
-  if (report.partial()) {
-    if (args.strict) {
-      err << "error: finder budget exceeded (" << report.partial_sinks.size()
-          << " sink search(es) incomplete)\n";
-      return 1;
+  if (found.verified) {
+    out << found.verify.effective << "/" << report.chains.size() << " chains confirmed effective";
+    if (found.verify.unconfirmed > 0) {
+      out << ", " << found.verify.unconfirmed << " unconfirmed";
     }
-    for (const finder::PartialSink& sink : report.partial_sinks) {
-      err << finder::degraded_line(sink) << "\n";
-    }
-    return 3;
+    out << "\n";
   }
+  const bool partial = report.partial();
+  const bool unconfirmed = found.verified && found.verify.unconfirmed > 0;
+  if (args.strict && partial) {
+    err << "error: finder budget exceeded (" << report.partial_sinks.size()
+        << " sink search(es) incomplete)\n";
+    return 1;
+  }
+  if (args.strict && unconfirmed) {
+    err << "error: runtime re-validation left " << found.verify.unconfirmed
+        << " chain(s) UNCONFIRMED\n";
+    return 1;
+  }
+  for (const finder::PartialSink& sink : report.partial_sinks) {
+    err << finder::degraded_line(sink) << "\n";
+  }
+  if (found.verified) {
+    // One degraded line per undecided chain, in chain order — the same
+    // machinery (and exit-code contract) as partial sink searches.
+    for (std::size_t i = 0; i < report.chains.size(); ++i) {
+      const finder::ChainVerdict& verdict = found.verify.verdicts[i];
+      if (verdict.verdict == finder::Verdict::Unconfirmed) {
+        err << finder::degraded_line(report.chains[i], verdict) << "\n";
+      }
+    }
+  }
+  if (partial || unconfirmed) return 3;
   return found.degradation.degraded() ? 3 : 0;
 }
 
@@ -628,6 +677,13 @@ serve::Json client_request_base(const Args& args) {
   if (args.strict) request.set("strict", true);
   if (!args.frozen) request.set("use_frozen", false);
   if (args.workers > 0) request.set("workers", static_cast<std::int64_t>(args.workers));
+  if (args.verify) request.set("verify", true);
+  if (args.verify_workers > 0) {
+    request.set("verify_workers", static_cast<std::int64_t>(args.verify_workers));
+  }
+  if (args.budgets.verify.has_value()) {
+    request.set("verify_ms", static_cast<std::int64_t>(args.budgets.verify->count()));
+  }
   return request;
 }
 
@@ -656,13 +712,18 @@ int render_client_response(const std::string& op, const Args& args, const serve:
   }
   if (op == "find") {
     auto partial = static_cast<std::uint64_t>(response.num("partial"));
+    auto unconfirmed = static_cast<std::uint64_t>(response.num("unconfirmed"));
     if (partial > 0 && args.strict) {
       err << "error: finder budget exceeded (" << partial << " sink search(es) incomplete)\n";
       return 1;
     }
+    if (unconfirmed > 0 && args.strict) {
+      err << "error: runtime re-validation left " << unconfirmed << " chain(s) UNCONFIRMED\n";
+      return 1;
+    }
     out << response.str("text");
     for (const std::string& line : response.strings("degraded_lines")) err << line << "\n";
-    if (partial > 0) return 3;
+    if (partial > 0 || unconfirmed > 0) return 3;
     return response.flag("degraded") ? 3 : 0;
   }
   if (op == "query") {

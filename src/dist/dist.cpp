@@ -331,9 +331,9 @@ class Coordinator {
       serve::Json msg = serve::Json::object();
       msg.set("op", "shard");
       msg.set("shard", static_cast<std::uint64_t>(p.shard));
-      if (util::failpoint::poll("dist.worker.crash")) {
+      if (util::failpoint::poll(options_.crash_failpoint)) {
         msg.set("chaos", "crash");
-      } else if (util::failpoint::poll("dist.worker.hang")) {
+      } else if (util::failpoint::poll(options_.hang_failpoint)) {
         msg.set("chaos", "hang");
       }
       w.busy = true;

@@ -71,6 +71,12 @@ struct DistOptions {
   /// Seed for the deterministic backoff jitter. Fixed default so identical
   /// runs — including chaos replays — sleep identically.
   std::uint64_t backoff_seed = 0x7ab1d157u;
+  /// Failpoint sites the coordinator polls at dispatch to inject worker
+  /// chaos. Callers running a different workload substitute their own sites
+  /// (the verify stage uses runtime.verify.*) so a `site*N` budget targets
+  /// the intended stage only. Must be string literals (static storage).
+  const char* crash_failpoint = "dist.worker.crash";
+  const char* hang_failpoint = "dist.worker.hang";
 };
 
 /// Outcome of one shard, indexed by shard number in DistReport::shards.

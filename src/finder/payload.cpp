@@ -91,8 +91,8 @@ Trace trace_var(const jir::Method& method, std::size_t stmt_index, const std::st
 
 class Synthesizer {
  public:
-  Synthesizer(const jir::Program& program, const graph::GraphDb& cpg, const GadgetChain& chain)
-      : program_(program), cpg_(cpg), chain_(chain) {}
+  Synthesizer(const jir::Program& program, const AliasView& aliases, const GadgetChain& chain)
+      : program_(program), aliases_(aliases), chain_(chain) {}
 
   PayloadResult run() {
     if (chain_.signatures.size() < 2) {
@@ -138,7 +138,7 @@ class Synthesizer {
 
   bool is_alias_hop(std::size_t a, std::size_t b) const {
     if (b >= chain_.nodes.size()) return false;
-    return cpg_.find_edge(chain_.nodes[b], chain_.nodes[a], cpg::kAliasEdge).has_value();
+    return aliases_.alias(chain_.nodes[b], chain_.nodes[a]);
   }
 
   std::string new_object(const std::string& class_name) {
@@ -358,7 +358,7 @@ class Synthesizer {
   }
 
   const jir::Program& program_;
-  const graph::GraphDb& cpg_;
+  const AliasView& aliases_;
   const GadgetChain& chain_;
   PayloadResult result_;
   std::vector<Frame> frames_;
@@ -367,20 +367,40 @@ class Synthesizer {
 
 }  // namespace
 
+bool AliasView::alias(graph::NodeId from, graph::NodeId to) const {
+  if (db_ != nullptr) return db_->find_edge(from, to, cpg::kAliasEdge).has_value();
+  if (frozen_ == nullptr || !alias_type_) return false;
+  graph::AdjacencyView out = frozen_->out_edges_typed_view(from, *alias_type_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.nbr[i] == to) return true;
+  }
+  return false;
+}
+
+PayloadResult synthesize_payload(const jir::Program& program, const AliasView& aliases,
+                                 const GadgetChain& chain) {
+  return Synthesizer(program, aliases, chain).run();
+}
+
 PayloadResult synthesize_payload(const jir::Program& program, const graph::GraphDb& cpg,
                                  const GadgetChain& chain) {
-  return Synthesizer(program, cpg, chain).run();
+  return synthesize_payload(program, AliasView(cpg), chain);
+}
+
+AutoVerifyResult auto_verify(const jir::Program& program, const AliasView& aliases,
+                             const GadgetChain& chain, const runtime::VmOptions& vm_options) {
+  AutoVerifyResult result;
+  result.payload = synthesize_payload(program, aliases, chain);
+  jir::Hierarchy hierarchy(program);
+  runtime::Interpreter vm(program, hierarchy, vm_options);
+  result.execution = vm.deserialize(runtime::instantiate(result.payload.recipe));
+  result.effective = result.execution.attack_succeeded(chain.sink_signature());
+  return result;
 }
 
 AutoVerifyResult auto_verify(const jir::Program& program, const graph::GraphDb& cpg,
                              const GadgetChain& chain) {
-  AutoVerifyResult result;
-  result.payload = synthesize_payload(program, cpg, chain);
-  jir::Hierarchy hierarchy(program);
-  runtime::Interpreter vm(program, hierarchy);
-  result.execution = vm.deserialize(runtime::instantiate(result.payload.recipe));
-  result.effective = result.execution.attack_succeeded(chain.sink_signature());
-  return result;
+  return auto_verify(program, AliasView(cpg), chain);
 }
 
 }  // namespace tabby::finder

@@ -15,12 +15,35 @@
 // chains are refuted — replacing the paper's manual PoC step entirely.
 #pragma once
 
+#include <optional>
+
+#include "cpg/schema.hpp"
 #include "finder/finder.hpp"
+#include "graph/frozen.hpp"
 #include "jir/model.hpp"
 #include "runtime/objectgraph.hpp"
 #include "runtime/vm.hpp"
 
 namespace tabby::finder {
+
+/// The one graph question payload synthesis asks — "is hop a→b an ALIAS
+/// dispatch edge?" — abstracted over the two graph representations, so
+/// verification composes with `--frozen`: a chain found over the frozen CSR
+/// is verified against that same snapshot, with node ids meaning the same
+/// thing on both sides.
+class AliasView {
+ public:
+  explicit AliasView(const graph::GraphDb& db) : db_(&db) {}
+  explicit AliasView(const graph::FrozenGraph& frozen)
+      : frozen_(&frozen), alias_type_(frozen.edge_type_id(cpg::kAliasEdge)) {}
+
+  bool alias(graph::NodeId from, graph::NodeId to) const;
+
+ private:
+  const graph::GraphDb* db_ = nullptr;
+  const graph::FrozenGraph* frozen_ = nullptr;
+  std::optional<std::uint16_t> alias_type_;
+};
 
 struct PayloadResult {
   runtime::ObjectGraphSpec recipe;
@@ -31,6 +54,8 @@ struct PayloadResult {
   bool complete = true;
 };
 
+PayloadResult synthesize_payload(const jir::Program& program, const AliasView& aliases,
+                                 const GadgetChain& chain);
 PayloadResult synthesize_payload(const jir::Program& program, const graph::GraphDb& cpg,
                                  const GadgetChain& chain);
 
@@ -41,7 +66,10 @@ struct AutoVerifyResult {
 };
 
 /// Synthesize a payload for the chain and execute it. `effective` means the
-/// chain's sink fired with its Trigger_Condition satisfied.
+/// chain's sink fired with its Trigger_Condition satisfied. `vm_options`
+/// carries the per-chain step/depth/allocation/wall-clock budgets.
+AutoVerifyResult auto_verify(const jir::Program& program, const AliasView& aliases,
+                             const GadgetChain& chain, const runtime::VmOptions& vm_options = {});
 AutoVerifyResult auto_verify(const jir::Program& program, const graph::GraphDb& cpg,
                              const GadgetChain& chain);
 

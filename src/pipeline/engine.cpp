@@ -77,6 +77,58 @@ FindResult Analysis::find(const ExecContext& ctx) const {
   if (dist_ != nullptr && result.report.dist_stats.any()) {
     dist_->accumulate(result.report.dist_stats);
   }
+
+  // The verify post-pass (docs/ROBUSTNESS.md, "Runtime re-validation"):
+  // supervised per-chain re-execution with its own anchored phase budget.
+  // Requires the linked program (OpenOptions::need_program); without one the
+  // request simply returns unverified — the CLI opens with need_program
+  // whenever --verify is set.
+  if (ctx.verify && outcome_.program.has_value()) {
+    finder::VerifyOptions vopts;
+    util::Deadline verify_deadline = ctx.deadline;
+    verify_deadline.bind(ctx.cancel);
+    vopts.deadline = verify_deadline.tightened(anchor(ctx.verify_budget));
+    vopts.executor = executor_;
+    vopts.memory = memory_;
+    vopts.dist.workers = ctx.verify_workers;
+    if (verdict_cache_ != nullptr && fingerprint_ != 0) {
+      // Key = classpath fingerprint × verdict-relevant options — a changed
+      // archive or budget produces different keys, never a stale hit.
+      util::Fnv1a key;
+      key.update_u64(fingerprint_);
+      key.update_u64(finder::verify_options_fingerprint(vopts));
+      vopts.cache_fingerprint = key.digest();
+      cache::AnalysisCache* cache = verdict_cache_;
+      vopts.cache_load = [cache](std::uint64_t k) -> std::optional<finder::ChainVerdict> {
+        auto hit = cache->load_verdict(k);
+        if (!hit.has_value()) return std::nullopt;
+        finder::ChainVerdict verdict;
+        verdict.verdict = static_cast<finder::Verdict>(hit->verdict);
+        verdict.reason = static_cast<finder::UnconfirmedReason>(hit->reason);
+        verdict.steps = static_cast<std::size_t>(hit->steps);
+        verdict.detail = std::move(hit->detail);
+        return verdict;
+      };
+      vopts.cache_store = [cache](std::uint64_t k, const finder::ChainVerdict& verdict) {
+        cache::CachedVerdict stored;
+        stored.verdict = static_cast<std::uint8_t>(verdict.verdict);
+        stored.reason = static_cast<std::uint8_t>(verdict.reason);
+        stored.steps = verdict.steps;
+        stored.detail = verdict.detail;
+        (void)cache->store_verdict(k, stored);  // best-effort publish
+      };
+    }
+    finder::AliasView aliases = outcome_.frozen.has_value()
+                                    ? finder::AliasView(*outcome_.frozen)
+                                    : finder::AliasView(outcome_.db);
+    result.verify =
+        finder::verify_chains(*outcome_.program, aliases, result.report.chains, vopts);
+    result.verified = true;
+    result.degradation.unconfirmed_chains = result.verify.unconfirmed;
+    if (dist_ != nullptr && result.verify.dist_stats.any()) {
+      dist_->accumulate(result.verify.dist_stats);
+    }
+  }
   return result;
 }
 
@@ -106,6 +158,15 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   pool_ = make_pool(options_.jobs);
   if (options_.memory_budget_bytes > 0) {
     budget_ = std::make_unique<util::MemoryBudget>(options_.memory_budget_bytes);
+  }
+  if (!options_.cache_dir.empty()) {
+    // Best-effort: an unopenable cache directory disables verdict caching
+    // without failing engine construction (run() reports the real error on
+    // the snapshot path).
+    auto cache = cache::AnalysisCache::open(options_.cache_dir);
+    if (cache.ok()) {
+      verdict_cache_ = std::make_unique<cache::AnalysisCache>(std::move(cache.value()));
+    }
   }
 }
 
@@ -205,6 +266,7 @@ util::Result<AnalysisPtr> Engine::open(const std::vector<std::string>& jar_paths
   analysis->executor_ = pool_.get();
   analysis->memory_ = budget_.get();
   analysis->dist_ = &dist_telemetry_;
+  analysis->verdict_cache_ = verdict_cache_.get();
   analysis->resident_bytes_ = resident_estimate(analysis->outcome_);
 
   if (!fp.has_value()) return AnalysisPtr(std::move(analysis));
@@ -276,6 +338,7 @@ AnalysisPtr Engine::open(const jir::Program& program, const ExecContext& ctx,
   obs::Span span("engine.open");
   Options options;
   options.with_jdk = options_.with_jdk;
+  options.need_program = opts.need_program;
   options.use_frozen = opts.use_frozen.value_or(options_.use_frozen);
   options.executor = pool_.get();
   options.policy = ctx.policy;
@@ -287,6 +350,7 @@ AnalysisPtr Engine::open(const jir::Program& program, const ExecContext& ctx,
   analysis->executor_ = pool_.get();
   analysis->memory_ = budget_.get();
   analysis->dist_ = &dist_telemetry_;
+  analysis->verdict_cache_ = verdict_cache_.get();
   analysis->resident_bytes_ = resident_estimate(analysis->outcome_);
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -52,6 +52,7 @@
 
 #include "cypher/cypher.hpp"
 #include "finder/finder.hpp"
+#include "finder/verify.hpp"
 #include "pipeline/pipeline.hpp"
 
 namespace tabby::pipeline {
@@ -109,6 +110,17 @@ struct ExecContext {
   /// exit 3) instead of killing the request — the property that lets the
   /// resident daemon survive a wild pointer inside one tenant's search.
   int workers = 0;
+  /// Re-validate every found chain in the runtime VM (--verify). Requires
+  /// the analysis to have been opened with OpenOptions::need_program.
+  bool verify = false;
+  /// Verify: crash-isolated verifier processes (--verify-workers). 0 =
+  /// in-process per-chain shards on the engine pool; N > 0 forks a
+  /// supervised verifier pool so a VM crash on one chain demotes that chain
+  /// (UNCONFIRMED(crash)) instead of killing the request.
+  int verify_workers = 0;
+  /// Extra verify-phase budget (--phase-budget verify=), anchored when the
+  /// verify post-pass starts.
+  std::optional<std::chrono::milliseconds> verify_budget;
 };
 
 /// Per-open knobs that change what an Analysis materializes (as opposed to
@@ -118,8 +130,9 @@ struct OpenOptions {
   bool need_program = false;
   /// Populate Outcome::graph_bytes (the exact `--store` serialization).
   bool need_graph_bytes = false;
-  /// Override the engine-level use_frozen default for this open (e.g.
-  /// --verify pins a find to the store-backed representation).
+  /// Override the engine-level use_frozen default for this open. Every
+  /// request — including find --verify, whose alias probes go through
+  /// finder::AliasView — produces byte-identical output either way.
   std::optional<bool> use_frozen;
   /// Admission control: when true (the serving default), an open that cannot
   /// fit in the engine's bounded budget — even after evicting idle LRU
@@ -163,6 +176,11 @@ struct FindResult {
   DegradationReport degradation;
   /// True when the search ran over the frozen CSR representation.
   bool used_frozen = false;
+  /// The verify post-pass (ExecContext::verify): one verdict per chain, in
+  /// chain order. Untouched (and `verified` false) when verify was off or
+  /// the analysis holds no linked program.
+  finder::VerifyReport verify;
+  bool verified = false;
 };
 
 class Engine;
@@ -205,6 +223,7 @@ class Analysis {
   util::Executor* executor_ = nullptr;   // borrowed from the engine
   util::MemoryBudget* memory_ = nullptr; // borrowed from the engine
   DistTelemetry* dist_ = nullptr;        // borrowed from the engine
+  cache::AnalysisCache* verdict_cache_ = nullptr;  // borrowed from the engine
 };
 
 using AnalysisPtr = std::shared_ptr<const Analysis>;
@@ -298,6 +317,9 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<util::MemoryBudget> budget_;
+  /// Verdict-cache handle (cache_dir set and openable; else null). All its
+  /// state is on the filesystem, so concurrent finds share it safely.
+  std::unique_ptr<cache::AnalysisCache> verdict_cache_;
   /// Shared by every Analysis this engine opens (atomics, no lock).
   mutable DistTelemetry dist_telemetry_;
 

@@ -340,6 +340,10 @@ std::string DegradationReport::to_string() const {
     out += "degraded: memory budget pressure; " + std::to_string(frontier_pruned) +
            " frontier branch(es) pruned\n";
   }
+  if (unconfirmed_chains > 0) {
+    out += "degraded: " + std::to_string(unconfirmed_chains) +
+           " chain(s) left UNCONFIRMED by runtime re-validation\n";
+  }
   return out;
 }
 
@@ -446,6 +450,7 @@ Outcome run(const jir::Program& program, const Options& options) {
   Options absorbing = options;
   absorbing.policy = FailurePolicy::kQuarantine;
   (void)build_into(program, absorbing, cpg_options, outcome);
+  if (options.need_program) outcome.program = program;
   freeze_outcome(options, /*content_key=*/0, outcome);
   return outcome;
 }

@@ -79,9 +79,14 @@ struct DegradationReport {
   /// (> 0 implies MemoryPressure partials). Same ownership as
   /// partial_sinks: populated by Analysis::find, not by run().
   std::size_t frontier_pruned = 0;
+  /// Chains the verify post-pass left UNCONFIRMED (budget / timeout / crash /
+  /// fault — the chain is kept, the run degrades). Same ownership as
+  /// partial_sinks: populated by Analysis::find under --verify.
+  std::size_t unconfirmed_chains = 0;
 
   bool degraded() const {
-    return !units.empty() || deadline_hit || partial_sinks > 0 || frontier_pruned > 0;
+    return !units.empty() || deadline_hit || partial_sinks > 0 || frontier_pruned > 0 ||
+           unconfirmed_chains > 0;
   }
   void add(std::string unit, std::string stage, std::string error, std::size_t bytes_skipped = 0) {
     units.push_back({std::move(unit), std::move(stage), std::move(error), bytes_skipped});

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "cpg/schema.hpp"
+#include "util/failpoint.hpp"
 
 namespace tabby::runtime {
 
@@ -55,9 +56,16 @@ struct Interpreter::RunState {
   std::size_t depth = 0;
   bool aborted = false;
   std::string fault;
+  FaultKind fault_kind = FaultKind::None;
   std::vector<SinkHit> sink_hits;
   std::vector<std::string> call_stack;
   std::map<std::string, VmValue> statics;  // "Owner.field"
+
+  void abort(std::string why, FaultKind kind) {
+    aborted = true;
+    fault = std::move(why);
+    fault_kind = kind;
+  }
 };
 
 Interpreter::Interpreter(const jir::Program& program, const jir::Hierarchy& hierarchy,
@@ -95,11 +103,13 @@ ExecutionResult Interpreter::run(const std::string& owner, const std::string& me
   ExecutionResult result;
   if (!id) {
     result.fault = "no such method: " + owner + "#" + method;
+    result.fault_kind = FaultKind::Setup;
     return result;
   }
   execute(state, *id, std::move(receiver), std::move(args));
   result.completed = !state.aborted;
   result.fault = state.fault;
+  result.fault_kind = state.fault_kind;
   result.steps = state.steps;
   result.sink_hits = std::move(state.sink_hits);
   return result;
@@ -111,6 +121,7 @@ ExecutionResult Interpreter::deserialize(const ObjectPtr& root) {
   if (!root) {
     merged.completed = false;
     merged.fault = "null root object";
+    merged.fault_kind = FaultKind::Setup;
     return merged;
   }
   taint_graph(root);
@@ -138,13 +149,17 @@ ExecutionResult Interpreter::deserialize(const ObjectPtr& root) {
       ExecutionResult one = run(cls, m.name, VmValue::of(root, /*taint=*/true), std::move(args));
       merged.steps += one.steps;
       merged.completed = merged.completed && one.completed;
-      if (merged.fault.empty()) merged.fault = one.fault;
+      if (merged.fault.empty()) {
+        merged.fault = one.fault;
+        merged.fault_kind = one.fault_kind;
+      }
       for (SinkHit& hit : one.sink_hits) merged.sink_hits.push_back(std::move(hit));
     }
   }
   if (!any_run) {
     merged.completed = false;
     merged.fault = "no deserialization source method on " + root->class_name();
+    merged.fault_kind = FaultKind::Setup;
   }
   return merged;
 }
@@ -186,8 +201,8 @@ VmValue Interpreter::invoke(RunState& state, const jir::InvokeStmt& stmt,
     } else if (std::holds_alternative<std::string>(receiver.data)) {
       dynamic_class = std::string(jir::kStringClass);
     } else if (receiver.is_null()) {
-      state.aborted = true;  // NullPointerException kills the chain
-      state.fault = "NPE invoking " + stmt.callee.to_string();
+      // NullPointerException kills the chain — modeled negative evidence.
+      state.abort("NPE invoking " + stmt.callee.to_string(), FaultKind::Modeled);
       return VmValue::null();
     }
     if (!dynamic_class.empty()) {
@@ -208,8 +223,7 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
                              std::vector<VmValue> args) {
   if (state.aborted) return VmValue::null();
   if (state.depth >= options_.max_call_depth) {
-    state.aborted = true;
-    state.fault = "call depth exceeded";
+    state.abort("call depth exceeded", FaultKind::Budget);
     return VmValue::null();
   }
 
@@ -238,8 +252,17 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
   while (pc < method.body.size()) {
     if (state.aborted) break;
     if (++state.steps > options_.max_steps) {
-      state.aborted = true;
-      state.fault = "step budget exceeded";
+      state.abort("step budget exceeded", FaultKind::Budget);
+      break;
+    }
+    if (util::failpoint::poll("runtime.step")) {
+      state.abort("interpreter fault injected at step " + std::to_string(state.steps),
+                  FaultKind::Fault);
+      break;
+    }
+    // The deadline poll is a clock read, so amortize it across steps.
+    if ((state.steps & 255u) == 0 && options_.deadline.expired()) {
+      state.abort("wall-clock budget exceeded", FaultKind::Timeout);
       break;
     }
     const jir::Stmt& stmt = method.body[pc];
@@ -253,7 +276,12 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
       } else if (const auto* i = std::get_if<std::int64_t>(&s->value.value)) {
         locals[s->target] = VmValue::of(*i);
       } else {
-        locals[s->target] = VmValue::of(std::get<std::string>(s->value.value));
+        const std::string& text = std::get<std::string>(s->value.value);
+        if (text.size() > options_.max_string_bytes) {
+          state.abort("string byte budget exceeded", FaultKind::Budget);
+          break;
+        }
+        locals[s->target] = VmValue::of(text);
       }
     } else if (const auto* s = std::get_if<jir::NewStmt>(&stmt)) {
       locals[s->target] = VmValue::of(std::make_shared<Object>(s->type.name));
@@ -262,16 +290,14 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
       if (const ObjectPtr* obj = base.object()) {
         (*obj)->set_field(s->field, local(s->source));
       } else if (base.is_null()) {
-        state.aborted = true;
-        state.fault = "NPE storing field " + s->field;
+        state.abort("NPE storing field " + s->field, FaultKind::Modeled);
       }
     } else if (const auto* s = std::get_if<jir::FieldLoadStmt>(&stmt)) {
       VmValue base = local(s->base);
       if (const ObjectPtr* obj = base.object()) {
         locals[s->target] = (*obj)->get_field(s->field);
       } else if (base.is_null()) {
-        state.aborted = true;
-        state.fault = "NPE loading field " + s->field;
+        state.abort("NPE loading field " + s->field, FaultKind::Modeled);
       } else {
         locals[s->target] = VmValue::null();
       }
@@ -287,6 +313,10 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
       if (const ObjectPtr* obj = base.object(); obj != nullptr && idx != nullptr && *idx >= 0) {
         auto& elements = (*obj)->elements();
         if (static_cast<std::size_t>(*idx) >= elements.size()) {
+          if (static_cast<std::size_t>(*idx) >= options_.max_array_elements) {
+            state.abort("array growth budget exceeded", FaultKind::Budget);
+            break;
+          }
           elements.resize(static_cast<std::size_t>(*idx) + 1);
         }
         elements[static_cast<std::size_t>(*idx)] = local(s->source);
@@ -318,8 +348,7 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
       if (compare(local(s->lhs), s->op, local(s->rhs))) {
         auto it = labels.find(s->target_label);
         if (it == labels.end()) {
-          state.aborted = true;
-          state.fault = "jump to unknown label " + s->target_label;
+          state.abort("jump to unknown label " + s->target_label, FaultKind::Fault);
           break;
         }
         next_pc = it->second;
@@ -327,15 +356,13 @@ VmValue Interpreter::execute(RunState& state, jir::MethodId method_id, VmValue r
     } else if (const auto* s = std::get_if<jir::GotoStmt>(&stmt)) {
       auto it = labels.find(s->target_label);
       if (it == labels.end()) {
-        state.aborted = true;
-        state.fault = "jump to unknown label " + s->target_label;
+        state.abort("jump to unknown label " + s->target_label, FaultKind::Fault);
         break;
       }
       next_pc = it->second;
     } else if (std::get_if<jir::ThrowStmt>(&stmt) != nullptr) {
       // Exceptions terminate the deserialization; the chain dies here.
-      state.aborted = true;
-      state.fault = "exception thrown in " + state.call_stack.back();
+      state.abort("exception thrown in " + state.call_stack.back(), FaultKind::Modeled);
       break;
     }
     // LabelStmt / NopStmt: nothing.

@@ -17,6 +17,7 @@
 #include "cpg/sinks.hpp"
 #include "jir/hierarchy.hpp"
 #include "jir/model.hpp"
+#include "util/deadline.hpp"
 
 namespace tabby::runtime {
 
@@ -61,6 +62,22 @@ class Object {
   std::vector<VmValue> elements_;
 };
 
+/// Why an execution faulted — the machine-readable half of the fault string,
+/// so callers (the verify post-pass) can tell negative evidence about the
+/// chain apart from the VM simply running out of budget or hitting an
+/// infrastructure fault. The strings stay the human-readable detail.
+enum class FaultKind : std::uint8_t {
+  None,     // no fault (clean completion)
+  Modeled,  // modeled Java-level failure (NPE, thrown exception): the chain
+            // concretely died — negative evidence, a refutation
+  Setup,    // the chain could not even be driven (missing method body,
+            // missing deserialization source, null root): also refuting
+  Budget,   // a step/depth/allocation bound was exhausted — inconclusive
+  Timeout,  // the wall-clock deadline expired mid-interpretation
+  Fault,    // interpreter infrastructure fault (malformed body, injected
+            // failpoint): the verdict must not be trusted either way
+};
+
 /// One observed arrival at a sink method during execution.
 struct SinkHit {
   std::string signature;   // declared "owner#name/n"
@@ -72,6 +89,7 @@ struct SinkHit {
 struct ExecutionResult {
   bool completed = false;  // false: step/depth budget exhausted or fault
   std::string fault;       // empty unless aborted
+  FaultKind fault_kind = FaultKind::None;
   std::size_t steps = 0;
   std::vector<SinkHit> sink_hits;
 
@@ -89,6 +107,14 @@ struct ExecutionResult {
 struct VmOptions {
   std::size_t max_steps = 200'000;
   std::size_t max_call_depth = 128;
+  /// Allocation bounds: adversarial bytecode can otherwise grow an array or
+  /// materialize strings without limit. Exceeding either aborts with a
+  /// FaultKind::Budget fault instead of allocating.
+  std::size_t max_array_elements = 1 << 20;
+  std::size_t max_string_bytes = 1 << 20;
+  /// Wall-clock bound, polled periodically at the step site; expiry aborts
+  /// with a FaultKind::Timeout fault. Defaults to never.
+  util::Deadline deadline;
   cpg::SinkRegistry sinks = cpg::SinkRegistry::defaults();
   cpg::SourceRegistry sources = cpg::SourceRegistry::defaults();
 };

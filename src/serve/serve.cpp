@@ -60,6 +60,11 @@ pipeline::ExecContext context_from(const Json& request, int default_workers) {
   ctx.frontier_byte_pool = static_cast<std::size_t>(request.num("frontier_pool", 0));
   ctx.use_planner = !request.flag("no_plan");
   ctx.workers = static_cast<int>(request.num("workers", default_workers));
+  ctx.verify = request.flag("verify");
+  ctx.verify_workers = static_cast<int>(request.num("verify_workers", 0));
+  if (request.has("verify_ms")) {
+    ctx.verify_budget = std::chrono::milliseconds(static_cast<long long>(request.num("verify_ms")));
+  }
   return ctx;
 }
 
@@ -322,7 +327,9 @@ Json Daemon::op_open(const Json& request) {
 Json Daemon::op_find(const Json& request) {
   pipeline::ExecContext ctx = context_from(request, default_workers_);
   Json error_out;
-  auto analysis = open_for(request, ctx, {}, error_out);
+  pipeline::OpenOptions opts;
+  opts.need_program = ctx.verify;  // the verify post-pass replays chains in the VM
+  auto analysis = open_for(request, ctx, opts, error_out);
   if (!analysis.ok()) return error_out;
   pipeline::FindResult result = analysis.value()->find(ctx);
   const pipeline::Outcome& outcome = analysis.value()->outcome();
@@ -332,8 +339,19 @@ Json Daemon::op_find(const Json& request) {
   // for warm-vs-cold comparisons).
   std::string text = std::to_string(result.report.chains.size()) + " gadget chain(s), " +
                      util::format_double(result.report.search_seconds, 3) + " s search\n\n";
-  for (const finder::GadgetChain& chain : result.report.chains) {
-    text += chain.to_string();
+  for (std::size_t i = 0; i < result.report.chains.size(); ++i) {
+    text += result.report.chains[i].to_string();
+    if (result.verified) {
+      text += "  auto-verify: " + finder::verdict_line(result.verify.verdicts[i]) + "\n";
+    }
+    text += "\n";
+  }
+  if (result.verified) {
+    text += std::to_string(result.verify.effective) + "/" +
+            std::to_string(result.report.chains.size()) + " chains confirmed effective";
+    if (result.verify.unconfirmed > 0) {
+      text += ", " + std::to_string(result.verify.unconfirmed) + " unconfirmed";
+    }
     text += "\n";
   }
 
@@ -345,12 +363,30 @@ Json Daemon::op_find(const Json& request) {
   response.set("used_frozen", result.used_frozen);
   response.set("degraded", result.degradation.degraded());
   response.set("text", std::move(text));
+  if (result.verified) {
+    response.set("verified", true);
+    response.set("effective", static_cast<std::uint64_t>(result.verify.effective));
+    response.set("refuted", static_cast<std::uint64_t>(result.verify.refuted));
+    response.set("unconfirmed", static_cast<std::uint64_t>(result.verify.unconfirmed));
+    response.set("verify_cache_hits", static_cast<std::uint64_t>(result.verify.cache_hits));
+  }
   if (!outcome.cache_line.empty()) response.set("cache_line", outcome.cache_line);
   Json warnings = Json::array();
   for (const std::string& warning : outcome.warnings) warnings.push(Json::string(warning));
   response.set("warnings", std::move(warnings));
   Json degraded = Json::array();
   for (const std::string& line : degraded_lines(result.report)) degraded.push(Json::string(line));
+  if (result.verified) {
+    // One line per undecided chain, in chain order — the same bytes the
+    // one-shot CLI prints on stderr.
+    for (std::size_t i = 0; i < result.report.chains.size(); ++i) {
+      const finder::ChainVerdict& verdict = result.verify.verdicts[i];
+      if (verdict.verdict == finder::Verdict::Unconfirmed) {
+        degraded.push(
+            Json::string(finder::degraded_line(result.report.chains[i], verdict)));
+      }
+    }
+  }
   response.set("degraded_lines", std::move(degraded));
   return response;
 }

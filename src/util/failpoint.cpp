@@ -27,6 +27,9 @@ constexpr const char* kSites[] = {
     "graph.index.rebuild",     // (re)creating label/property indexes
     "jar.decode",              // TJAR archive decode
     "pool.task",               // ThreadPool parallel_for task body
+    "runtime.step",            // one interpreter step (verify VM infrastructure fault)
+    "runtime.verify.crash",    // verification shard dies abruptly mid-chain
+    "runtime.verify.hang",     // verification shard goes silent (heartbeat miss)
     "serve.request",           // daemon request dispatch (tabby serve)
 };
 

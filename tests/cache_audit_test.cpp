@@ -15,6 +15,7 @@
 #include "cli/cli.hpp"
 #include "corpus/components.hpp"
 #include "jar/archive.hpp"
+#include "util/digest.hpp"
 
 namespace tabby {
 namespace {
@@ -150,6 +151,69 @@ TEST_F(CacheAuditFixture, PruneHealsAndOnlyThePrunedFragmentRebuilds) {
   EXPECT_TRUE(report.value().clean()) << report.value().to_string();
   EXPECT_EQ(report.value().fragments_checked, 2u);
   EXPECT_EQ(report.value().snapshots_checked, 1u);
+}
+
+TEST_F(CacheAuditFixture, VerdictFramesRoundTripAndRejectKeyMismatches) {
+  auto opened = cache::AnalysisCache::open(cache_);
+  ASSERT_TRUE(opened.ok()) << opened.error().message;
+  cache::AnalysisCache& store = opened.value();
+
+  cache::CachedVerdict verdict;
+  verdict.verdict = 1;  // REFUTED
+  verdict.reason = 0;
+  verdict.steps = 42;
+  verdict.detail = "guard not taken";
+  ASSERT_TRUE(store.store_verdict(0xabc123, verdict).ok());
+
+  auto loaded = store.load_verdict(0xabc123);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->verdict, verdict.verdict);
+  EXPECT_EQ(loaded->reason, verdict.reason);
+  EXPECT_EQ(loaded->steps, verdict.steps);
+  EXPECT_EQ(loaded->detail, verdict.detail);
+  EXPECT_FALSE(store.load_verdict(0xdef456).has_value());
+
+  // A frame copied to another key's slot (collision, tampering) misses: the
+  // embedded key must match the requested one.
+  fs::path verdicts = fs::path(cache_) / "verdicts";
+  fs::copy_file(verdicts / (util::digest_hex(0xabc123) + ".tvdt"),
+                verdicts / (util::digest_hex(0xdef456) + ".tvdt"));
+  EXPECT_FALSE(store.load_verdict(0xdef456).has_value());
+}
+
+TEST_F(CacheAuditFixture, CorruptVerdictFrameIsDetectedAndPruned) {
+  {
+    auto opened = cache::AnalysisCache::open(cache_);
+    ASSERT_TRUE(opened.ok()) << opened.error().message;
+    cache::CachedVerdict verdict;
+    verdict.verdict = 0;
+    verdict.steps = 7;
+    ASSERT_TRUE(opened.value().store_verdict(0x77, verdict).ok());
+  }
+
+  auto clean = cache::audit_cache(cache_, /*prune=*/false);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean.value().clean());
+  EXPECT_EQ(clean.value().verdicts_checked, 1u);
+  EXPECT_NE(clean.value().to_string().find("1 verdict(s)"), std::string::npos)
+      << clean.value().to_string();
+
+  std::vector<fs::path> frames = files_in(fs::path(cache_) / "verdicts");
+  ASSERT_EQ(frames.size(), 1u);
+  flip_byte(frames[0], fs::file_size(frames[0]) / 2);
+
+  auto report = cache::audit_cache(cache_, false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().corrupt, 1u);
+  EXPECT_EQ(report.value().reclaimable_bytes, fs::file_size(frames[0]));
+
+  CliRun pruned = run({"cache", cache_, "--prune"});
+  EXPECT_EQ(pruned.code, 0) << pruned.out;
+  EXPECT_FALSE(fs::exists(frames[0]));
+  auto healed = cache::audit_cache(cache_, false);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(healed.value().clean());
+  EXPECT_EQ(healed.value().verdicts_checked, 0u);
 }
 
 TEST_F(CacheAuditFixture, CacheFlagFormAndUsageErrors) {

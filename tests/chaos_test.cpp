@@ -192,6 +192,68 @@ TEST_F(ChaosFixture, QueryWorkloadSweepStaysStructured) {
   EXPECT_EQ(recovered.out, clean.out);
 }
 
+TEST_F(ChaosFixture, VerifySweepOverRuntimeSitesStaysStructured) {
+  // The verify post-pass adds three sites (runtime.step inside the VM,
+  // runtime.verify.crash / runtime.verify.hang around the shards). Under any
+  // of them the run must stay structured: exit 0 (absorbed) or 3 (chains
+  // demoted to UNCONFIRMED, itemized on stderr) — never a crash, and never
+  // an invented or silently dropped chain.
+  CliRun clean = run_cli_capture({"find", jar_path_, "--verify"});
+  ASSERT_EQ(clean.code, 0) << clean.err;
+  ASSERT_NE(clean.out.find("chains confirmed effective"), std::string::npos) << clean.out;
+
+  struct Case {
+    const char* site;
+    int times;
+    const char* workers;  // nullptr = in-process
+  };
+  // Permanent hang chaos under --verify-workers is excluded on wall-clock
+  // grounds only: every dispatch would ride out the full production hang
+  // timeout (the absorbed single-hang case below already proves the path).
+  const Case cases[] = {
+      {"runtime.step", 1, nullptr},          {"runtime.step", -1, nullptr},
+      {"runtime.step", 1, "2"},              {"runtime.verify.crash", 1, nullptr},
+      {"runtime.verify.crash", -1, nullptr}, {"runtime.verify.crash", 1, "2"},
+      {"runtime.verify.crash", -1, "2"},     {"runtime.verify.hang", 1, nullptr},
+      {"runtime.verify.hang", -1, nullptr},  {"runtime.verify.hang", 1, "2"},
+  };
+  for (const Case& c : cases) {
+    std::string label = std::string(c.site) + (c.times < 0 ? " (always)" : " (once)") +
+                        (c.workers != nullptr ? " workers=2" : "");
+    util::failpoint::disarm();
+    util::failpoint::arm();
+    util::failpoint::activate(c.site, c.times);
+    std::vector<std::string> args{"find", jar_path_, "--verify"};
+    if (c.workers != nullptr) {
+      args.push_back("--verify-workers");
+      args.push_back(c.workers);
+    }
+    CliRun r = run_cli_capture(args);
+    // runtime.step under --verify-workers fires inside the forked verifier,
+    // where the child's counter is invisible to this process.
+    if (c.workers == nullptr || std::string(c.site) != "runtime.step") {
+      EXPECT_GT(util::failpoint::fired(c.site), 0u) << label << ": site never fired";
+    }
+    util::failpoint::disarm();
+
+    EXPECT_TRUE(r.code == 0 || r.code == 3)
+        << label << ": unstructured exit " << r.code << "\n" << r.err;
+    if (r.code == 3) {
+      EXPECT_NE(r.err.find("degraded: [verify-"), std::string::npos) << label << "\n" << r.err;
+      EXPECT_NE(r.out.find("unconfirmed"), std::string::npos) << label << "\n" << r.out;
+    }
+    expect_chains_subset(r, clean, label);
+    // UNCONFIRMED demotion keeps the chain: same chain lines as clean.
+    EXPECT_EQ(chain_lines(r.out), chain_lines(clean.out)) << label;
+  }
+
+  // Injection over: the next run confirms the effective chain again.
+  CliRun recovered = run_cli_capture({"find", jar_path_, "--verify"});
+  EXPECT_EQ(recovered.code, 0) << recovered.err;
+  EXPECT_EQ(chain_lines(recovered.out), chain_lines(clean.out));
+  EXPECT_NE(recovered.out.find("chains confirmed effective"), std::string::npos);
+}
+
 TEST_F(ChaosFixture, TransientPublishFaultsAreRetriedToSuccess) {
   util::failpoint::arm();
   // Two failed rename attempts out of the three the retry loop allows: the

@@ -6,6 +6,7 @@
 #include "fixtures.hpp"
 #include "runtime/objectgraph.hpp"
 #include "runtime/vm.hpp"
+#include "util/failpoint.hpp"
 
 namespace tabby::runtime {
 namespace {
@@ -284,6 +285,176 @@ TEST(Vm, TaintGraphMarksEverythingReachable) {
   ASSERT_NE(b, nullptr);
   EXPECT_TRUE((*b)->elements()[0].tainted);
   EXPECT_TRUE((*b)->get_field("back").tainted);
+}
+
+TEST(Vm, ArrayGrowthBudgetBoundsAdversarialStores) {
+  // A store at an absurd index must abort with a Budget fault instead of
+  // materialising a gigabyte of null slots.
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Grow");
+  cls.method("go")
+      .set_static()
+      .param("java.lang.Object[]")
+      .returns("void")
+      .const_int("i", std::int64_t{1} << 30)
+      .const_int("v", 7)
+      .array_store("@p1", "i", "v")
+      .ret();
+  World w = make_world(pb.build());
+  ObjectPtr arr = std::make_shared<Object>("java.lang.Object[]");
+  ExecutionResult result = w.vm->run("t.Grow", "go", VmValue::null(), {VmValue::of(arr)});
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.fault_kind, FaultKind::Budget);
+  EXPECT_NE(result.fault.find("array growth budget"), std::string::npos) << result.fault;
+  EXPECT_TRUE(arr->elements().empty());  // nothing was allocated
+}
+
+TEST(Vm, StringByteBudgetBoundsConstantMaterialisation) {
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Str");
+  cls.method("go").set_static().returns("void").const_str("s", std::string(64, 'x')).ret();
+  VmOptions options;
+  options.max_string_bytes = 8;
+  World w = make_world(pb.build(), options);
+  ExecutionResult result = w.vm->run("t.Str", "go", VmValue::null(), {});
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.fault_kind, FaultKind::Budget);
+  EXPECT_NE(result.fault.find("string byte budget"), std::string::npos) << result.fault;
+}
+
+TEST(Vm, ExpiredDeadlineAbortsWithATimeoutFault) {
+  // The clock is polled every 256 steps, so an already-expired deadline
+  // stops an otherwise-infinite loop within the first poll window.
+  jir::ProgramBuilder pb;
+  pb.with_core_classes();
+  auto cls = pb.add_class("t.Spin");
+  cls.method("go").set_static().returns("void").mark("head").jump("head");
+  VmOptions options;
+  options.deadline = util::Deadline::after(std::chrono::milliseconds(0));
+  World w = make_world(pb.build(), options);
+  ExecutionResult result = w.vm->run("t.Spin", "go", VmValue::null(), {});
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.fault_kind, FaultKind::Timeout);
+  EXPECT_NE(result.fault.find("wall-clock budget"), std::string::npos) << result.fault;
+  EXPECT_LE(result.steps, 512u);
+}
+
+TEST(Vm, FaultKindsSeparateNegativeEvidenceFromInconclusiveOutcomes) {
+  // The verify post-pass maps Modeled/Setup to REFUTED and Budget/Timeout/
+  // Fault to UNCONFIRMED — this pins the classification at the VM boundary.
+  {
+    jir::ProgramBuilder pb;
+    pb.with_core_classes();
+    auto cls = pb.add_class("t.Npe2");
+    cls.method("go").set_static().returns("void").const_null("x")
+        .invoke_virtual("", "x", "java.lang.Object", "toString", {}).ret();
+    World w = make_world(pb.build());
+    EXPECT_EQ(w.vm->run("t.Npe2", "go", VmValue::null(), {}).fault_kind, FaultKind::Modeled);
+  }
+  {
+    World w = make_world(testing::urldns_program());
+    ObjectPtr plain = std::make_shared<Object>("java.net.URLStreamHandler");
+    EXPECT_EQ(w.vm->deserialize(plain).fault_kind, FaultKind::Setup);
+  }
+  {
+    jir::ProgramBuilder pb;
+    pb.with_core_classes();
+    auto cls = pb.add_class("t.Loop2");
+    cls.method("go").set_static().returns("void").mark("head").jump("head");
+    VmOptions options;
+    options.max_steps = 100;
+    World w = make_world(pb.build(), options);
+    EXPECT_EQ(w.vm->run("t.Loop2", "go", VmValue::null(), {}).fault_kind, FaultKind::Budget);
+  }
+  {
+    jir::ProgramBuilder pb;
+    pb.with_core_classes();
+    auto cls = pb.add_class("t.Bad");
+    cls.method("go").set_static().returns("void").jump("nowhere");
+    World w = make_world(pb.build());
+    ExecutionResult result = w.vm->run("t.Bad", "go", VmValue::null(), {});
+    EXPECT_EQ(result.fault_kind, FaultKind::Fault);  // malformed body, not evidence
+  }
+  {
+    World w = make_world(testing::urldns_program());
+    util::failpoint::arm();
+    util::failpoint::activate("runtime.step", 1);
+    ObjectGraphSpec spec;
+    spec.objects["map"] = ObjectSpec{"java.util.HashMap", {{"key", Ref{"url"}}}, {}};
+    spec.objects["url"] = ObjectSpec{"java.net.URL", {{"host", std::string("h")}}, {}};
+    spec.root = "map";
+    ExecutionResult result = w.vm->deserialize(instantiate(spec));
+    util::failpoint::deactivate_all();
+    util::failpoint::disarm();
+    EXPECT_EQ(result.fault_kind, FaultKind::Fault);
+    EXPECT_NE(result.fault.find("interpreter fault injected"), std::string::npos) << result.fault;
+  }
+}
+
+TEST(Vm, FuzzedObjectGraphsNeverCrashTheInterpreter) {
+  // Seeded never-crash sweep: random (frequently nonsensical) object graphs
+  // driven through deserialize() and random direct calls must always come
+  // back as a structured ExecutionResult — the crash-isolation story starts
+  // with the VM not throwing on garbage input.
+  const char* class_pool[] = {"java.util.HashMap", "java.net.URL",  "java.net.URLStreamHandler",
+                              "demo.EvilObjectA",  "demo.NoSuch",   "java.lang.Object[]",
+                              "demo.EvilObjectB",  "java.util.EnumMap"};
+  const char* field_pool[] = {"key", "host", "handler", "val1", "val2", "next", "ghost"};
+  const char* method_pool[] = {"readObject", "hashCode", "perform", "toString", "nope"};
+
+  std::uint64_t state = 0x5eed5eed5eed5eedULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+
+  World urldns = make_world(testing::urldns_program());
+  World evil = make_world(testing::evil_object_program());
+  for (int iter = 0; iter < 200; ++iter) {
+    World& w = (next() % 2 == 0) ? urldns : evil;
+
+    ObjectGraphSpec spec;
+    std::size_t object_count = 1 + next() % 5;
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < object_count; ++i) names.push_back("o" + std::to_string(i));
+    for (std::size_t i = 0; i < object_count; ++i) {
+      ObjectSpec obj;
+      obj.class_name = class_pool[next() % std::size(class_pool)];
+      std::size_t field_count = next() % 4;
+      for (std::size_t f = 0; f < field_count; ++f) {
+        const char* field = field_pool[next() % std::size(field_pool)];
+        switch (next() % 4) {
+          case 0: obj.fields[field] = std::int64_t(next()); break;
+          case 1: obj.fields[field] = std::string("s") + std::to_string(next() % 100); break;
+          case 2: obj.fields[field] = Ref{names[next() % names.size()]}; break;  // cycles OK
+          default: obj.fields[field] = std::monostate{}; break;
+        }
+      }
+      if (next() % 3 == 0) obj.elements.push_back(Ref{names[next() % names.size()]});
+      spec.objects[names[i]] = std::move(obj);
+    }
+    spec.root = (next() % 8 == 0) ? "missing" : names[next() % names.size()];
+
+    VmOptions tight;
+    tight.max_steps = 2000;
+    tight.max_call_depth = 16;
+    Interpreter vm(w.program, *w.hierarchy, tight);
+    EXPECT_NO_THROW({
+      ExecutionResult r = vm.deserialize(instantiate(spec));
+      EXPECT_TRUE(r.completed || !r.fault.empty());  // aborts always say why
+    }) << "iteration " << iter;
+
+    ObjectPtr receiver = (next() % 4 == 0)
+                             ? nullptr
+                             : std::make_shared<Object>(class_pool[next() % std::size(class_pool)]);
+    EXPECT_NO_THROW(vm.run(class_pool[next() % std::size(class_pool)],
+                           method_pool[next() % std::size(method_pool)],
+                           receiver ? VmValue::of(receiver) : VmValue::null(),
+                           {VmValue::of(std::int64_t(next()))}))
+        << "iteration " << iter;
+  }
 }
 
 TEST(ObjectGraph, UndefinedRefBecomesNull) {
